@@ -1,0 +1,68 @@
+//! Experiment E1 (survey §III): data-privacy scheme comparison.
+//!
+//! For each scheme and group size: encryption latency, decryption latency,
+//! and ciphertext size for a 1 KiB post. Expected shape (per the survey's
+//! qualitative claims): symmetric ≪ hybrid ≈ pke ≪ cp-abe / ibbe for cost;
+//! symmetric ciphertexts are O(1), pke/ibbe grow O(n) with the audience.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dosn_bench::{all_schemes, member_names, post_payload, table_header, table_row, GROUP_SIZES};
+use std::hint::black_box;
+
+fn ciphertext_size_table() {
+    table_header(
+        "E1: ciphertext size (bytes) for a 1 KiB post vs group size",
+        &["scheme", "n=1", "n=4", "n=16", "n=64"],
+    );
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for (i, _) in all_schemes(1).iter().enumerate() {
+        rows.push(vec![String::new(); 5]);
+        let _ = i;
+    }
+    for (col, &n) in GROUP_SIZES.iter().enumerate() {
+        for (row, scheme) in all_schemes(n).iter_mut().enumerate() {
+            let g = scheme.create_group(&member_names(n)).expect("group");
+            let ct = scheme.encrypt(&g, &post_payload()).expect("encrypt");
+            rows[row][0] = scheme.name().to_owned();
+            rows[row][col + 1] = ct.size_bytes().to_string();
+        }
+    }
+    for r in rows {
+        table_row(&r);
+    }
+}
+
+fn bench_encrypt_decrypt(c: &mut Criterion) {
+    ciphertext_size_table();
+
+    let payload = post_payload();
+    let mut group_enc = c.benchmark_group("e1/encrypt");
+    group_enc.sample_size(10);
+    for &n in GROUP_SIZES {
+        for mut scheme in all_schemes(n) {
+            // IBBE at n=64 costs ~64 Cocks encryptions per post; still
+            // benched — that IS the result.
+            let g = scheme.create_group(&member_names(n)).expect("group");
+            group_enc.bench_with_input(BenchmarkId::new(scheme.name(), n), &n, |b, _| {
+                b.iter(|| black_box(scheme.encrypt(&g, &payload).expect("encrypt")))
+            });
+        }
+    }
+    group_enc.finish();
+
+    let mut group_dec = c.benchmark_group("e1/decrypt");
+    group_dec.sample_size(10);
+    for &n in GROUP_SIZES {
+        for mut scheme in all_schemes(n) {
+            let g = scheme.create_group(&member_names(n)).expect("group");
+            let ct = scheme.encrypt(&g, &payload).expect("encrypt");
+            group_dec.bench_with_input(BenchmarkId::new(scheme.name(), n), &n, |b, _| {
+                b.iter(|| black_box(scheme.decrypt_as(&g, "m0", &ct).expect("decrypt")))
+            });
+        }
+    }
+    group_dec.finish();
+}
+
+criterion_group!(benches, bench_encrypt_decrypt);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Experiment E2 (survey §III): access-control management costs.
+//!
+//! Group creation, member addition, and member revocation per scheme, with
+//! the survey's headline contrast: symmetric and CP-ABE revocation re-key
+//! every remaining member *and* owe re-encryption of all stored history,
+//! while PKE and IBBE revocation are free list edits.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dosn_bench::{all_schemes, member_names, table_header, table_row};
+use std::hint::black_box;
+
+const HISTORY_POSTS: usize = 100;
+const GROUP: usize = 16;
+
+fn revocation_cost_table() {
+    table_header(
+        &format!("E2: revocation cost after {HISTORY_POSTS} posts in a {GROUP}-member group"),
+        &[
+            "scheme",
+            "key messages",
+            "re-keyed members",
+            "posts to re-encrypt",
+        ],
+    );
+    for mut scheme in all_schemes(GROUP) {
+        let g = scheme.create_group(&member_names(GROUP)).expect("group");
+        for i in 0..HISTORY_POSTS {
+            scheme
+                .encrypt(&g, format!("post {i}").as_bytes())
+                .expect("encrypt");
+        }
+        let cost = scheme.revoke_member(&g, "m3").expect("revoke");
+        table_row(&[
+            scheme.name().to_owned(),
+            cost.key_messages.to_string(),
+            cost.rekeyed_members.to_string(),
+            cost.posts_to_reencrypt.to_string(),
+        ]);
+    }
+}
+
+fn addition_cost_table() {
+    table_header(
+        &format!("E2: member-addition cost in a {GROUP}-member group"),
+        &["scheme", "key messages", "re-keyed members"],
+    );
+    for mut scheme in all_schemes(GROUP + 1) {
+        let g = scheme.create_group(&member_names(GROUP)).expect("group");
+        let cost = scheme
+            .add_member(&g, &format!("m{GROUP}"))
+            .expect("add member");
+        table_row(&[
+            scheme.name().to_owned(),
+            cost.key_messages.to_string(),
+            cost.rekeyed_members.to_string(),
+        ]);
+    }
+}
+
+fn bench_membership_ops(c: &mut Criterion) {
+    revocation_cost_table();
+    addition_cost_table();
+
+    let mut group = c.benchmark_group("e2/create_group");
+    group.sample_size(10);
+    for n in [4usize, 16, 64] {
+        for mut scheme in all_schemes(n) {
+            group.bench_with_input(BenchmarkId::new(scheme.name(), n), &n, |b, &n| {
+                b.iter(|| black_box(scheme.create_group(&member_names(n)).expect("group")))
+            });
+        }
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("e2/revoke_member");
+    group.sample_size(10);
+    for mut scheme in all_schemes(64) {
+        // Fresh group per iteration so each revocation is valid.
+        let names = member_names(64);
+        let name = scheme.name();
+        group.bench_function(name, |b| {
+            b.iter_custom(|iters| {
+                let mut total = std::time::Duration::ZERO;
+                for _ in 0..iters {
+                    let g = scheme.create_group(&names).expect("group");
+                    let start = std::time::Instant::now();
+                    black_box(scheme.revoke_member(&g, "m1").expect("revoke"));
+                    total += start.elapsed();
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_membership_ops);
+criterion_main!(benches);

@@ -1,0 +1,117 @@
+//! Experiment E3 (survey §IV): integrity mechanism throughput.
+//!
+//! Sign/verify latency for envelopes (owner + content integrity),
+//! hash-chain append and full-chain verification for timelines of varying
+//! length (historical integrity), and per-post comment-key operations
+//! (relation integrity).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dosn_bench::{table_header, table_row};
+use dosn_core::identity::Identity;
+use dosn_core::integrity::envelope::SignedEnvelope;
+use dosn_core::integrity::relations::{CommentAttachment, PostRelationKeys};
+use dosn_core::integrity::timeline::Timeline;
+use dosn_crypto::aead::SymmetricKey;
+use dosn_crypto::chacha::SecureRng;
+use dosn_crypto::group::SchnorrGroup;
+use dosn_crypto::keys::KeyDirectory;
+use std::hint::black_box;
+use std::time::Instant;
+
+fn chain_verification_table() {
+    let mut rng = SecureRng::seed_from_u64(3);
+    let dir = KeyDirectory::new();
+    let bob = Identity::create("bob", SchnorrGroup::toy(), &dir, &mut rng);
+    table_header(
+        "E3: timeline chain verification time vs length",
+        &["entries", "append total (ms)", "verify total (ms)"],
+    );
+    for len in [10usize, 100, 1000] {
+        let t0 = Instant::now();
+        let mut timeline = Timeline::new(bob.id().clone());
+        for i in 0..len {
+            timeline.append(&bob, format!("post {i}").as_bytes(), vec![], &mut rng);
+        }
+        let append_ms = t0.elapsed().as_millis();
+        let t1 = Instant::now();
+        timeline.verify(&dir).expect("chain verifies");
+        let verify_ms = t1.elapsed().as_millis();
+        table_row(&[
+            len.to_string(),
+            append_ms.to_string(),
+            verify_ms.to_string(),
+        ]);
+    }
+}
+
+fn bench_integrity(c: &mut Criterion) {
+    chain_verification_table();
+
+    let mut rng = SecureRng::seed_from_u64(33);
+    let dir = KeyDirectory::new();
+    let bob = Identity::create("bob", SchnorrGroup::toy(), &dir, &mut rng);
+
+    c.bench_function("e3/envelope_seal", |b| {
+        let mut rng = SecureRng::seed_from_u64(1);
+        b.iter(|| {
+            black_box(SignedEnvelope::seal(
+                &bob,
+                Some("alice".into()),
+                1,
+                100,
+                Some(200),
+                b"come to my party held at my home on friday",
+                &mut rng,
+            ))
+        })
+    });
+
+    let env = SignedEnvelope::seal(&bob, None, 1, 100, None, b"message body", &mut rng);
+    c.bench_function("e3/envelope_verify", |b| {
+        b.iter(|| {
+            env.verify(&dir, None, 150).expect("valid");
+            black_box(())
+        })
+    });
+
+    let mut group = c.benchmark_group("e3/timeline_verify");
+    group.sample_size(10);
+    for len in [10usize, 100, 1000] {
+        let mut timeline = Timeline::new(bob.id().clone());
+        let mut rng2 = SecureRng::seed_from_u64(7);
+        for i in 0..len {
+            timeline.append(&bob, format!("{i}").as_bytes(), vec![], &mut rng2);
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, _| {
+            b.iter(|| {
+                timeline.verify(&dir).expect("valid");
+                black_box(())
+            })
+        });
+    }
+    group.finish();
+
+    // Relation integrity: write + verify a comment with per-post keys.
+    let commenters = SymmetricKey::generate(&mut rng);
+    let post = PostRelationKeys::create("p/1", SchnorrGroup::toy(), &commenters, &mut rng);
+    c.bench_function("e3/comment_create", |b| {
+        let mut rng = SecureRng::seed_from_u64(9);
+        b.iter(|| {
+            black_box(
+                CommentAttachment::create(&post, &commenters, "alice".into(), b"+1", &mut rng)
+                    .expect("authorized"),
+            )
+        })
+    });
+    let comment =
+        CommentAttachment::create(&post, &commenters, "alice".into(), b"+1", &mut rng).unwrap();
+    c.bench_function("e3/comment_verify", |b| {
+        b.iter(|| {
+            post.verify_comment(&comment).expect("valid");
+            black_box(())
+        })
+    });
+}
+
+criterion_group!(benches, bench_integrity);
+criterion_main!(benches);

@@ -1,0 +1,190 @@
+//! Experiment E5 (survey §II-B): lookup cost across DOSN organizations.
+//!
+//! The same content-lookup workload over all five families. Expected shape:
+//! structured is O(log n) hops, unstructured flooding is O(n) messages,
+//! super-peer and federation are small constants, hybrid approaches O(1)
+//! messages for popular content once caches warm.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dosn_bench::{table_header, table_row};
+use dosn_overlay::chord::ChordOverlay;
+use dosn_overlay::federation::FederatedNetwork;
+use dosn_overlay::flood::UnstructuredOverlay;
+use dosn_overlay::hybrid::HybridOverlay;
+use dosn_overlay::id::{Key, NodeId};
+use dosn_overlay::metrics::{Histogram, Metrics};
+use dosn_overlay::superpeer::SuperPeerOverlay;
+use std::hint::black_box;
+
+const QUERIES: u64 = 40;
+
+struct CostRow {
+    avg_messages: f64,
+    avg_hops: f64,
+    avg_latency_ms: f64,
+}
+
+fn chord_costs(n: usize) -> CostRow {
+    let mut net = ChordOverlay::build(n, 3, 5);
+    let mut m = Metrics::new();
+    let mut hops = Histogram::new();
+    for i in 0..QUERIES {
+        let key = Key::hash(format!("k{i}").as_bytes());
+        let w = net.random_node(i);
+        net.store(w, key, vec![0u8; 128], &mut m).expect("store");
+        let mut per = Metrics::new();
+        net.get(net.random_node(i + 31), key, &mut per)
+            .expect("get");
+        hops.add(per.count("chord.hop"));
+        m.merge(&per);
+    }
+    CostRow {
+        avg_messages: m.messages as f64 / (2.0 * QUERIES as f64),
+        avg_hops: hops.mean(),
+        avg_latency_ms: m.latency_ms as f64 / (2.0 * QUERIES as f64),
+    }
+}
+
+fn flood_costs(n: usize) -> CostRow {
+    let mut net = UnstructuredOverlay::build(n, 4, 6);
+    let mut m = Metrics::new();
+    let mut hops = Histogram::new();
+    for i in 0..QUERIES {
+        let key = Key::hash(format!("k{i}").as_bytes());
+        net.publish(NodeId(i % n as u64), key);
+        let mut per = Metrics::new();
+        if let Some((_, h)) = net.flood_search(NodeId((i * 13 + 1) % n as u64), key, 10, &mut per) {
+            hops.add(u64::from(h));
+        }
+        m.merge(&per);
+    }
+    CostRow {
+        avg_messages: m.messages as f64 / QUERIES as f64,
+        avg_hops: hops.mean(),
+        avg_latency_ms: m.latency_ms as f64 / QUERIES as f64,
+    }
+}
+
+fn superpeer_costs(n: usize) -> CostRow {
+    let supers = (n / 16).max(1);
+    let mut net = SuperPeerOverlay::build(n, supers, 7);
+    let mut m = Metrics::new();
+    for i in 0..QUERIES {
+        let key = Key::hash(format!("k{i}").as_bytes());
+        net.publish(NodeId(i % n as u64), key);
+        net.search(NodeId((i * 13 + 1) % n as u64), key, &mut m);
+    }
+    CostRow {
+        avg_messages: m.messages as f64 / QUERIES as f64,
+        avg_hops: m.messages as f64 / QUERIES as f64,
+        avg_latency_ms: m.latency_ms as f64 / QUERIES as f64,
+    }
+}
+
+fn hybrid_costs(n: usize) -> CostRow {
+    let mut net = HybridOverlay::build(n, 3, 32, 8);
+    let mut m = Metrics::new();
+    // Zipf-ish: one hot key read by everyone.
+    let hot = Key::hash(b"hot");
+    let w = net.dht().random_node(0);
+    net.put(w, hot, vec![0u8; 128], &mut m).expect("put");
+    let mut read_metrics = Metrics::new();
+    for i in 0..QUERIES {
+        let r = net.dht().random_node(i * 3 + 1);
+        net.get(r, hot, &mut read_metrics).expect("get");
+    }
+    CostRow {
+        avg_messages: read_metrics.messages as f64 / QUERIES as f64,
+        avg_hops: read_metrics.count("chord.hop") as f64 / QUERIES as f64,
+        avg_latency_ms: read_metrics.latency_ms as f64 / QUERIES as f64,
+    }
+}
+
+fn federation_costs(n: usize) -> CostRow {
+    let servers = 8;
+    let mut net = FederatedNetwork::new(servers);
+    for i in 0..n {
+        net.register(&format!("u{i}"), i % servers)
+            .expect("register");
+    }
+    let mut m = Metrics::new();
+    for i in 0..QUERIES {
+        let owner = format!("u{}", i % n as u64);
+        let key = Key::hash(format!("k{i}").as_bytes());
+        net.store(&owner, key, vec![0u8; 128], &mut m)
+            .expect("store");
+        net.fetch(&format!("u{}", (i + 3) % n as u64), key, &owner, &mut m)
+            .expect("fetch");
+    }
+    CostRow {
+        avg_messages: m.messages as f64 / (2.0 * QUERIES as f64),
+        avg_hops: m.count("fed.server_relay") as f64 / QUERIES as f64,
+        avg_latency_ms: m.latency_ms as f64 / (2.0 * QUERIES as f64),
+    }
+}
+
+fn cost_tables() {
+    for n in [64usize, 256, 1024] {
+        table_header(
+            &format!("E5: per-query lookup cost, {n} nodes"),
+            &["organization", "avg msgs", "avg hops", "avg latency (ms)"],
+        );
+        for (name, row) in [
+            ("structured (chord)", chord_costs(n)),
+            ("unstructured (flood)", flood_costs(n)),
+            ("semi-structured (super-peer)", superpeer_costs(n)),
+            ("hybrid (dht+cache, hot key)", hybrid_costs(n)),
+            ("federation (8 pods)", federation_costs(n)),
+        ] {
+            table_row(&[
+                name.to_owned(),
+                format!("{:.1}", row.avg_messages),
+                format!("{:.1}", row.avg_hops),
+                format!("{:.0}", row.avg_latency_ms),
+            ]);
+        }
+    }
+    println!();
+}
+
+fn bench_lookups(c: &mut Criterion) {
+    cost_tables();
+
+    let mut group = c.benchmark_group("e5/chord_lookup");
+    group.sample_size(20);
+    for n in [64usize, 256, 1024] {
+        let mut net = ChordOverlay::build(n, 3, 1);
+        let key = Key::hash(b"bench");
+        let w = net.random_node(0);
+        let mut m = Metrics::new();
+        net.store(w, key, vec![0u8; 64], &mut m).expect("store");
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                let from = net.random_node(i);
+                let mut per = Metrics::new();
+                black_box(net.lookup(from, key, &mut per).expect("lookup"))
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("e5/flood_search");
+    group.sample_size(10);
+    for n in [64usize, 256, 1024] {
+        let mut net = UnstructuredOverlay::build(n, 4, 2);
+        let key = Key::hash(b"bench");
+        net.publish(NodeId((n - 1) as u64), key);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut per = Metrics::new();
+                black_box(net.flood_search(NodeId(0), key, 10, &mut per))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lookups);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Experiment T1: regenerate the paper's Table I from the taxonomy
+//! registry, proving every row maps to an implemented module.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn t1(c: &mut Criterion) {
+    // Print the reproduced table once (captured into EXPERIMENTS.md).
+    println!("{}", dosn_core::taxonomy::render_table1());
+    let rows = dosn_core::taxonomy::table1();
+    println!(
+        "rows: {} (paper: 13 — 6 privacy, 3 integrity, 4 search)\n",
+        rows.len()
+    );
+    c.bench_function("t1/render_table1", |b| {
+        b.iter(|| black_box(dosn_core::taxonomy::render_table1()))
+    });
+}
+
+criterion_group!(benches, t1);
+criterion_main!(benches);

@@ -1,0 +1,171 @@
+//! Barrett reduction: division-free modular reduction for fixed moduli.
+//!
+//! Modular exponentiation dominates every public-key operation in the
+//! workspace. Plain square-and-multiply performs a full Knuth division per
+//! step; Barrett reduction replaces it with two multiplications against a
+//! precomputed reciprocal `µ = ⌊b^{2n} / m⌋`, which is ~2× faster at the
+//! 512–2048-bit sizes the crypto layer uses. [`BigUint::modpow`] uses a
+//! [`BarrettReducer`] automatically for multi-limb moduli; the ablation
+//! bench (E9) compares the two paths.
+
+use crate::BigUint;
+
+/// Precomputed state for reducing values modulo a fixed `m`.
+///
+/// ```
+/// use dosn_bigint::{BarrettReducer, BigUint};
+///
+/// let m = BigUint::from(0xffff_fffb_u64); // fits one limb, still works
+/// let r = BarrettReducer::new(&m);
+/// let x = BigUint::from(u128::MAX);
+/// assert_eq!(r.reduce(&x), &x % &m);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BarrettReducer {
+    modulus: BigUint,
+    /// µ = ⌊b^{2n} / m⌋ with b = 2^64 and n = limb count of m.
+    mu: BigUint,
+    /// n (limb count of the modulus).
+    n: usize,
+}
+
+impl BarrettReducer {
+    /// Precomputes the reducer for `modulus`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is zero.
+    pub fn new(modulus: &BigUint) -> Self {
+        assert!(!modulus.is_zero(), "zero modulus");
+        let n = modulus.limbs().len();
+        // b^(2n) = 1 << (128 * n)
+        let b2n = BigUint::one() << (128 * n as u64);
+        let mu = &b2n / modulus;
+        BarrettReducer {
+            modulus: modulus.clone(),
+            mu,
+            n,
+        }
+    }
+
+    /// The modulus this reducer serves.
+    pub fn modulus(&self) -> &BigUint {
+        &self.modulus
+    }
+
+    /// Reduces `x` modulo `m`.
+    ///
+    /// Fast path requires `x < b^{2n}` (always true for products of two
+    /// reduced values); larger inputs fall back to plain division.
+    pub fn reduce(&self, x: &BigUint) -> BigUint {
+        if x < &self.modulus {
+            return x.clone();
+        }
+        if x.limbs().len() > 2 * self.n {
+            return x % &self.modulus;
+        }
+        // q = ((x >> 64(n-1)) * mu) >> 64(n+1)
+        let q1 = x >> (64 * (self.n as u64 - 1));
+        let q2 = &q1 * &self.mu;
+        let q3 = &q2 >> (64 * (self.n as u64 + 1));
+        let mut r = x.checked_sub(&(&q3 * &self.modulus)).unwrap_or_else(|| {
+            // q3 overestimated (cannot happen with floor math, but keep a
+            // defensive fallback path).
+            x % &self.modulus
+        });
+        // Barrett guarantees at most two correction subtractions.
+        while r >= self.modulus {
+            r = &r - &self.modulus;
+        }
+        r
+    }
+
+    /// Modular multiplication under this reducer.
+    pub fn mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        self.reduce(&(a * b))
+    }
+
+    /// Modular exponentiation using Barrett reduction throughout.
+    pub fn pow(&self, base: &BigUint, exponent: &BigUint) -> BigUint {
+        if self.modulus.is_one() {
+            return BigUint::zero();
+        }
+        let mut result = BigUint::one();
+        let base = self.reduce(base);
+        if exponent.is_zero() {
+            return result;
+        }
+        for i in (0..exponent.bits()).rev() {
+            result = self.mul(&result, &result);
+            if exponent.bit(i) {
+                result = self.mul(&result, &base);
+            }
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn reduce_matches_rem_small() {
+        let m = BigUint::from(97u64);
+        let r = BarrettReducer::new(&m);
+        for x in [0u64, 1, 96, 97, 98, 1000, u64::MAX] {
+            let big = BigUint::from(x);
+            assert_eq!(r.reduce(&big), &big % &m, "x={x}");
+        }
+    }
+
+    #[test]
+    fn pow_matches_modpow_large() {
+        // A 256-bit modulus from the built-in group.
+        let m =
+            BigUint::from_hex("cb6d1172bca83d5178383e45febe0e4e14912dc634a8cf8803cc0b7eff29421b")
+                .unwrap();
+        let r = BarrettReducer::new(&m);
+        let base = BigUint::from(123456789u64);
+        let exp = BigUint::from_hex("deadbeefcafebabe0123456789abcdef").unwrap();
+        assert_eq!(r.pow(&base, &exp), base.modpow(&exp, &m));
+    }
+
+    #[test]
+    fn oversize_input_falls_back() {
+        let m = BigUint::from(1_000_003u64);
+        let r = BarrettReducer::new(&m);
+        let huge = BigUint::one() << 400;
+        assert_eq!(r.reduce(&huge), &huge % &m);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero modulus")]
+    fn zero_modulus_panics() {
+        BarrettReducer::new(&BigUint::zero());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_reduce_matches_rem(
+            x_bytes in proptest::collection::vec(any::<u8>(), 1..48),
+            m_bytes in proptest::collection::vec(any::<u8>(), 1..24),
+        ) {
+            let x = BigUint::from_bytes_be(&x_bytes);
+            let m = BigUint::from_bytes_be(&m_bytes);
+            prop_assume!(!m.is_zero());
+            let r = BarrettReducer::new(&m);
+            prop_assert_eq!(r.reduce(&x), &x % &m);
+        }
+
+        #[test]
+        fn prop_pow_matches_modpow(base in any::<u64>(), exp in any::<u64>(), m in 2u64..) {
+            let m = BigUint::from(m);
+            let r = BarrettReducer::new(&m);
+            let base = BigUint::from(base);
+            let exp = BigUint::from(exp % 512); // keep runtime sane
+            prop_assert_eq!(r.pow(&base, &exp), base.modpow(&exp, &m));
+        }
+    }
+}

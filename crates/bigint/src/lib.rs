@@ -1,0 +1,43 @@
+//! Arbitrary-precision unsigned integer arithmetic for the `dosn` stack.
+//!
+//! This crate is the numeric substrate beneath `dosn-crypto`: every
+//! public-key primitive in the reproduction (ElGamal, Schnorr signatures,
+//! blind signatures, the OPRF, Cocks identity-based encryption) is built on
+//! the [`BigUint`] type defined here. No external big-integer or cryptography
+//! crates are used anywhere in the workspace.
+//!
+//! # What is provided
+//!
+//! * [`BigUint`] — little-endian `u64`-limb unsigned integers with the full
+//!   arithmetic operator set (`+`, `-`, `*`, `/`, `%`, shifts, comparisons)
+//!   implemented via schoolbook multiplication and Knuth Algorithm D
+//!   division.
+//! * Modular arithmetic ([`BigUint::modpow`], [`BigUint::modinv`],
+//!   [`BigUint::gcd`], [`BigUint::jacobi`]) used by the crypto layer.
+//! * Probabilistic primality testing and random prime generation
+//!   ([`BigUint::is_probable_prime`], [`gen_prime`], [`gen_safe_prime`]).
+//!
+//! # Example
+//!
+//! ```
+//! use dosn_bigint::BigUint;
+//!
+//! let p = BigUint::from(101u64);
+//! let g = BigUint::from(2u64);
+//! let x = BigUint::from(17u64);
+//! let y = g.modpow(&x, &p);
+//! assert_eq!(y, BigUint::from(75u64));
+//! // modular inverse: g * g^{-1} == 1 (mod p)
+//! let inv = g.modinv(&p).expect("101 is prime so 2 is invertible");
+//! assert_eq!((&g * &inv) % &p, BigUint::from(1u64));
+//! ```
+
+mod arith;
+mod barrett;
+mod modular;
+mod prime;
+mod uint;
+
+pub use barrett::BarrettReducer;
+pub use prime::{gen_prime, gen_safe_prime, random_below, SMALL_PRIMES};
+pub use uint::{BigUint, ParseBigUintError};

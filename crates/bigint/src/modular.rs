@@ -1,0 +1,374 @@
+//! Modular arithmetic: exponentiation, inverse, GCD, and the Jacobi symbol.
+
+use crate::BigUint;
+use std::cmp::Ordering;
+
+/// Minimal signed big integer used internally by the extended Euclid loop.
+#[derive(Clone, Debug)]
+struct SignedBig {
+    negative: bool,
+    magnitude: BigUint,
+}
+
+impl SignedBig {
+    fn from_uint(magnitude: BigUint) -> Self {
+        SignedBig {
+            negative: false,
+            magnitude,
+        }
+    }
+
+    fn sub(&self, other: &SignedBig) -> SignedBig {
+        if self.negative != other.negative {
+            // a - (-b) = a + b (keeping self's sign)
+            return SignedBig {
+                negative: self.negative,
+                magnitude: &self.magnitude + &other.magnitude,
+            };
+        }
+        match self.magnitude.cmp(&other.magnitude) {
+            Ordering::Less => SignedBig {
+                negative: !self.negative,
+                magnitude: &other.magnitude - &self.magnitude,
+            },
+            _ => SignedBig {
+                negative: self.negative && !self.magnitude.is_zero(),
+                magnitude: &self.magnitude - &other.magnitude,
+            },
+        }
+    }
+
+    fn mul_uint(&self, other: &BigUint) -> SignedBig {
+        SignedBig {
+            negative: self.negative,
+            magnitude: &self.magnitude * other,
+        }
+    }
+
+    /// Reduces into `[0, m)`.
+    fn rem_euclid(&self, m: &BigUint) -> BigUint {
+        let r = &self.magnitude % m;
+        if self.negative && !r.is_zero() {
+            m - &r
+        } else {
+            r
+        }
+    }
+}
+
+impl BigUint {
+    /// Modular exponentiation: `self^exponent mod modulus` via left-to-right
+    /// square-and-multiply.
+    ///
+    /// ```
+    /// use dosn_bigint::BigUint;
+    /// let r = BigUint::from(4u64).modpow(&BigUint::from(13u64), &BigUint::from(497u64));
+    /// assert_eq!(r, BigUint::from(445u64));
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is zero.
+    pub fn modpow(&self, exponent: &BigUint, modulus: &BigUint) -> BigUint {
+        assert!(!modulus.is_zero(), "modpow with zero modulus");
+        // Barrett reduction amortizes a precomputed reciprocal, but its
+        // un-truncated µ-multiply costs ~2 schoolbook products per step,
+        // while Knuth division costs ~1 plus branching overhead. Measured
+        // crossover (E9): Barrett wins up to ~1024-bit moduli, division
+        // wins beyond.
+        let limbs = modulus.limbs().len();
+        if (2..=16).contains(&limbs) && exponent.bits() > 4 {
+            return crate::barrett::BarrettReducer::new(modulus).pow(self, exponent);
+        }
+        self.modpow_plain(exponent, modulus)
+    }
+
+    /// Plain square-and-multiply with division-based reduction (the E9
+    /// ablation baseline for [`BigUint::modpow`]).
+    pub fn modpow_plain(&self, exponent: &BigUint, modulus: &BigUint) -> BigUint {
+        assert!(!modulus.is_zero(), "modpow with zero modulus");
+        if modulus.is_one() {
+            return BigUint::zero();
+        }
+        let mut result = BigUint::one();
+        let base = self % modulus;
+        if exponent.is_zero() {
+            return result;
+        }
+        let nbits = exponent.bits();
+        for i in (0..nbits).rev() {
+            result = &(&result * &result) % modulus;
+            if exponent.bit(i) {
+                result = &(&result * &base) % modulus;
+            }
+        }
+        result
+    }
+
+    /// Greatest common divisor (Euclid's algorithm).
+    ///
+    /// ```
+    /// use dosn_bigint::BigUint;
+    /// assert_eq!(BigUint::from(48u64).gcd(&BigUint::from(18u64)), BigUint::from(6u64));
+    /// ```
+    pub fn gcd(&self, other: &BigUint) -> BigUint {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        while !b.is_zero() {
+            let r = &a % &b;
+            a = b;
+            b = r;
+        }
+        a
+    }
+
+    /// Modular multiplicative inverse: finds `x` with `self * x == 1 (mod m)`.
+    ///
+    /// Returns `None` when `gcd(self, m) != 1` (no inverse exists).
+    ///
+    /// ```
+    /// use dosn_bigint::BigUint;
+    /// let inv = BigUint::from(3u64).modinv(&BigUint::from(11u64)).unwrap();
+    /// assert_eq!(inv, BigUint::from(4u64));
+    /// assert!(BigUint::from(6u64).modinv(&BigUint::from(9u64)).is_none());
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero or one.
+    pub fn modinv(&self, m: &BigUint) -> Option<BigUint> {
+        assert!(
+            !m.is_zero() && !m.is_one(),
+            "modinv modulus must be at least 2"
+        );
+        // Extended Euclid on (m, self mod m) tracking only the Bezout
+        // coefficient of self.
+        let mut old_r = m.clone();
+        let mut r = self % m;
+        let mut old_s = SignedBig::from_uint(BigUint::zero());
+        let mut s = SignedBig::from_uint(BigUint::one());
+        while !r.is_zero() {
+            let (q, rem) = old_r.div_rem(&r);
+            let new_s = old_s.sub(&s.mul_uint(&q));
+            old_r = std::mem::replace(&mut r, rem);
+            old_s = std::mem::replace(&mut s, new_s);
+        }
+        if !old_r.is_one() {
+            return None;
+        }
+        Some(old_s.rem_euclid(m))
+    }
+
+    /// The Jacobi symbol `(self / n)` for odd `n > 0`.
+    ///
+    /// Returns `1`, `-1`, or `0` (when `gcd(self, n) != 1`). Used by the
+    /// Cocks identity-based encryption scheme in `dosn-crypto`.
+    ///
+    /// ```
+    /// use dosn_bigint::BigUint;
+    /// // 2 is a QR mod 7 (3^2 = 2), so (2/7) = 1.
+    /// assert_eq!(BigUint::from(2u64).jacobi(&BigUint::from(7u64)), 1);
+    /// assert_eq!(BigUint::from(3u64).jacobi(&BigUint::from(7u64)), -1);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is even or zero.
+    pub fn jacobi(&self, n: &BigUint) -> i32 {
+        assert!(n.is_odd() && !n.is_zero(), "jacobi requires odd n > 0");
+        let mut a = self % n;
+        let mut n = n.clone();
+        let mut t = 1i32;
+        while !a.is_zero() {
+            while a.is_even() {
+                a = &a >> 1;
+                let n_mod8 = n.low_u64() & 7;
+                if n_mod8 == 3 || n_mod8 == 5 {
+                    t = -t;
+                }
+            }
+            std::mem::swap(&mut a, &mut n);
+            if a.low_u64() & 3 == 3 && n.low_u64() & 3 == 3 {
+                t = -t;
+            }
+            a = &a % &n;
+        }
+        if n.is_one() {
+            t
+        } else {
+            0
+        }
+    }
+
+    /// Modular multiplication convenience: `(self * other) mod m`.
+    pub fn mulmod(&self, other: &BigUint, m: &BigUint) -> BigUint {
+        &(self * other) % m
+    }
+
+    /// Modular addition convenience: `(self + other) mod m`.
+    pub fn addmod(&self, other: &BigUint, m: &BigUint) -> BigUint {
+        &(self + other) % m
+    }
+
+    /// Modular subtraction convenience: `(self - other) mod m`, wrapping.
+    pub fn submod(&self, other: &BigUint, m: &BigUint) -> BigUint {
+        let a = self % m;
+        let b = other % m;
+        if a >= b {
+            &a - &b
+        } else {
+            &(&a + m) - &b
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::BigUint;
+    use proptest::prelude::*;
+
+    fn b(v: u128) -> BigUint {
+        BigUint::from(v)
+    }
+
+    #[test]
+    fn modpow_edge_cases() {
+        assert_eq!(b(5).modpow(&b(0), &b(7)), BigUint::one());
+        assert_eq!(b(5).modpow(&b(1), &b(7)), b(5));
+        assert_eq!(b(5).modpow(&b(100), &BigUint::one()), BigUint::zero());
+        assert_eq!(b(0).modpow(&b(5), &b(7)), BigUint::zero());
+    }
+
+    #[test]
+    fn modpow_fermat_little() {
+        // a^(p-1) = 1 mod p for prime p, gcd(a,p)=1.
+        let p = b(1_000_000_007);
+        for a in [2u128, 3, 65537, 999_999_999] {
+            assert_eq!(b(a).modpow(&(&p - &BigUint::one()), &p), BigUint::one());
+        }
+    }
+
+    #[test]
+    fn modpow_large_modulus() {
+        // 2^(2^100) mod (2^127 - 1): verify against identity
+        // 2^k mod (2^127-1) = 2^(k mod 127).
+        let m = (BigUint::one() << 127) - BigUint::one();
+        let e = BigUint::one() << 100;
+        // 2^100 mod 127 = 2^100 mod 127; 100 mod 127 = 100... exponent is
+        // 2^100, and 2^100 mod 127: ord(2) mod 127 = 7, 100 mod 7 = 2 -> 4.
+        let expect = b(2).modpow(&b(4), &m);
+        assert_eq!(b(2).modpow(&e, &m), expect);
+    }
+
+    #[test]
+    fn modinv_known_values() {
+        assert_eq!(b(3).modinv(&b(11)).unwrap(), b(4));
+        assert_eq!(b(10).modinv(&b(17)).unwrap(), b(12));
+        assert!(b(4).modinv(&b(8)).is_none());
+        assert!(b(0).modinv(&b(7)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn modinv_modulus_one_panics() {
+        let _ = b(3).modinv(&BigUint::one());
+    }
+
+    #[test]
+    fn gcd_known() {
+        assert_eq!(b(48).gcd(&b(18)), b(6));
+        assert_eq!(b(0).gcd(&b(5)), b(5));
+        assert_eq!(b(5).gcd(&b(0)), b(5));
+        assert_eq!(b(17).gcd(&b(13)), BigUint::one());
+    }
+
+    #[test]
+    fn jacobi_small_table() {
+        // Known table of (a/15).
+        let n = b(15);
+        let expect = [
+            (1u128, 1),
+            (2, 1),
+            (3, 0),
+            (4, 1),
+            (5, 0),
+            (6, 0),
+            (7, -1),
+            (8, 1),
+            (11, -1),
+            (13, -1),
+            (14, -1),
+        ];
+        for (a, j) in expect {
+            assert_eq!(b(a).jacobi(&n), j, "jacobi({a}/15)");
+        }
+    }
+
+    #[test]
+    fn jacobi_euler_criterion_on_prime() {
+        // For odd prime p, (a/p) == a^((p-1)/2) mod p mapped to {0,1,-1}.
+        let p = 1_000_003u128;
+        let bp = b(p);
+        let exp = b((p - 1) / 2);
+        for a in [2u128, 3, 5, 10, 999_999, 123_456] {
+            let pow = b(a).modpow(&exp, &bp);
+            let expect = if pow.is_one() {
+                1
+            } else if pow.is_zero() {
+                0
+            } else {
+                -1
+            };
+            assert_eq!(b(a).jacobi(&bp), expect, "a={a}");
+        }
+    }
+
+    #[test]
+    fn submod_wraps() {
+        assert_eq!(b(3).submod(&b(5), &b(7)), b(5));
+        assert_eq!(b(5).submod(&b(3), &b(7)), b(2));
+        assert_eq!(b(5).submod(&b(5), &b(7)), BigUint::zero());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_modpow_matches_naive(base in 0u64..1000, exp in 0u64..40, m in 2u64..10_000) {
+            let mut expect = 1u128;
+            for _ in 0..exp {
+                expect = expect * u128::from(base) % u128::from(m);
+            }
+            prop_assert_eq!(
+                b(u128::from(base)).modpow(&b(u128::from(exp)), &b(u128::from(m))),
+                b(expect)
+            );
+        }
+
+        #[test]
+        fn prop_modinv_is_inverse(a in 1u64.., m in 2u64..) {
+            let ba = b(u128::from(a));
+            let bm = b(u128::from(m));
+            if let Some(inv) = ba.modinv(&bm) {
+                prop_assert_eq!(ba.mulmod(&inv, &bm), BigUint::one());
+                prop_assert!(inv < bm);
+            } else {
+                prop_assert!(!ba.gcd(&bm).is_one());
+            }
+        }
+
+        #[test]
+        fn prop_gcd_divides_both(a in 1u128.., c in 1u128..) {
+            let g = b(a).gcd(&b(c));
+            prop_assert_eq!(&b(a) % &g, BigUint::zero());
+            prop_assert_eq!(&b(c) % &g, BigUint::zero());
+        }
+
+        #[test]
+        fn prop_jacobi_multiplicative(a in 0u64..50_000, c in 0u64..50_000, n in 1u64..25_000) {
+            let n = b(u128::from(2 * n + 1)); // odd
+            let ja = b(u128::from(a)).jacobi(&n);
+            let jc = b(u128::from(c)).jacobi(&n);
+            let jac = b(u128::from(a) * u128::from(c)).jacobi(&n);
+            prop_assert_eq!(jac, ja * jc);
+        }
+    }
+}

@@ -1,0 +1,294 @@
+//! Probabilistic primality testing and random prime generation.
+
+use crate::BigUint;
+use rand::RngCore;
+
+/// The primes below 1000, used for fast trial division before Miller–Rabin.
+pub const SMALL_PRIMES: &[u64] = &[
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
+    101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193,
+    197, 199, 211, 223, 227, 229, 233, 239, 241, 251, 257, 263, 269, 271, 277, 281, 283, 293, 307,
+    311, 313, 317, 331, 337, 347, 349, 353, 359, 367, 373, 379, 383, 389, 397, 401, 409, 419, 421,
+    431, 433, 439, 443, 449, 457, 461, 463, 467, 479, 487, 491, 499, 503, 509, 521, 523, 541, 547,
+    557, 563, 569, 571, 577, 587, 593, 599, 601, 607, 613, 617, 619, 631, 641, 643, 647, 653, 659,
+    661, 673, 677, 683, 691, 701, 709, 719, 727, 733, 739, 743, 751, 757, 761, 769, 773, 787, 797,
+    809, 811, 821, 823, 827, 829, 839, 853, 857, 859, 863, 877, 881, 883, 887, 907, 911, 919, 929,
+    937, 941, 947, 953, 967, 971, 977, 983, 991, 997,
+];
+
+impl BigUint {
+    /// Miller–Rabin probabilistic primality test with `rounds` random bases
+    /// (on top of deterministic small-prime trial division).
+    ///
+    /// A composite passes with probability at most `4^-rounds`; 32 rounds is
+    /// ample for the key sizes used in this workspace.
+    ///
+    /// ```
+    /// use dosn_bigint::BigUint;
+    /// let mut rng = rand::rng();
+    /// assert!(BigUint::from(65537u64).is_probable_prime(16, &mut rng));
+    /// assert!(!BigUint::from(65536u64).is_probable_prime(16, &mut rng));
+    /// ```
+    pub fn is_probable_prime<R: RngCore + ?Sized>(&self, rounds: u32, rng: &mut R) -> bool {
+        if self.is_zero() || self.is_one() {
+            return false;
+        }
+        for &p in SMALL_PRIMES {
+            let bp = BigUint::from(p);
+            if *self == bp {
+                return true;
+            }
+            if (self % &bp).is_zero() {
+                return false;
+            }
+        }
+        // Write self - 1 = d * 2^s with d odd.
+        let n_minus_1 = self - &BigUint::one();
+        let s = trailing_zeros(&n_minus_1);
+        let d = &n_minus_1 >> s;
+
+        'witness: for _ in 0..rounds {
+            let a = random_in_range(rng, &BigUint::two(), &n_minus_1);
+            let mut x = a.modpow(&d, self);
+            if x.is_one() || x == n_minus_1 {
+                continue 'witness;
+            }
+            for _ in 0..s.saturating_sub(1) {
+                x = x.mulmod(&x, self);
+                if x == n_minus_1 {
+                    continue 'witness;
+                }
+            }
+            return false;
+        }
+        true
+    }
+}
+
+fn trailing_zeros(v: &BigUint) -> u64 {
+    debug_assert!(!v.is_zero());
+    let mut count = 0u64;
+    for &limb in v.limbs() {
+        if limb == 0 {
+            count += 64;
+        } else {
+            count += u64::from(limb.trailing_zeros());
+            break;
+        }
+    }
+    count
+}
+
+/// Returns a uniformly random value in `[0, bound)` via rejection sampling.
+///
+/// # Panics
+///
+/// Panics if `bound` is zero.
+///
+/// ```
+/// use dosn_bigint::{random_below, BigUint};
+/// let mut rng = rand::rng();
+/// let bound = BigUint::from(1000u64);
+/// assert!(random_below(&bound, &mut rng) < bound);
+/// ```
+pub fn random_below<R: RngCore + ?Sized>(bound: &BigUint, rng: &mut R) -> BigUint {
+    random_in_range(rng, &BigUint::zero(), bound)
+}
+
+/// Returns a uniformly random value in `[low, high)`.
+///
+/// # Panics
+///
+/// Panics if `low >= high`.
+pub(crate) fn random_in_range<R: RngCore + ?Sized>(
+    rng: &mut R,
+    low: &BigUint,
+    high: &BigUint,
+) -> BigUint {
+    assert!(low < high, "empty range");
+    let span = high - low;
+    let bits = span.bits();
+    let bytes = bits.div_ceil(8) as usize;
+    let top_mask = if bits.is_multiple_of(8) {
+        0xff
+    } else {
+        (1u8 << (bits % 8)) - 1
+    };
+    // Rejection sampling keeps the distribution uniform.
+    loop {
+        let mut buf = vec![0u8; bytes];
+        rng.fill_bytes(&mut buf);
+        buf[0] &= top_mask;
+        let candidate = BigUint::from_bytes_be(&buf);
+        if candidate < span {
+            return low + &candidate;
+        }
+    }
+}
+
+/// Generates a random probable prime with exactly `bits` bits.
+///
+/// The top two bits are forced to `1` (guaranteeing the bit length and that
+/// products of two such primes reach `2 * bits` bits) and the value is odd.
+///
+/// ```
+/// use dosn_bigint::gen_prime;
+/// let mut rng = rand::rng();
+/// let p = gen_prime(64, &mut rng);
+/// assert_eq!(p.bits(), 64);
+/// assert!(p.is_probable_prime(16, &mut rng));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `bits < 8`.
+pub fn gen_prime<R: RngCore + ?Sized>(bits: u64, rng: &mut R) -> BigUint {
+    assert!(bits >= 8, "prime size must be at least 8 bits");
+    loop {
+        let candidate = random_prime_candidate(bits, rng);
+        if candidate.is_probable_prime(32, rng) {
+            return candidate;
+        }
+    }
+}
+
+/// Generates a random *safe* prime `p` (one where `(p-1)/2` is also prime)
+/// with exactly `bits` bits. Safe primes back the Schnorr groups used for
+/// ElGamal, signatures, the OPRF, and ZK proofs in `dosn-crypto`.
+///
+/// # Panics
+///
+/// Panics if `bits < 8`.
+///
+/// Note: safe primes are sparse; generation at 512+ bits can take seconds.
+/// The crypto crate ships precomputed groups for those sizes.
+pub fn gen_safe_prime<R: RngCore + ?Sized>(bits: u64, rng: &mut R) -> BigUint {
+    assert!(bits >= 8, "prime size must be at least 8 bits");
+    loop {
+        let q = gen_prime(bits - 1, rng);
+        let p = &(&q << 1) + &BigUint::one();
+        if p.bits() == bits && p.is_probable_prime(32, rng) {
+            return p;
+        }
+    }
+}
+
+fn random_prime_candidate<R: RngCore + ?Sized>(bits: u64, rng: &mut R) -> BigUint {
+    let bytes = bits.div_ceil(8) as usize;
+    let mut buf = vec![0u8; bytes];
+    rng.fill_bytes(&mut buf);
+    // Clear excess high bits, then force the top two bits and the low bit.
+    let excess = (bytes as u64) * 8 - bits;
+    buf[0] &= 0xffu8 >> excess;
+    let top_bit = 7 - excess % 8;
+    buf[0] |= 1 << top_bit;
+    if top_bit == 0 {
+        buf[1] |= 0x80;
+    } else {
+        buf[0] |= 1 << (top_bit - 1);
+    }
+    let last = buf.len() - 1;
+    buf[last] |= 1;
+    BigUint::from_bytes_be(&buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn small_primes_detected() {
+        let mut r = rng();
+        for &p in SMALL_PRIMES {
+            assert!(
+                BigUint::from(p).is_probable_prime(8, &mut r),
+                "{p} should be prime"
+            );
+        }
+    }
+
+    #[test]
+    fn small_composites_rejected() {
+        let mut r = rng();
+        for c in [0u64, 1, 4, 6, 9, 15, 21, 25, 27, 33, 1001, 1003] {
+            assert!(
+                !BigUint::from(c).is_probable_prime(8, &mut r),
+                "{c} should be composite"
+            );
+        }
+    }
+
+    #[test]
+    fn carmichael_numbers_rejected() {
+        // Carmichael numbers fool Fermat but not Miller-Rabin.
+        let mut r = rng();
+        for c in [561u64, 1105, 1729, 2465, 2821, 6601, 8911, 41041, 825265] {
+            assert!(
+                !BigUint::from(c).is_probable_prime(16, &mut r),
+                "{c} is a Carmichael number"
+            );
+        }
+    }
+
+    #[test]
+    fn known_large_primes() {
+        let mut r = rng();
+        // 2^89 - 1 and 2^107 - 1 are Mersenne primes.
+        for e in [89u64, 107] {
+            let m = (BigUint::one() << e) - BigUint::one();
+            assert!(m.is_probable_prime(16, &mut r), "2^{e}-1 is prime");
+        }
+        // 2^67 - 1 is famously composite (Cole, 1903).
+        let m67 = (BigUint::one() << 67) - BigUint::one();
+        assert!(!m67.is_probable_prime(16, &mut r));
+    }
+
+    #[test]
+    fn gen_prime_has_exact_bits() {
+        let mut r = rng();
+        for bits in [16u64, 33, 64, 128] {
+            let p = gen_prime(bits, &mut r);
+            assert_eq!(p.bits(), bits);
+            assert!(p.is_odd());
+            assert!(p.is_probable_prime(16, &mut r));
+        }
+    }
+
+    #[test]
+    fn gen_safe_prime_structure() {
+        let mut r = rng();
+        let p = gen_safe_prime(48, &mut r);
+        assert_eq!(p.bits(), 48);
+        let q = &(&p - &BigUint::one()) >> 1;
+        assert!(q.is_probable_prime(16, &mut r), "(p-1)/2 must be prime");
+    }
+
+    #[test]
+    fn random_in_range_bounds() {
+        let mut r = rng();
+        let low = BigUint::from(100u64);
+        let high = BigUint::from(110u64);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..500 {
+            let v = random_in_range(&mut r, &low, &high);
+            assert!(v >= low && v < high);
+            seen.insert(v.low_u64());
+        }
+        // All 10 values should appear over 500 draws.
+        assert_eq!(seen.len(), 10);
+    }
+
+    #[test]
+    fn product_of_two_primes_is_composite() {
+        let mut r = rng();
+        let p = gen_prime(32, &mut r);
+        let q = gen_prime(32, &mut r);
+        assert!(!(&p * &q).is_probable_prime(16, &mut r));
+    }
+}

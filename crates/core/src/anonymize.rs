@@ -1,0 +1,313 @@
+//! Social-graph anonymization and de-anonymization (survey §VI).
+//!
+//! "OSN providers publish their data for … research … There should be an
+//! 'anonymized' way that let\[s\] the OSN providers publish these data sets
+//! … Obtaining the anonymized data, one can reverse the anonymization
+//! process and identif\[y\] the corresponding nodes (which is known as
+//! de-anonymization)." Both sides are implemented:
+//!
+//! * [`anonymize`] — naive identifier-stripping plus **k-degree
+//!   anonymity** (every degree value is shared by ≥ k nodes, achieved by
+//!   adding padding edges);
+//! * [`DeanonymizationAttack`] — the standard seed-and-propagate attack
+//!   (Narayanan–Shmatikov style): given a few known seed mappings and an
+//!   auxiliary copy of the graph, iteratively match neighbors by degree and
+//!   already-mapped adjacency, re-identifying "anonymized" nodes.
+//!
+//! The test suite demonstrates the survey's implicit claim: naive
+//! anonymization falls to the attack, and degree padding reduces (but does
+//! not eliminate) re-identification.
+
+use crate::graph::SocialGraph;
+use crate::identity::UserId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The published artifact: pseudonymous ids with edges.
+#[derive(Debug, Clone)]
+pub struct AnonymizedGraph {
+    /// Pseudonym adjacency (symmetric).
+    pub edges: BTreeMap<u64, BTreeSet<u64>>,
+    /// The secret mapping real → pseudonym (kept by the publisher; the
+    /// attacker never sees it — tests use it as ground truth).
+    pub ground_truth: BTreeMap<UserId, u64>,
+}
+
+impl AnonymizedGraph {
+    /// Degree of a pseudonymous node.
+    pub fn degree(&self, node: u64) -> usize {
+        self.edges.get(&node).map_or(0, BTreeSet::len)
+    }
+
+    /// Whether every degree value is shared by at least `k` nodes.
+    pub fn is_k_degree_anonymous(&self, k: usize) -> bool {
+        let mut by_degree: BTreeMap<usize, usize> = BTreeMap::new();
+        for node in self.edges.keys() {
+            *by_degree.entry(self.degree(*node)).or_insert(0) += 1;
+        }
+        by_degree.values().all(|&count| count >= k)
+    }
+}
+
+/// Anonymizes `graph`: strips identifiers to random pseudonyms and, when
+/// `k > 1`, pads edges until the degree sequence is k-anonymous.
+pub fn anonymize(graph: &SocialGraph, k: usize, seed: u64) -> AnonymizedGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let users = graph.users();
+    // Random pseudonym assignment.
+    let mut pseudonyms: Vec<u64> = Vec::new();
+    let mut used = BTreeSet::new();
+    while pseudonyms.len() < users.len() {
+        let p = rng.random::<u64>();
+        if used.insert(p) {
+            pseudonyms.push(p);
+        }
+    }
+    let mut order: Vec<usize> = (0..users.len()).collect();
+    // Shuffle the assignment so pseudonym order leaks nothing.
+    for i in (1..order.len()).rev() {
+        order.swap(i, rng.random_range(0..=i));
+    }
+    let ground_truth: BTreeMap<UserId, u64> = users
+        .iter()
+        .enumerate()
+        .map(|(i, u)| (u.clone(), pseudonyms[order[i]]))
+        .collect();
+    let mut edges: BTreeMap<u64, BTreeSet<u64>> = ground_truth
+        .values()
+        .map(|&p| (p, BTreeSet::new()))
+        .collect();
+    for u in &users {
+        for f in graph.friends(u) {
+            let (a, b) = (ground_truth[u], ground_truth[&f]);
+            edges.get_mut(&a).expect("node").insert(b);
+            edges.get_mut(&b).expect("node").insert(a);
+        }
+    }
+    let mut out = AnonymizedGraph {
+        edges,
+        ground_truth,
+    };
+    if k > 1 {
+        pad_to_k_degree(&mut out, k, &mut rng);
+    }
+    out
+}
+
+/// Adds edges until every degree class holds ≥ k nodes (greedy: lift the
+/// rarest degrees by connecting their nodes to random non-neighbors).
+fn pad_to_k_degree(graph: &mut AnonymizedGraph, k: usize, rng: &mut StdRng) {
+    let nodes: Vec<u64> = graph.edges.keys().copied().collect();
+    if nodes.len() < 2 {
+        return;
+    }
+    for _ in 0..nodes.len() * 4 {
+        if graph.is_k_degree_anonymous(k) {
+            return;
+        }
+        // Find a degree class smaller than k and lift one of its nodes.
+        let mut by_degree: BTreeMap<usize, Vec<u64>> = BTreeMap::new();
+        for &n in &nodes {
+            by_degree.entry(graph.degree(n)).or_default().push(n);
+        }
+        let Some((_, members)) = by_degree.iter().find(|(_, m)| m.len() < k) else {
+            return;
+        };
+        let node = members[0];
+        // Connect to a random non-neighbor.
+        for _ in 0..nodes.len() {
+            let other = nodes[rng.random_range(0..nodes.len())];
+            if other != node && !graph.edges[&node].contains(&other) {
+                graph.edges.get_mut(&node).expect("node").insert(other);
+                graph.edges.get_mut(&other).expect("node").insert(node);
+                break;
+            }
+        }
+    }
+}
+
+/// The seed-and-propagate de-anonymization attack.
+#[derive(Debug)]
+pub struct DeanonymizationAttack {
+    /// Auxiliary knowledge: the attacker's own copy of the social graph
+    /// (e.g. crawled from another OSN — the survey's network-inference
+    /// threat).
+    pub auxiliary: SocialGraph,
+    /// Known seed mappings (real user → pseudonym).
+    pub seeds: BTreeMap<UserId, u64>,
+}
+
+impl DeanonymizationAttack {
+    /// Runs propagation: repeatedly match an unmapped auxiliary user to an
+    /// unmapped pseudonym when they agree on (degree, mapped-neighbor set)
+    /// uniquely. Returns the recovered mapping (including seeds).
+    pub fn run(&self, published: &AnonymizedGraph) -> BTreeMap<UserId, u64> {
+        let mut mapping = self.seeds.clone();
+        let mut mapped_pseudos: BTreeSet<u64> = mapping.values().copied().collect();
+        loop {
+            let mut progress = false;
+            for user in self.auxiliary.users() {
+                if mapping.contains_key(&user) {
+                    continue;
+                }
+                // Signature: the set of already-mapped neighbors.
+                let mapped_neighbors: BTreeSet<u64> = self
+                    .auxiliary
+                    .friends(&user)
+                    .iter()
+                    .filter_map(|f| mapping.get(f).copied())
+                    .collect();
+                if mapped_neighbors.is_empty() {
+                    continue;
+                }
+                // Candidate pseudonyms adjacent to ALL mapped neighbors,
+                // with matching degree.
+                let degree = self.auxiliary.friends(&user).len();
+                let candidates: Vec<u64> = published
+                    .edges
+                    .keys()
+                    .copied()
+                    .filter(|p| !mapped_pseudos.contains(p))
+                    .filter(|p| published.degree(*p) == degree)
+                    .filter(|p| {
+                        mapped_neighbors
+                            .iter()
+                            .all(|mn| published.edges[p].contains(mn))
+                    })
+                    .collect();
+                if candidates.len() == 1 {
+                    mapping.insert(user.clone(), candidates[0]);
+                    mapped_pseudos.insert(candidates[0]);
+                    progress = true;
+                }
+            }
+            if !progress {
+                break;
+            }
+        }
+        mapping
+    }
+
+    /// Fraction of non-seed users correctly re-identified.
+    pub fn accuracy(&self, published: &AnonymizedGraph, recovered: &BTreeMap<UserId, u64>) -> f64 {
+        let non_seed: Vec<&UserId> = published
+            .ground_truth
+            .keys()
+            .filter(|u| !self.seeds.contains_key(*u))
+            .collect();
+        if non_seed.is_empty() {
+            return 0.0;
+        }
+        let correct = non_seed
+            .iter()
+            .filter(|u| recovered.get(**u) == published.ground_truth.get(**u))
+            .count();
+        correct as f64 / non_seed.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::generators;
+
+    fn graph() -> SocialGraph {
+        generators::preferential_attachment(120, 2, 51)
+    }
+
+    fn seeds(g: &SocialGraph, published: &AnonymizedGraph, n: usize) -> BTreeMap<UserId, u64> {
+        // Seed with the highest-degree users (easiest auxiliary knowledge).
+        let mut users = g.users();
+        users.sort_by_key(|u| std::cmp::Reverse(g.friends(u).len()));
+        users
+            .into_iter()
+            .take(n)
+            .map(|u| {
+                let p = published.ground_truth[&u];
+                (u, p)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn anonymization_strips_identifiers_and_preserves_structure() {
+        let g = graph();
+        let published = anonymize(&g, 1, 9);
+        assert_eq!(published.edges.len(), g.len());
+        // Edge counts match.
+        let orig_edges: usize = g.users().iter().map(|u| g.friends(u).len()).sum();
+        let anon_edges: usize = published.edges.values().map(BTreeSet::len).sum();
+        assert_eq!(orig_edges, anon_edges);
+    }
+
+    #[test]
+    fn naive_anonymization_falls_to_seed_attack() {
+        let g = graph();
+        let published = anonymize(&g, 1, 10);
+        let attack = DeanonymizationAttack {
+            auxiliary: g.clone(),
+            seeds: seeds(&g, &published, 5),
+        };
+        let recovered = attack.run(&published);
+        let acc = attack.accuracy(&published, &recovered);
+        assert!(
+            acc > 0.5,
+            "seed attack should re-identify most of a naive release, got {acc:.2}"
+        );
+    }
+
+    #[test]
+    fn k_degree_padding_achieves_anonymity_and_reduces_attack() {
+        let g = graph();
+        let naive = anonymize(&g, 1, 11);
+        let padded = anonymize(&g, 4, 11);
+        assert!(padded.is_k_degree_anonymous(4));
+        let attack = |published: &AnonymizedGraph| {
+            let a = DeanonymizationAttack {
+                auxiliary: g.clone(),
+                seeds: seeds(&g, published, 5),
+            };
+            let r = a.run(published);
+            a.accuracy(published, &r)
+        };
+        let acc_naive = attack(&naive);
+        let acc_padded = attack(&padded);
+        assert!(
+            acc_padded <= acc_naive,
+            "padding must not help the attacker ({acc_naive:.2} -> {acc_padded:.2})"
+        );
+    }
+
+    #[test]
+    fn attack_without_seeds_recovers_nothing() {
+        let g = graph();
+        let published = anonymize(&g, 1, 12);
+        let attack = DeanonymizationAttack {
+            auxiliary: g.clone(),
+            seeds: BTreeMap::new(),
+        };
+        let recovered = attack.run(&published);
+        assert!(recovered.is_empty());
+        assert_eq!(attack.accuracy(&published, &recovered), 0.0);
+    }
+
+    #[test]
+    fn pseudonyms_are_unlinkable_to_names() {
+        let g = graph();
+        let p1 = anonymize(&g, 1, 13);
+        let p2 = anonymize(&g, 1, 14);
+        // Different seeds -> different pseudonym assignments.
+        let u = UserId::from("user0");
+        assert_ne!(p1.ground_truth[&u], p2.ground_truth[&u]);
+    }
+
+    #[test]
+    fn k_anonymity_check_logic() {
+        let g = graph();
+        let naive = anonymize(&g, 1, 15);
+        // A preferential-attachment graph has unique hub degrees: not even
+        // 2-anonymous without padding.
+        assert!(!naive.is_k_degree_anonymous(2));
+    }
+}

@@ -1,0 +1,316 @@
+//! Signed envelopes: owner, content, relation, and freshness integrity
+//! (survey §IV, §IV-A).
+//!
+//! The survey's running example: Alice receives "Come to my party held at
+//! my home on Friday" and must decide (a) is it really from Bob, (b) is the
+//! content unmodified, (c) is it still valid / properly ordered, and (d) was
+//! it issued *to her*. A [`SignedEnvelope`] answers all four: the author
+//! signs `H(author ‖ recipient ‖ sequence ‖ timestamps ‖ body)` (hash-then-
+//! sign, exactly as §IV describes), and verification checks signature,
+//! claimed author against the [`KeyDirectory`], recipient binding, and
+//! expiry.
+
+use crate::error::DosnError;
+use crate::identity::{Identity, UserId};
+use dosn_crypto::chacha::SecureRng;
+use dosn_crypto::keys::KeyDirectory;
+use dosn_crypto::schnorr::Signature;
+use dosn_crypto::sha256::Sha256;
+
+/// A signed, optionally recipient-bound, optionally expiring message.
+///
+/// ```
+/// use dosn_core::integrity::SignedEnvelope;
+/// use dosn_core::identity::Identity;
+/// use dosn_crypto::{group::SchnorrGroup, chacha::SecureRng, keys::KeyDirectory};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut rng = SecureRng::seed_from_u64(70);
+/// let directory = KeyDirectory::new();
+/// let bob = Identity::create("bob", SchnorrGroup::toy(), &directory, &mut rng);
+///
+/// let invite = SignedEnvelope::seal(
+///     &bob, Some("alice".into()), 1, 100, Some(200),
+///     b"Come to my party held at my home on Friday", &mut rng);
+///
+/// // Alice verifies owner, content, relation, and freshness in one call.
+/// invite.verify(&directory, Some(&"alice".into()), 150)?;
+/// // Carol cannot accept an invitation issued for Alice (§IV relations).
+/// assert!(invite.verify(&directory, Some(&"carol".into()), 150).is_err());
+/// // And by Saturday it has expired (§IV history).
+/// assert!(invite.verify(&directory, Some(&"alice".into()), 250).is_err());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SignedEnvelope {
+    /// Claimed author.
+    pub author: UserId,
+    /// Intended recipient (`None` = broadcast).
+    pub recipient: Option<UserId>,
+    /// Author-local sequence number.
+    pub sequence: u64,
+    /// Logical issue time.
+    pub issued_at: u64,
+    /// Logical expiry (`None` = never).
+    pub expires_at: Option<u64>,
+    /// The message body.
+    pub body: Vec<u8>,
+    signature: Signature,
+}
+
+impl SignedEnvelope {
+    /// Signs a message as `author`.
+    pub fn seal(
+        author: &Identity,
+        recipient: Option<UserId>,
+        sequence: u64,
+        issued_at: u64,
+        expires_at: Option<u64>,
+        body: &[u8],
+        rng: &mut SecureRng,
+    ) -> Self {
+        let digest = Self::digest(
+            author.id(),
+            recipient.as_ref(),
+            sequence,
+            issued_at,
+            expires_at,
+            body,
+        );
+        SignedEnvelope {
+            author: author.id().clone(),
+            recipient,
+            sequence,
+            issued_at,
+            expires_at,
+            body: body.to_vec(),
+            signature: author.signing().sign(&digest, rng),
+        }
+    }
+
+    /// Verifies all four §IV aspects.
+    ///
+    /// # Errors
+    ///
+    /// * [`DosnError::IntegrityViolation`] — bad signature (owner/content),
+    ///   wrong recipient (relations), or expired/future message (history);
+    /// * [`DosnError::Crypto`] — the author's key is not in the directory.
+    pub fn verify(
+        &self,
+        directory: &KeyDirectory,
+        expected_recipient: Option<&UserId>,
+        now: u64,
+    ) -> Result<(), DosnError> {
+        let vk = directory.verifying_key(self.author.as_str())?;
+        let digest = Self::digest(
+            &self.author,
+            self.recipient.as_ref(),
+            self.sequence,
+            self.issued_at,
+            self.expires_at,
+            &self.body,
+        );
+        vk.verify(&digest, &self.signature).map_err(|_| {
+            DosnError::IntegrityViolation(format!(
+                "signature does not verify under {}'s key",
+                self.author
+            ))
+        })?;
+        if let Some(expected) = expected_recipient {
+            match &self.recipient {
+                Some(r) if r == expected => {}
+                Some(r) => {
+                    return Err(DosnError::IntegrityViolation(format!(
+                        "message issued for {r}, presented to {expected}"
+                    )))
+                }
+                None => {} // broadcast: any recipient is legitimate
+            }
+        }
+        if self.issued_at > now {
+            return Err(DosnError::IntegrityViolation(
+                "message from the future".into(),
+            ));
+        }
+        if let Some(exp) = self.expires_at {
+            if now >= exp {
+                return Err(DosnError::IntegrityViolation("message expired".into()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Reassembles an envelope from transported parts (wire decoding); the
+    /// result still has to pass [`SignedEnvelope::verify`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        author: UserId,
+        recipient: Option<UserId>,
+        sequence: u64,
+        issued_at: u64,
+        expires_at: Option<u64>,
+        body: Vec<u8>,
+        signature: Signature,
+    ) -> Self {
+        SignedEnvelope {
+            author,
+            recipient,
+            sequence,
+            issued_at,
+            expires_at,
+            body,
+            signature,
+        }
+    }
+
+    /// Serializes the signature for the wire (group needed for width).
+    pub fn signature_bytes(&self, group: &dosn_crypto::group::SchnorrGroup) -> Vec<u8> {
+        self.signature.to_bytes(group)
+    }
+
+    /// The canonical signed digest.
+    fn digest(
+        author: &UserId,
+        recipient: Option<&UserId>,
+        sequence: u64,
+        issued_at: u64,
+        expires_at: Option<u64>,
+        body: &[u8],
+    ) -> [u8; 32] {
+        let mut h = Sha256::new();
+        h.update(b"dosn.envelope.v1");
+        let field = |bytes: &[u8]| {
+            // length-prefixed framing per field
+            let len = (bytes.len() as u64).to_be_bytes();
+            (len, bytes.to_vec())
+        };
+        for (len, bytes) in [
+            field(author.as_bytes()),
+            field(recipient.map_or(b"" as &[u8], |r| r.as_bytes())),
+            field(&sequence.to_be_bytes()),
+            field(&issued_at.to_be_bytes()),
+            field(&expires_at.unwrap_or(u64::MAX).to_be_bytes()),
+            field(body),
+        ] {
+            h.update(&len);
+            h.update(&bytes);
+        }
+        h.finalize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dosn_crypto::group::SchnorrGroup;
+
+    fn setup() -> (Identity, Identity, KeyDirectory, SecureRng) {
+        let mut rng = SecureRng::seed_from_u64(71);
+        let dir = KeyDirectory::new();
+        let bob = Identity::create("bob", SchnorrGroup::toy(), &dir, &mut rng);
+        let mallory = Identity::create("mallory", SchnorrGroup::toy(), &dir, &mut rng);
+        (bob, mallory, dir, rng)
+    }
+
+    #[test]
+    fn valid_envelope_verifies() {
+        let (bob, _, dir, mut rng) = setup();
+        let env = SignedEnvelope::seal(&bob, None, 1, 10, None, b"hello", &mut rng);
+        env.verify(&dir, None, 20).unwrap();
+    }
+
+    #[test]
+    fn content_tampering_detected() {
+        let (bob, _, dir, mut rng) = setup();
+        let mut env = SignedEnvelope::seal(&bob, None, 1, 10, None, b"party friday", &mut rng);
+        env.body = b"party saturday".to_vec();
+        assert!(matches!(
+            env.verify(&dir, None, 20),
+            Err(DosnError::IntegrityViolation(_))
+        ));
+    }
+
+    #[test]
+    fn owner_forgery_detected() {
+        // Mallory signs a message but claims Bob is the author.
+        let (_, mallory, dir, mut rng) = setup();
+        let mut env =
+            SignedEnvelope::seal(&mallory, None, 1, 10, None, b"i am totally bob", &mut rng);
+        env.author = UserId::from("bob");
+        assert!(env.verify(&dir, None, 20).is_err());
+    }
+
+    #[test]
+    fn unknown_author_rejected() {
+        let (bob, _, _, mut rng) = setup();
+        let empty_dir = KeyDirectory::new();
+        let env = SignedEnvelope::seal(&bob, None, 1, 10, None, b"x", &mut rng);
+        assert!(matches!(
+            env.verify(&empty_dir, None, 20),
+            Err(DosnError::Crypto(_))
+        ));
+    }
+
+    #[test]
+    fn recipient_binding_enforced() {
+        let (bob, _, dir, mut rng) = setup();
+        let env = SignedEnvelope::seal(
+            &bob,
+            Some("alice".into()),
+            1,
+            10,
+            None,
+            b"for alice",
+            &mut rng,
+        );
+        env.verify(&dir, Some(&"alice".into()), 20).unwrap();
+        assert!(env.verify(&dir, Some(&"carol".into()), 20).is_err());
+        // A verifier not checking recipients accepts.
+        env.verify(&dir, None, 20).unwrap();
+    }
+
+    #[test]
+    fn recipient_field_tampering_detected() {
+        let (bob, _, dir, mut rng) = setup();
+        let mut env = SignedEnvelope::seal(
+            &bob,
+            Some("alice".into()),
+            1,
+            10,
+            None,
+            b"for alice",
+            &mut rng,
+        );
+        env.recipient = Some("carol".into());
+        assert!(env.verify(&dir, Some(&"carol".into()), 20).is_err());
+    }
+
+    #[test]
+    fn expiry_and_future_rules() {
+        let (bob, _, dir, mut rng) = setup();
+        let env = SignedEnvelope::seal(&bob, None, 1, 100, Some(200), b"x", &mut rng);
+        env.verify(&dir, None, 150).unwrap();
+        assert!(env.verify(&dir, None, 200).is_err(), "expired at boundary");
+        assert!(env.verify(&dir, None, 50).is_err(), "not yet issued");
+    }
+
+    #[test]
+    fn broadcast_never_expires_without_expiry() {
+        let (bob, _, dir, mut rng) = setup();
+        let env = SignedEnvelope::seal(&bob, None, 1, 0, None, b"x", &mut rng);
+        env.verify(&dir, None, u64::MAX).unwrap();
+    }
+
+    #[test]
+    fn field_framing_is_unambiguous() {
+        // author "ab" + body "c..." must not collide with author "a" + body "bc...".
+        let (bob, _, _, mut rng) = setup();
+        let e1 = SignedEnvelope::seal(&bob, None, 1, 10, None, b"ab", &mut rng);
+        let e2 = SignedEnvelope::seal(&bob, None, 1, 10, None, b"a", &mut rng);
+        assert_ne!(
+            SignedEnvelope::digest(&e1.author, None, 1, 10, None, &e1.body),
+            SignedEnvelope::digest(&e2.author, None, 1, 10, None, &e2.body),
+        );
+    }
+}

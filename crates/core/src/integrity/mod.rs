@@ -1,0 +1,26 @@
+//! Data integrity (survey §IV).
+//!
+//! The survey motivates integrity with Bob's party invitation and splits it
+//! into four aspects, each with a module here:
+//!
+//! | §IV aspect | Question | Module |
+//! |---|---|---|
+//! | Data owner | "How can Alice be sure the sender is Bob?" | [`envelope`] |
+//! | Data content | "Is the content of the message valid?" | [`envelope`] |
+//! | Data history | "Is this invitation expired? Delivered in order?" | [`timeline`], [`history`] |
+//! | Data relations | "Is this message issued for Alice?" | [`envelope`] (recipient binding), [`relations`] (post↔comment keys) |
+//!
+//! [`history`] also implements the Frientegrity-style fork-consistency
+//! defence: an object history tree whose signed roots let clients detect a
+//! provider equivocating about the state of a wall (experiment E4).
+
+pub mod acl;
+pub mod envelope;
+pub mod history;
+pub mod relations;
+pub mod timeline;
+
+pub use envelope::SignedEnvelope;
+pub use history::{HistoryClient, HistoryServer, Operation, ViewDigest};
+pub use relations::{CommentAttachment, PostRelationKeys};
+pub use timeline::{Timeline, TimelineEntry};

@@ -1,0 +1,400 @@
+//! Hash-chained timelines with cross-user entanglement (survey §IV-B).
+//!
+//! "The digital signature must be applied on each entry published by a
+//! user, and includes the hash of at least one of his prior posts. This
+//! causes a provable partial ordering for his posts. Another solution is to
+//! establish a dependency between the timelines of different publishers …
+//! the publisher adds the hashes of prior events from other participants" —
+//! the Fethr (Birds of a Fethr) design. [`Timeline`] implements both: every
+//! entry carries `prev_hash` and optional external references, and the
+//! verifier API proves ordering within and across timelines.
+
+use crate::error::DosnError;
+use crate::identity::{Identity, UserId};
+use dosn_crypto::chacha::SecureRng;
+use dosn_crypto::keys::KeyDirectory;
+use dosn_crypto::schnorr::Signature;
+use dosn_crypto::sha256::Sha256;
+
+/// Hash of a timeline entry.
+pub type EntryHash = [u8; 32];
+
+/// A reference to another user's timeline entry (entanglement).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExternalRef {
+    /// The referenced timeline's owner.
+    pub author: UserId,
+    /// The referenced entry's sequence number.
+    pub sequence: u64,
+    /// The referenced entry's hash.
+    pub hash: EntryHash,
+}
+
+/// One signed, chained timeline entry.
+#[derive(Debug, Clone)]
+pub struct TimelineEntry {
+    /// The timeline owner.
+    pub author: UserId,
+    /// Position in the chain (0-based, contiguous).
+    pub sequence: u64,
+    /// Entry payload.
+    pub body: Vec<u8>,
+    /// Hash of the previous entry (zeros for the first).
+    pub prev_hash: EntryHash,
+    /// Entangled references into other users' timelines.
+    pub external_refs: Vec<ExternalRef>,
+    signature: Signature,
+}
+
+impl TimelineEntry {
+    /// The entry's canonical hash (what successors chain to).
+    pub fn hash(&self) -> EntryHash {
+        hash_entry(
+            &self.author,
+            self.sequence,
+            &self.body,
+            &self.prev_hash,
+            &self.external_refs,
+        )
+    }
+}
+
+fn hash_entry(
+    author: &UserId,
+    sequence: u64,
+    body: &[u8],
+    prev_hash: &EntryHash,
+    external_refs: &[ExternalRef],
+) -> EntryHash {
+    let mut h = Sha256::new();
+    h.update(b"dosn.timeline.v1");
+    h.update(&(author.as_bytes().len() as u64).to_be_bytes());
+    h.update(author.as_bytes());
+    h.update(&sequence.to_be_bytes());
+    h.update(&(body.len() as u64).to_be_bytes());
+    h.update(body);
+    h.update(prev_hash);
+    h.update(&(external_refs.len() as u64).to_be_bytes());
+    for r in external_refs {
+        h.update(&(r.author.as_bytes().len() as u64).to_be_bytes());
+        h.update(r.author.as_bytes());
+        h.update(&r.sequence.to_be_bytes());
+        h.update(&r.hash);
+    }
+    h.finalize()
+}
+
+/// An author-side timeline.
+///
+/// ```
+/// use dosn_core::integrity::Timeline;
+/// use dosn_core::identity::Identity;
+/// use dosn_crypto::{group::SchnorrGroup, chacha::SecureRng, keys::KeyDirectory};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut rng = SecureRng::seed_from_u64(80);
+/// let directory = KeyDirectory::new();
+/// let bob = Identity::create("bob", SchnorrGroup::toy(), &directory, &mut rng);
+/// let mut timeline = Timeline::new(bob.id().clone());
+/// timeline.append(&bob, b"first post", vec![], &mut rng);
+/// timeline.append(&bob, b"second post", vec![], &mut rng);
+/// timeline.verify(&directory)?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    owner: UserId,
+    entries: Vec<TimelineEntry>,
+}
+
+impl Timeline {
+    /// Creates an empty timeline for `owner`.
+    pub fn new(owner: UserId) -> Self {
+        Timeline {
+            owner,
+            entries: Vec::new(),
+        }
+    }
+
+    /// The timeline owner.
+    pub fn owner(&self) -> &UserId {
+        &self.owner
+    }
+
+    /// The chained entries, oldest first.
+    pub fn entries(&self) -> &[TimelineEntry] {
+        &self.entries
+    }
+
+    /// The hash of the newest entry (zeros when empty) — what another user
+    /// embeds to entangle with this timeline.
+    pub fn head_hash(&self) -> EntryHash {
+        self.entries.last().map_or([0; 32], TimelineEntry::hash)
+    }
+
+    /// A reference to the newest entry, for entangling (`None` when empty).
+    pub fn head_ref(&self) -> Option<ExternalRef> {
+        self.entries.last().map(|e| ExternalRef {
+            author: e.author.clone(),
+            sequence: e.sequence,
+            hash: e.hash(),
+        })
+    }
+
+    /// Appends and signs a new entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `identity` is not the timeline owner.
+    pub fn append(
+        &mut self,
+        identity: &Identity,
+        body: &[u8],
+        external_refs: Vec<ExternalRef>,
+        rng: &mut SecureRng,
+    ) -> &TimelineEntry {
+        assert_eq!(identity.id(), &self.owner, "only the owner appends");
+        let sequence = self.entries.len() as u64;
+        let prev_hash = self.head_hash();
+        let hash = hash_entry(&self.owner, sequence, body, &prev_hash, &external_refs);
+        let signature = identity.signing().sign(&hash, rng);
+        self.entries.push(TimelineEntry {
+            author: self.owner.clone(),
+            sequence,
+            body: body.to_vec(),
+            prev_hash,
+            external_refs,
+            signature,
+        });
+        self.entries.last().expect("just pushed")
+    }
+
+    /// Reconstructs a timeline from transported entries, without verifying
+    /// (call [`Timeline::verify`]).
+    pub fn from_entries(owner: UserId, entries: Vec<TimelineEntry>) -> Self {
+        Timeline { owner, entries }
+    }
+
+    /// Verifies the whole chain: signatures, contiguous sequences, and
+    /// `prev_hash` linkage.
+    ///
+    /// # Errors
+    ///
+    /// [`DosnError::IntegrityViolation`] pinpointing the first bad entry.
+    pub fn verify(&self, directory: &KeyDirectory) -> Result<(), DosnError> {
+        let vk = directory.verifying_key(self.owner.as_str())?;
+        let mut prev = [0u8; 32];
+        for (i, entry) in self.entries.iter().enumerate() {
+            if entry.author != self.owner {
+                return Err(DosnError::IntegrityViolation(format!(
+                    "entry {i} authored by {}",
+                    entry.author
+                )));
+            }
+            if entry.sequence != i as u64 {
+                return Err(DosnError::IntegrityViolation(format!(
+                    "entry {i} has sequence {}",
+                    entry.sequence
+                )));
+            }
+            if entry.prev_hash != prev {
+                return Err(DosnError::IntegrityViolation(format!(
+                    "entry {i} breaks the hash chain"
+                )));
+            }
+            let hash = entry.hash();
+            vk.verify(&hash, &entry.signature).map_err(|_| {
+                DosnError::IntegrityViolation(format!("entry {i} signature invalid"))
+            })?;
+            prev = hash;
+        }
+        Ok(())
+    }
+
+    /// Verifies that this timeline's external references into `other` match
+    /// real entries there — establishing the provable cross-publisher order
+    /// of §IV-B. Returns the number of verified references.
+    ///
+    /// # Errors
+    ///
+    /// [`DosnError::IntegrityViolation`] when a reference names a missing or
+    /// mismatching entry.
+    pub fn verify_entanglement(&self, other: &Timeline) -> Result<usize, DosnError> {
+        let mut checked = 0;
+        for entry in &self.entries {
+            for r in &entry.external_refs {
+                if r.author != other.owner {
+                    continue;
+                }
+                let target = other.entries.get(r.sequence as usize).ok_or_else(|| {
+                    DosnError::IntegrityViolation(format!(
+                        "reference to missing entry {}#{}",
+                        r.author, r.sequence
+                    ))
+                })?;
+                if target.hash() != r.hash {
+                    return Err(DosnError::IntegrityViolation(format!(
+                        "reference hash mismatch at {}#{}",
+                        r.author, r.sequence
+                    )));
+                }
+                checked += 1;
+            }
+        }
+        Ok(checked)
+    }
+
+    /// Whether entry `a` provably precedes entry `b` within this timeline.
+    pub fn precedes(&self, a: u64, b: u64) -> bool {
+        a < b && (b as usize) < self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dosn_crypto::group::SchnorrGroup;
+
+    fn setup() -> (Identity, Identity, KeyDirectory, SecureRng) {
+        let mut rng = SecureRng::seed_from_u64(81);
+        let dir = KeyDirectory::new();
+        let bob = Identity::create("bob", SchnorrGroup::toy(), &dir, &mut rng);
+        let alice = Identity::create("alice", SchnorrGroup::toy(), &dir, &mut rng);
+        (bob, alice, dir, rng)
+    }
+
+    #[test]
+    fn chain_verifies_and_orders() {
+        let (bob, _, dir, mut rng) = setup();
+        let mut t = Timeline::new(bob.id().clone());
+        for i in 0..5 {
+            t.append(&bob, format!("post {i}").as_bytes(), vec![], &mut rng);
+        }
+        t.verify(&dir).unwrap();
+        assert!(t.precedes(0, 4));
+        assert!(!t.precedes(4, 0));
+        assert!(!t.precedes(1, 99));
+    }
+
+    #[test]
+    fn body_tampering_breaks_chain() {
+        let (bob, _, dir, mut rng) = setup();
+        let mut t = Timeline::new(bob.id().clone());
+        t.append(&bob, b"a", vec![], &mut rng);
+        t.append(&bob, b"b", vec![], &mut rng);
+        t.entries[0].body = b"A".to_vec();
+        assert!(t.verify(&dir).is_err());
+    }
+
+    #[test]
+    fn deletion_of_middle_entry_detected() {
+        let (bob, _, dir, mut rng) = setup();
+        let mut t = Timeline::new(bob.id().clone());
+        for i in 0..4 {
+            t.append(&bob, format!("{i}").as_bytes(), vec![], &mut rng);
+        }
+        t.entries.remove(1);
+        assert!(t.verify(&dir).is_err());
+    }
+
+    #[test]
+    fn reordering_detected() {
+        let (bob, _, dir, mut rng) = setup();
+        let mut t = Timeline::new(bob.id().clone());
+        for i in 0..3 {
+            t.append(&bob, format!("{i}").as_bytes(), vec![], &mut rng);
+        }
+        t.entries.swap(0, 1);
+        assert!(t.verify(&dir).is_err());
+    }
+
+    #[test]
+    fn truncation_of_tail_is_not_detectable_by_chain_alone() {
+        // The chain proves prefix integrity; withholding the newest entries
+        // is exactly the attack the fork-consistency layer (history.rs)
+        // exists to catch.
+        let (bob, _, dir, mut rng) = setup();
+        let mut t = Timeline::new(bob.id().clone());
+        for i in 0..3 {
+            t.append(&bob, format!("{i}").as_bytes(), vec![], &mut rng);
+        }
+        t.entries.pop();
+        t.verify(&dir).unwrap();
+    }
+
+    #[test]
+    fn entanglement_proves_cross_publisher_order() {
+        let (bob, alice, dir, mut rng) = setup();
+        let mut tb = Timeline::new(bob.id().clone());
+        let mut ta = Timeline::new(alice.id().clone());
+        tb.append(&bob, b"bob post 0", vec![], &mut rng);
+        // Alice entangles with Bob's head: her post is provably after his.
+        let bref = tb.head_ref().unwrap();
+        ta.append(&alice, b"alice post 0", vec![bref], &mut rng);
+        ta.verify(&dir).unwrap();
+        assert_eq!(ta.verify_entanglement(&tb).unwrap(), 1);
+    }
+
+    #[test]
+    fn forged_entanglement_detected() {
+        let (bob, alice, _, mut rng) = setup();
+        let mut tb = Timeline::new(bob.id().clone());
+        let mut ta = Timeline::new(alice.id().clone());
+        tb.append(&bob, b"real", vec![], &mut rng);
+        let mut fake_ref = tb.head_ref().unwrap();
+        fake_ref.hash[0] ^= 1;
+        ta.append(&alice, b"claims to follow", vec![fake_ref], &mut rng);
+        assert!(ta.verify_entanglement(&tb).is_err());
+        // Reference to a nonexistent sequence also fails.
+        let mut ta2 = Timeline::new(alice.id().clone());
+        ta2.append(
+            &alice,
+            b"x",
+            vec![ExternalRef {
+                author: bob.id().clone(),
+                sequence: 99,
+                hash: [0; 32],
+            }],
+            &mut rng,
+        );
+        assert!(ta2.verify_entanglement(&tb).is_err());
+    }
+
+    #[test]
+    fn refs_to_third_parties_are_skipped() {
+        let (bob, alice, _, mut rng) = setup();
+        let mut ta = Timeline::new(alice.id().clone());
+        ta.append(
+            &alice,
+            b"x",
+            vec![ExternalRef {
+                author: "carol".into(),
+                sequence: 0,
+                hash: [9; 32],
+            }],
+            &mut rng,
+        );
+        let tb = Timeline::new(bob.id().clone());
+        assert_eq!(ta.verify_entanglement(&tb).unwrap(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "only the owner appends")]
+    fn foreign_append_panics() {
+        let (bob, alice, _, mut rng) = setup();
+        let mut t = Timeline::new(bob.id().clone());
+        t.append(&alice, b"hijack", vec![], &mut rng);
+    }
+
+    #[test]
+    fn transported_entries_reverify() {
+        let (bob, _, dir, mut rng) = setup();
+        let mut t = Timeline::new(bob.id().clone());
+        for i in 0..3 {
+            t.append(&bob, format!("{i}").as_bytes(), vec![], &mut rng);
+        }
+        let rebuilt = Timeline::from_entries(bob.id().clone(), t.entries().to_vec());
+        rebuilt.verify(&dir).unwrap();
+    }
+}

@@ -1,0 +1,36 @@
+//! The DOSN social layer: data privacy, data integrity, and secure social
+//! search over simulated P2P overlays — the core of the `dosn` reproduction
+//! of *"Security and Privacy of Distributed Online Social Networks"*
+//! (ICDCS 2015).
+//!
+//! The crate mirrors the survey's structure:
+//!
+//! * [`privacy`] — §III: information substitution, symmetric / public-key /
+//!   attribute-based / identity-based-broadcast / hybrid encryption, with a
+//!   uniform [`privacy::AccessScheme`] trait for cost comparisons.
+//! * [`integrity`] — §IV: signed envelopes (owner + content), hash-chained
+//!   and entangled timelines, fork-consistent object history trees, and
+//!   per-post comment keys (data relations).
+//! * [`search`] — §V: blind-signature subscriptions, proxy aliases,
+//!   trusted-friends routing, ZKP-gated resource handlers, and trust-ranked
+//!   results, with a leakage accountant quantifying who learned what.
+//! * [`identity`], [`graph`], [`content`] — users, the social graph (with
+//!   trust weights and synthetic generators), and content types.
+//! * [`taxonomy`] — the paper's Table I as a queryable registry.
+//! * [`network`] — a facade assembling a complete DOSN (overlay + privacy +
+//!   integrity) as the examples use it.
+
+pub mod anonymize;
+pub mod content;
+pub mod error;
+pub mod graph;
+pub mod identity;
+pub mod integrity;
+pub mod network;
+pub mod privacy;
+pub mod search;
+pub mod sybil;
+pub mod taxonomy;
+
+pub use error::DosnError;
+pub use identity::UserId;

@@ -1,0 +1,550 @@
+//! A complete assembled DOSN: the facade the examples build on.
+//!
+//! [`DosnNetwork`] wires the layers together the way the survey's systems
+//! do: identities with directory-registered keys (§IV-A), a friends-group
+//! privacy scheme per user (§III), signed envelopes and hash-chained
+//! timelines (§IV), and a Chord DHT as the structured storage overlay
+//! (§II-B). Posts are encrypted, signed, chained, and stored in the DHT;
+//! reads fetch, verify, and decrypt.
+//!
+//! This facade intentionally exposes one opinionated composition; every
+//! layer remains independently usable (see the examples and the privacy /
+//! integrity / search modules directly).
+
+use crate::content::Post;
+use crate::error::DosnError;
+use crate::graph::SocialGraph;
+use crate::identity::{Identity, UserId};
+use crate::integrity::envelope::SignedEnvelope;
+use crate::integrity::relations::{CommentAttachment, PostRelationKeys};
+use crate::integrity::timeline::Timeline;
+use crate::privacy::{AccessScheme, GroupId, SealedBody, SealedPost, SymmetricGroupScheme};
+use dosn_crypto::chacha::SecureRng;
+use dosn_crypto::group::SchnorrGroup;
+use dosn_crypto::keys::KeyDirectory;
+use dosn_overlay::chord::ChordOverlay;
+use dosn_overlay::id::Key;
+use dosn_overlay::metrics::Metrics;
+use std::collections::BTreeMap;
+
+struct UserState {
+    identity: Identity,
+    timeline: Timeline,
+    scheme: SymmetricGroupScheme,
+    friends_group: GroupId,
+    next_seq: u64,
+    /// Per-post relation keys (§IV-C): commenter signing keys wrapped for
+    /// the friends group.
+    post_keys: BTreeMap<u64, PostRelationKeys>,
+    /// Comments attached to this user's posts, verified on arrival.
+    comments: BTreeMap<u64, Vec<CommentAttachment>>,
+    /// The shared commenter-group key for this user's posts (held by
+    /// friends; modelled via the friends group epoch-0 key).
+    commenters_key: dosn_crypto::aead::SymmetricKey,
+}
+
+/// An assembled distributed online social network.
+///
+/// ```
+/// use dosn_core::network::DosnNetwork;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut net = DosnNetwork::new(32, 42);
+/// net.register("alice")?;
+/// net.register("bob")?;
+/// net.befriend("alice", "bob", 0.9)?;
+///
+/// let post_key = net.post("alice", "dinner at my place, friends only")?;
+/// // Bob (a friend) reads and verifies; the DHT nodes never see plaintext.
+/// let body = net.read_post("bob", "alice", post_key)?;
+/// assert_eq!(body, "dinner at my place, friends only");
+///
+/// // Carol (a stranger) is refused at the decryption layer.
+/// net.register("carol")?;
+/// assert!(net.read_post("carol", "alice", post_key).is_err());
+/// # Ok(())
+/// # }
+/// ```
+pub struct DosnNetwork {
+    group: SchnorrGroup,
+    directory: KeyDirectory,
+    dht: ChordOverlay,
+    users: BTreeMap<UserId, UserState>,
+    graph: SocialGraph,
+    metrics: Metrics,
+    rng: SecureRng,
+}
+
+impl std::fmt::Debug for DosnNetwork {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "DosnNetwork({} users over {:?})",
+            self.users.len(),
+            self.dht
+        )
+    }
+}
+
+impl DosnNetwork {
+    /// Creates a network with `overlay_nodes` DHT nodes (replication 3).
+    pub fn new(overlay_nodes: usize, seed: u64) -> Self {
+        DosnNetwork {
+            group: SchnorrGroup::toy(),
+            directory: KeyDirectory::new(),
+            dht: ChordOverlay::build(overlay_nodes, 3, seed),
+            users: BTreeMap::new(),
+            graph: SocialGraph::new(),
+            metrics: Metrics::new(),
+            rng: SecureRng::seed_from_u64(seed ^ 0xD05A),
+        }
+    }
+
+    /// Registers a user: keys in the directory, an empty timeline, and a
+    /// private friends group.
+    ///
+    /// # Errors
+    ///
+    /// [`DosnError::UnknownUser`] if the name is already taken (reported
+    /// against the name).
+    pub fn register(&mut self, name: &str) -> Result<(), DosnError> {
+        let id = UserId::from(name);
+        if self.users.contains_key(&id) {
+            return Err(DosnError::UnknownUser(format!("{name} already registered")));
+        }
+        let identity = Identity::create(name, self.group.clone(), &self.directory, &mut self.rng);
+        let mut master = [0u8; 32];
+        rand::RngCore::fill_bytes(&mut self.rng, &mut master);
+        let mut scheme = SymmetricGroupScheme::new(master);
+        let friends_group = scheme.create_group(&[name.to_owned()])?;
+        let commenters_key = dosn_crypto::aead::SymmetricKey::generate(&mut self.rng);
+        self.graph.add_user(&id);
+        self.users.insert(
+            id.clone(),
+            UserState {
+                timeline: Timeline::new(id),
+                identity,
+                scheme,
+                friends_group,
+                next_seq: 0,
+                post_keys: BTreeMap::new(),
+                comments: BTreeMap::new(),
+                commenters_key,
+            },
+        );
+        Ok(())
+    }
+
+    /// The social graph.
+    pub fn graph(&self) -> &SocialGraph {
+        &self.graph
+    }
+
+    /// The key directory.
+    pub fn directory(&self) -> &KeyDirectory {
+        &self.directory
+    }
+
+    /// Accumulated overlay metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// A user's timeline (verifier view).
+    pub fn timeline(&self, user: &str) -> Option<&Timeline> {
+        self.users.get(&UserId::from(user)).map(|s| &s.timeline)
+    }
+
+    /// Makes two users friends: graph edge + mutual friends-group
+    /// membership (each can now read the other's friends-only posts).
+    ///
+    /// # Errors
+    ///
+    /// [`DosnError::UnknownUser`] for unregistered names.
+    pub fn befriend(&mut self, a: &str, b: &str, trust: f64) -> Result<(), DosnError> {
+        let (ida, idb) = (UserId::from(a), UserId::from(b));
+        if !self.users.contains_key(&ida) {
+            return Err(DosnError::UnknownUser(a.to_owned()));
+        }
+        if !self.users.contains_key(&idb) {
+            return Err(DosnError::UnknownUser(b.to_owned()));
+        }
+        self.graph.befriend(&ida, &idb, trust);
+        let ga = self.users[&ida].friends_group.clone();
+        self.users
+            .get_mut(&ida)
+            .expect("checked")
+            .scheme
+            .add_member(&ga, b)?;
+        let gb = self.users[&idb].friends_group.clone();
+        self.users
+            .get_mut(&idb)
+            .expect("checked")
+            .scheme
+            .add_member(&gb, a)?;
+        Ok(())
+    }
+
+    /// Publishes a friends-only post: encrypt → sign → chain → store in the
+    /// DHT. Returns the author-local sequence number.
+    ///
+    /// # Errors
+    ///
+    /// [`DosnError::UnknownUser`] / overlay storage failures.
+    pub fn post(&mut self, author: &str, body: &str) -> Result<u64, DosnError> {
+        let id = UserId::from(author);
+        let state = self
+            .users
+            .get_mut(&id)
+            .ok_or_else(|| DosnError::UnknownUser(author.to_owned()))?;
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        let post = Post::new(author, seq, seq, body);
+
+        // §III: encrypt for the friends group.
+        let group = state.friends_group.clone();
+        let sealed = state.scheme.encrypt(&group, &post.to_bytes())?;
+        let SealedBody::Symmetric(ct_bytes) = &sealed.body else {
+            unreachable!("facade uses the symmetric scheme");
+        };
+        // §IV: sign the ciphertext and chain it into the timeline.
+        let envelope = SignedEnvelope::seal(
+            &state.identity,
+            None,
+            seq,
+            seq,
+            None,
+            ct_bytes,
+            &mut self.rng,
+        );
+        state
+            .timeline
+            .append(&state.identity, ct_bytes, vec![], &mut self.rng);
+
+        // Serialize envelope + epoch for the wire.
+        // §IV-C: mint per-post relation keys so friends can comment.
+        let state = self.users.get_mut(&id).expect("checked");
+        let relation = PostRelationKeys::create(
+            format!("{author}/post/{seq}"),
+            self.group.clone(),
+            &state.commenters_key,
+            &mut self.rng,
+        );
+        state.post_keys.insert(seq, relation);
+
+        let record = encode_record(&envelope, sealed.epoch);
+        let storage_key = wall_key(author, seq);
+        let from = self.dht.random_node(seq);
+        self.dht
+            .store(from, storage_key, record, &mut self.metrics)
+            .map_err(|e| DosnError::ContentUnavailable(e.to_string()))?;
+        Ok(seq)
+    }
+
+    /// Attaches a comment to `author`'s post `seq` as `commenter` — only
+    /// friends hold the commenters key, and the per-post relation key binds
+    /// the comment to exactly that post (§IV-C).
+    ///
+    /// # Errors
+    ///
+    /// * [`DosnError::UnknownUser`] / [`DosnError::ContentUnavailable`];
+    /// * [`DosnError::NotAuthorized`] — commenter is not in the author's
+    ///   friends group.
+    pub fn comment(
+        &mut self,
+        commenter: &str,
+        author: &str,
+        seq: u64,
+        body: &str,
+    ) -> Result<(), DosnError> {
+        if !self.users.contains_key(&UserId::from(commenter)) {
+            return Err(DosnError::UnknownUser(commenter.to_owned()));
+        }
+        let author_id = UserId::from(author);
+        let author_state = self
+            .users
+            .get(&author_id)
+            .ok_or_else(|| DosnError::UnknownUser(author.to_owned()))?;
+        let relation = author_state
+            .post_keys
+            .get(&seq)
+            .ok_or_else(|| DosnError::ContentUnavailable(format!("{author}/post/{seq}")))?;
+        // The friends-group check: only members may use the commenters key.
+        if !author_state
+            .scheme
+            .members(&author_state.friends_group)
+            .contains(&commenter.to_string())
+        {
+            return Err(DosnError::NotAuthorized(format!(
+                "{commenter} is not in {author}'s friends group"
+            )));
+        }
+        let attachment = CommentAttachment::create(
+            relation,
+            &author_state.commenters_key,
+            UserId::from(commenter),
+            body.as_bytes(),
+            &mut self.rng,
+        )?;
+        // The author (or any verifier) checks the relation before accepting.
+        relation.verify_comment(&attachment)?;
+        self.users
+            .get_mut(&author_id)
+            .expect("checked")
+            .comments
+            .entry(seq)
+            .or_default()
+            .push(attachment);
+        Ok(())
+    }
+
+    /// Verified comments on a post (commenter, body).
+    pub fn comments(&self, author: &str, seq: u64) -> Vec<(String, String)> {
+        self.users
+            .get(&UserId::from(author))
+            .and_then(|s| s.comments.get(&seq))
+            .map(|cs| {
+                cs.iter()
+                    .map(|c| {
+                        (
+                            c.author.as_str().to_owned(),
+                            String::from_utf8_lossy(&c.body).into_owned(),
+                        )
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Fetches, verifies, and decrypts a post as `reader`.
+    ///
+    /// # Errors
+    ///
+    /// * [`DosnError::ContentUnavailable`] — DHT miss;
+    /// * [`DosnError::IntegrityViolation`] — signature/tamper failures;
+    /// * [`DosnError::NotAuthorized`] — reader is not in the author's
+    ///   friends group.
+    pub fn read_post(&mut self, reader: &str, author: &str, seq: u64) -> Result<String, DosnError> {
+        if !self.users.contains_key(&UserId::from(reader)) {
+            return Err(DosnError::UnknownUser(reader.to_owned()));
+        }
+        let storage_key = wall_key(author, seq);
+        let from = self.dht.random_node(seq + 1);
+        let record = self
+            .dht
+            .get(from, storage_key, &mut self.metrics)
+            .map_err(|e| DosnError::ContentUnavailable(e.to_string()))?;
+        let (envelope, epoch) = decode_record(author, seq, &record)?;
+        // §IV: verify owner + content.
+        envelope.verify(&self.directory, None, u64::MAX - 1)?;
+        // §III: decrypt as the reader.
+        let author_state = self
+            .users
+            .get(&UserId::from(author))
+            .ok_or_else(|| DosnError::UnknownUser(author.to_owned()))?;
+        let sealed = SealedPost {
+            scheme: "symmetric",
+            group: author_state.friends_group.clone(),
+            epoch,
+            body: SealedBody::Symmetric(envelope.body.clone()),
+        };
+        let plain = author_state
+            .scheme
+            .decrypt_as(&author_state.friends_group, reader, &sealed)?;
+        let post: Post = serde_json::from_slice(&plain)
+            .map_err(|e| DosnError::IntegrityViolation(format!("bad post encoding: {e}")))?;
+        Ok(post.body)
+    }
+
+    /// Revokes a friendship: graph edge removed and both friends groups
+    /// re-keyed (returns the total membership-change cost, E2-style).
+    ///
+    /// # Errors
+    ///
+    /// [`DosnError::UnknownUser`] for unregistered names.
+    pub fn unfriend(&mut self, a: &str, b: &str) -> Result<u64, DosnError> {
+        let (ida, idb) = (UserId::from(a), UserId::from(b));
+        if !self.graph.unfriend(&ida, &idb) {
+            return Err(DosnError::UnknownUser(format!(
+                "{a} and {b} are not friends"
+            )));
+        }
+        let ga = self.users[&ida].friends_group.clone();
+        let cost_a = self
+            .users
+            .get_mut(&ida)
+            .expect("checked")
+            .scheme
+            .revoke_member(&ga, b)?;
+        let gb = self.users[&idb].friends_group.clone();
+        let cost_b = self
+            .users
+            .get_mut(&idb)
+            .expect("checked")
+            .scheme
+            .revoke_member(&gb, a)?;
+        Ok(cost_a.rekeyed_members + cost_b.rekeyed_members)
+    }
+}
+
+fn wall_key(author: &str, seq: u64) -> Key {
+    Key::hash(format!("wall/{author}/{seq}").as_bytes())
+}
+
+fn encode_record(envelope: &SignedEnvelope, epoch: u64) -> Vec<u8> {
+    // epoch | issued_at | sequence | sig_len | sig | body
+    let group = SchnorrGroup::toy();
+    let sig = envelope_signature_bytes(envelope, &group);
+    let mut out = Vec::with_capacity(32 + sig.len() + envelope.body.len());
+    out.extend_from_slice(&epoch.to_be_bytes());
+    out.extend_from_slice(&envelope.issued_at.to_be_bytes());
+    out.extend_from_slice(&envelope.sequence.to_be_bytes());
+    out.extend_from_slice(&(sig.len() as u32).to_be_bytes());
+    out.extend_from_slice(&sig);
+    out.extend_from_slice(&envelope.body);
+    out
+}
+
+fn decode_record(author: &str, seq: u64, bytes: &[u8]) -> Result<(SignedEnvelope, u64), DosnError> {
+    if bytes.len() < 28 {
+        return Err(DosnError::IntegrityViolation("record truncated".into()));
+    }
+    let epoch = u64::from_be_bytes(bytes[0..8].try_into().expect("8"));
+    let issued_at = u64::from_be_bytes(bytes[8..16].try_into().expect("8"));
+    let sequence = u64::from_be_bytes(bytes[16..24].try_into().expect("8"));
+    let sig_len = u32::from_be_bytes(bytes[24..28].try_into().expect("4")) as usize;
+    if bytes.len() < 28 + sig_len {
+        return Err(DosnError::IntegrityViolation("record truncated".into()));
+    }
+    let group = SchnorrGroup::toy();
+    let signature = dosn_crypto::schnorr::Signature::from_bytes(&group, &bytes[28..28 + sig_len])?;
+    if sequence != seq {
+        return Err(DosnError::IntegrityViolation("sequence mismatch".into()));
+    }
+    Ok((
+        SignedEnvelope::from_parts(
+            UserId::from(author),
+            None,
+            sequence,
+            issued_at,
+            None,
+            bytes[28 + sig_len..].to_vec(),
+            signature,
+        ),
+        epoch,
+    ))
+}
+
+fn envelope_signature_bytes(envelope: &SignedEnvelope, group: &SchnorrGroup) -> Vec<u8> {
+    envelope.signature_bytes(group)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> DosnNetwork {
+        let mut n = DosnNetwork::new(16, 3);
+        for u in ["alice", "bob", "carol"] {
+            n.register(u).unwrap();
+        }
+        n.befriend("alice", "bob", 0.9).unwrap();
+        n
+    }
+
+    #[test]
+    fn friends_read_strangers_do_not() {
+        let mut n = net();
+        let seq = n.post("alice", "friends only").unwrap();
+        assert_eq!(n.read_post("bob", "alice", seq).unwrap(), "friends only");
+        assert!(matches!(
+            n.read_post("carol", "alice", seq),
+            Err(DosnError::NotAuthorized(_))
+        ));
+    }
+
+    #[test]
+    fn double_registration_rejected() {
+        let mut n = net();
+        assert!(n.register("alice").is_err());
+    }
+
+    #[test]
+    fn unknown_users_rejected_everywhere() {
+        let mut n = net();
+        assert!(n.befriend("alice", "ghost", 0.5).is_err());
+        assert!(n.post("ghost", "x").is_err());
+        assert!(n.read_post("ghost", "alice", 0).is_err());
+    }
+
+    #[test]
+    fn missing_post_unavailable() {
+        let mut n = net();
+        assert!(matches!(
+            n.read_post("bob", "alice", 99),
+            Err(DosnError::ContentUnavailable(_))
+        ));
+    }
+
+    #[test]
+    fn unfriending_revokes_future_posts() {
+        let mut n = net();
+        let old = n.post("alice", "while friends").unwrap();
+        assert!(n.read_post("bob", "alice", old).is_ok());
+        let rekeyed = n.unfriend("alice", "bob").unwrap();
+        assert!(rekeyed <= 2);
+        let new = n.post("alice", "after the falling out").unwrap();
+        assert!(n.read_post("bob", "alice", new).is_err());
+        // The fundamental limit: bob still holds the old epoch key.
+        assert!(n.read_post("bob", "alice", old).is_ok());
+    }
+
+    #[test]
+    fn timeline_chains_posts() {
+        let mut n = net();
+        for i in 0..4 {
+            n.post("alice", &format!("post {i}")).unwrap();
+        }
+        let t = n.timeline("alice").unwrap();
+        assert_eq!(t.entries().len(), 4);
+        t.verify(n.directory()).unwrap();
+    }
+
+    #[test]
+    fn friends_comment_strangers_cannot() {
+        let mut n = net();
+        let seq = n.post("alice", "comment away").unwrap();
+        n.comment("bob", "alice", seq, "first!").unwrap();
+        assert_eq!(
+            n.comments("alice", seq),
+            vec![("bob".to_string(), "first!".to_string())]
+        );
+        // Carol is not alice's friend.
+        assert!(matches!(
+            n.comment("carol", "alice", seq, "sneaky"),
+            Err(DosnError::NotAuthorized(_))
+        ));
+        // Nonexistent post.
+        assert!(matches!(
+            n.comment("bob", "alice", 99, "where?"),
+            Err(DosnError::ContentUnavailable(_))
+        ));
+        assert!(n.comments("alice", 99).is_empty());
+    }
+
+    #[test]
+    fn author_comments_own_post() {
+        let mut n = net();
+        let seq = n.post("alice", "self-reply").unwrap();
+        n.comment("alice", "alice", seq, "addendum").unwrap();
+        assert_eq!(n.comments("alice", seq).len(), 1);
+    }
+
+    #[test]
+    fn metrics_accumulate() {
+        let mut n = net();
+        let before = n.metrics().messages;
+        n.post("alice", "x").unwrap();
+        assert!(n.metrics().messages > before);
+    }
+}

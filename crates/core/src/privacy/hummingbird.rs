@@ -1,0 +1,245 @@
+//! Hummingbird-style hybrid encryption (survey §III-F, §V-A).
+//!
+//! In Hummingbird, "the symmetric key is derived by applying a combination
+//! of a PRF and a hash function on a particular part of message (hashtag).
+//! For the key dissemination an oblivious pseudo random function protocol
+//! must be followed between user and his friends" — so the publisher can
+//! post tweets encrypted per-hashtag, a follower can *subscribe* to a
+//! hashtag without revealing which one, and the centralized server carrying
+//! the ciphertexts learns neither contents nor hashtags.
+//!
+//! [`HummingbirdPublisher`] holds the OPRF secret; [`HummingbirdSubscriber`]
+//! runs the oblivious protocol to obtain per-hashtag keys. Matching is done
+//! on deterministic *tag handles* `H(F_s(tag))`, so the carrier can route
+//! ciphertexts to subscribers without learning the tag.
+
+use crate::error::DosnError;
+use dosn_crypto::aead::SymmetricKey;
+use dosn_crypto::chacha::SecureRng;
+use dosn_crypto::group::SchnorrGroup;
+use dosn_crypto::oprf::{BlindedInput, EvaluatedElement, OprfReceiver, OprfSender, ReceiverState};
+use dosn_crypto::sha256::sha256_concat;
+
+/// An encrypted tweet: the tag handle plus sealed body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SealedTweet {
+    /// `H(F_s(tag))` — lets subscribers match without revealing the tag to
+    /// the carrier.
+    pub tag_handle: [u8; 32],
+    /// AEAD ciphertext of the tweet body under the tag key.
+    pub body: Vec<u8>,
+}
+
+/// The publisher: evaluates its PRF directly on its own hashtags.
+///
+/// ```
+/// use dosn_core::privacy::{HummingbirdPublisher, HummingbirdSubscriber};
+/// use dosn_crypto::{group::SchnorrGroup, chacha::SecureRng};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut rng = SecureRng::seed_from_u64(30);
+/// let mut publisher = HummingbirdPublisher::new(SchnorrGroup::toy(), &mut rng);
+/// let tweet = publisher.publish("#icdcs", b"great keynote!", &mut rng);
+///
+/// // A follower subscribes to "#icdcs" WITHOUT the publisher learning it.
+/// let (blinded, state) = HummingbirdSubscriber::subscribe_request(
+///     publisher.group(), "#icdcs", &mut rng);
+/// let evaluated = publisher.answer_subscription(&blinded)?;
+/// let subscription = HummingbirdSubscriber::finish(&state, &evaluated)?;
+///
+/// assert!(subscription.matches(&tweet));
+/// assert_eq!(subscription.open(&tweet)?, b"great keynote!");
+/// # Ok(())
+/// # }
+/// ```
+pub struct HummingbirdPublisher {
+    oprf: OprfSender,
+}
+
+impl std::fmt::Debug for HummingbirdPublisher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("HummingbirdPublisher(..)")
+    }
+}
+
+/// A subscriber's capability for one hashtag.
+#[derive(Clone)]
+pub struct Subscription {
+    tag_handle: [u8; 32],
+    key: SymmetricKey,
+}
+
+impl std::fmt::Debug for Subscription {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Subscription(..)")
+    }
+}
+
+/// Namespace type for the subscriber protocol moves.
+#[derive(Debug, Clone, Copy)]
+pub struct HummingbirdSubscriber;
+
+impl HummingbirdPublisher {
+    /// Creates a publisher with a fresh OPRF secret.
+    pub fn new(group: SchnorrGroup, rng: &mut SecureRng) -> Self {
+        HummingbirdPublisher {
+            oprf: OprfSender::generate(group, rng),
+        }
+    }
+
+    /// The publisher's group (needed by subscribers to blind requests).
+    pub fn group(&self) -> &SchnorrGroup {
+        self.oprf.group()
+    }
+
+    /// Encrypts a tweet under its hashtag-derived key.
+    pub fn publish(&mut self, hashtag: &str, body: &[u8], rng: &mut SecureRng) -> SealedTweet {
+        let prf_out = self.oprf.evaluate(hashtag.as_bytes());
+        let key = SymmetricKey::derive(&prf_out, b"dosn.hummingbird.key");
+        SealedTweet {
+            tag_handle: tag_handle(&prf_out),
+            body: key.seal(body, b"hummingbird", rng),
+        }
+    }
+
+    /// Answers a blinded subscription request — without learning the tag.
+    ///
+    /// # Errors
+    ///
+    /// Propagates OPRF protocol errors for malformed requests.
+    pub fn answer_subscription(
+        &self,
+        blinded: &BlindedInput,
+    ) -> Result<EvaluatedElement, DosnError> {
+        Ok(self.oprf.evaluate_blinded(blinded)?)
+    }
+}
+
+impl HummingbirdSubscriber {
+    /// First move: blind the hashtag of interest.
+    pub fn subscribe_request(
+        group: &SchnorrGroup,
+        hashtag: &str,
+        rng: &mut SecureRng,
+    ) -> (BlindedInput, ReceiverState) {
+        OprfReceiver::blind(group, hashtag.as_bytes(), rng)
+    }
+
+    /// Final move: derive the subscription capability.
+    ///
+    /// # Errors
+    ///
+    /// Propagates OPRF protocol errors for malformed replies.
+    pub fn finish(
+        state: &ReceiverState,
+        evaluated: &EvaluatedElement,
+    ) -> Result<Subscription, DosnError> {
+        let prf_out = state.finalize(evaluated)?;
+        Ok(Subscription {
+            tag_handle: tag_handle(&prf_out),
+            key: SymmetricKey::derive(&prf_out, b"dosn.hummingbird.key"),
+        })
+    }
+}
+
+impl Subscription {
+    /// Whether `tweet` belongs to this subscription's hashtag (what the
+    /// carrier matches on; it never sees the tag itself).
+    pub fn matches(&self, tweet: &SealedTweet) -> bool {
+        self.tag_handle == tweet.tag_handle
+    }
+
+    /// Decrypts a matching tweet.
+    ///
+    /// # Errors
+    ///
+    /// Fails on non-matching tweets or tampered bodies.
+    pub fn open(&self, tweet: &SealedTweet) -> Result<Vec<u8>, DosnError> {
+        Ok(self.key.open(&tweet.body, b"hummingbird")?)
+    }
+
+    /// The opaque routing handle.
+    pub fn handle(&self) -> &[u8; 32] {
+        &self.tag_handle
+    }
+}
+
+fn tag_handle(prf_out: &[u8; 32]) -> [u8; 32] {
+    sha256_concat(&[b"dosn.hummingbird.handle", prf_out])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (HummingbirdPublisher, SecureRng) {
+        let mut rng = SecureRng::seed_from_u64(41);
+        let p = HummingbirdPublisher::new(SchnorrGroup::toy(), &mut rng);
+        (p, rng)
+    }
+
+    fn subscribe(p: &HummingbirdPublisher, tag: &str, rng: &mut SecureRng) -> Subscription {
+        let (blinded, state) = HummingbirdSubscriber::subscribe_request(p.group(), tag, rng);
+        let ev = p.answer_subscription(&blinded).unwrap();
+        HummingbirdSubscriber::finish(&state, &ev).unwrap()
+    }
+
+    #[test]
+    fn subscriber_reads_matching_tweets_only() {
+        let (mut p, mut rng) = setup();
+        let t1 = p.publish("#party", b"friday at mine", &mut rng);
+        let t2 = p.publish("#work", b"deadline moved", &mut rng);
+        let sub = subscribe(&p, "#party", &mut rng);
+        assert!(sub.matches(&t1));
+        assert!(!sub.matches(&t2));
+        assert_eq!(sub.open(&t1).unwrap(), b"friday at mine");
+        assert!(sub.open(&t2).is_err());
+    }
+
+    #[test]
+    fn carrier_view_hides_tag_but_routes() {
+        let (mut p, mut rng) = setup();
+        // The tag handle is deterministic per tag (routable) and unequal to
+        // any direct hash of the tag (unlearnable without the OPRF secret).
+        let a1 = p.publish("#secret", b"1", &mut rng);
+        let a2 = p.publish("#secret", b"2", &mut rng);
+        assert_eq!(a1.tag_handle, a2.tag_handle);
+        assert_ne!(
+            a1.tag_handle,
+            dosn_crypto::sha256::sha256(b"#secret"),
+            "handle must not equal a public hash of the tag"
+        );
+        assert_ne!(a1.body, a2.body);
+    }
+
+    #[test]
+    fn different_publishers_different_keys() {
+        let (mut p1, mut rng) = setup();
+        let mut p2 = HummingbirdPublisher::new(SchnorrGroup::toy(), &mut rng);
+        let t1 = p1.publish("#x", b"m", &mut rng);
+        let t2 = p2.publish("#x", b"m", &mut rng);
+        assert_ne!(t1.tag_handle, t2.tag_handle);
+        let sub1 = subscribe(&p1, "#x", &mut rng);
+        assert!(!sub1.matches(&t2));
+    }
+
+    #[test]
+    fn oblivious_protocol_matches_direct_key() {
+        let (mut p, mut rng) = setup();
+        let tweet = p.publish("#tag", b"payload", &mut rng);
+        for _ in 0..3 {
+            let sub = subscribe(&p, "#tag", &mut rng);
+            assert_eq!(sub.open(&tweet).unwrap(), b"payload");
+        }
+    }
+
+    #[test]
+    fn tampered_tweet_rejected() {
+        let (mut p, mut rng) = setup();
+        let mut tweet = p.publish("#t", b"b", &mut rng);
+        let sub = subscribe(&p, "#t", &mut rng);
+        let n = tweet.body.len();
+        tweet.body[n - 1] ^= 1;
+        assert!(sub.open(&tweet).is_err());
+    }
+}

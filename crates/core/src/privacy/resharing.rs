@@ -1,0 +1,227 @@
+//! Data-resharing control via recipient watermarking (survey §VI, open
+//! problem).
+//!
+//! "The main problem is how it would be possible to prevent a user's
+//! friends from re-sharing the user's data." True prevention is impossible
+//! (the analog hole: a friend can always copy what they can see), so this
+//! prototype implements the practical deterrent the open problem admits:
+//! **leak tracing**. Every friend receives an individually *watermarked*
+//! copy — same semantic content, per-recipient imperceptible variation plus
+//! a keyed tag — and when a copy surfaces outside the group, the owner
+//! identifies which friend's copy leaked. This is a simple deterministic
+//! traitor-tracing scheme; it deters resharing rather than preventing it,
+//! which is exactly the gap the survey flags.
+
+use crate::error::DosnError;
+use dosn_crypto::hmac::Prf;
+use std::collections::BTreeMap;
+
+/// A per-recipient watermarked copy of a piece of content.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WatermarkedCopy {
+    /// The content with the recipient's invisible variation applied.
+    pub content: Vec<u8>,
+    /// The keyed recipient tag embedded alongside (in real media this hides
+    /// inside the content; here it is explicit).
+    pub tag: [u8; 32],
+}
+
+/// The owner-side watermarking and tracing engine.
+///
+/// ```
+/// use dosn_core::privacy::resharing::ResharingTracer;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut tracer = ResharingTracer::new([5u8; 32]);
+/// let copies = tracer.issue("photo-1", b"the photo bytes", &["bob", "carol"]);
+///
+/// // Carol's copy shows up on a public board...
+/// let leaked = copies["carol"].clone();
+/// assert_eq!(tracer.trace("photo-1", &leaked), Some("carol".to_string()));
+/// // ...and an unissued copy traces to no one.
+/// # Ok(())
+/// # }
+/// ```
+pub struct ResharingTracer {
+    prf: Prf,
+    /// content id -> (recipient -> issued tag).
+    issued: BTreeMap<String, BTreeMap<String, [u8; 32]>>,
+}
+
+impl std::fmt::Debug for ResharingTracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ResharingTracer({} items)", self.issued.len())
+    }
+}
+
+impl ResharingTracer {
+    /// Creates a tracer with the owner's watermark secret.
+    pub fn new(secret: [u8; 32]) -> Self {
+        ResharingTracer {
+            prf: Prf::new(secret),
+            issued: BTreeMap::new(),
+        }
+    }
+
+    fn tag_for(&self, content_id: &str, recipient: &str) -> [u8; 32] {
+        self.prf
+            .eval(format!("watermark|{content_id}|{recipient}").as_bytes())
+    }
+
+    /// Issues watermarked copies of `content` to each recipient.
+    pub fn issue(
+        &mut self,
+        content_id: &str,
+        content: &[u8],
+        recipients: &[&str],
+    ) -> BTreeMap<String, WatermarkedCopy> {
+        let mut out = BTreeMap::new();
+        let tags: Vec<(String, [u8; 32])> = recipients
+            .iter()
+            .map(|&r| (r.to_owned(), self.tag_for(content_id, r)))
+            .collect();
+        let entry = self.issued.entry(content_id.to_owned()).or_default();
+        for ((r, tag), _) in tags.into_iter().zip(recipients) {
+            let r: &str = &r;
+            // "Imperceptible variation": XOR a PRF-derived low-amplitude
+            // pattern into the payload (stand-in for media watermarking).
+            let pattern = prf_pattern(&self.prf, content_id, r, content.len());
+            let varied: Vec<u8> = content
+                .iter()
+                .zip(&pattern)
+                .map(|(b, p)| b ^ (p & 0x01))
+                .collect();
+            entry.insert(r.to_owned(), tag);
+            out.insert(
+                r.to_owned(),
+                WatermarkedCopy {
+                    content: varied,
+                    tag,
+                },
+            );
+        }
+        out
+    }
+
+    /// Traces a leaked copy back to the recipient it was issued to.
+    /// Returns `None` for copies the owner never issued.
+    pub fn trace(&self, content_id: &str, leaked: &WatermarkedCopy) -> Option<String> {
+        self.issued.get(content_id).and_then(|tags| {
+            tags.iter()
+                .find(|(_, tag)| **tag == leaked.tag)
+                .map(|(r, _)| r.clone())
+        })
+    }
+
+    /// Traces by content variation alone (when the leaker stripped the
+    /// explicit tag): recompute each recipient's variation and match.
+    pub fn trace_by_content(
+        &self,
+        content_id: &str,
+        original: &[u8],
+        leaked_content: &[u8],
+    ) -> Result<Option<String>, DosnError> {
+        if original.len() != leaked_content.len() {
+            return Err(DosnError::IntegrityViolation(
+                "leaked copy has different length".into(),
+            ));
+        }
+        let Some(tags) = self.issued.get(content_id) else {
+            return Ok(None);
+        };
+        for recipient in tags.keys() {
+            let pattern = prf_pattern(&self.prf, content_id, recipient, original.len());
+            let expected: Vec<u8> = original
+                .iter()
+                .zip(&pattern)
+                .map(|(b, p)| b ^ (p & 0x01))
+                .collect();
+            if expected == leaked_content {
+                return Ok(Some(recipient.clone()));
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// The recipient-specific low-amplitude variation pattern.
+fn prf_pattern(prf: &Prf, content_id: &str, recipient: &str, len: usize) -> Vec<u8> {
+    prf.eval_expanded(format!("pattern|{content_id}|{recipient}").as_bytes(), len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracer() -> ResharingTracer {
+        ResharingTracer::new([1u8; 32])
+    }
+
+    #[test]
+    fn copies_differ_per_recipient_but_stay_close() {
+        let mut t = tracer();
+        let original = b"a thousand bytes of photo data".repeat(10);
+        let copies = t.issue("p", &original, &["bob", "carol", "dave"]);
+        let bob = &copies["bob"].content;
+        let carol = &copies["carol"].content;
+        assert_ne!(bob, carol);
+        // Variation is low-amplitude: at most 1 bit per byte.
+        for (a, b) in original.iter().zip(bob) {
+            assert!(a ^ b <= 1);
+        }
+    }
+
+    #[test]
+    fn tag_trace_identifies_leaker() {
+        let mut t = tracer();
+        let copies = t.issue("p", b"content", &["bob", "carol"]);
+        assert_eq!(t.trace("p", &copies["bob"]), Some("bob".into()));
+        assert_eq!(t.trace("p", &copies["carol"]), Some("carol".into()));
+    }
+
+    #[test]
+    fn content_trace_survives_tag_stripping() {
+        let mut t = tracer();
+        let original = b"original media payload".to_vec();
+        let copies = t.issue("p", &original, &["bob", "carol"]);
+        // Leaker strips the tag; the variation still identifies them.
+        let leaked = copies["carol"].content.clone();
+        assert_eq!(
+            t.trace_by_content("p", &original, &leaked).unwrap(),
+            Some("carol".into())
+        );
+    }
+
+    #[test]
+    fn unissued_copies_trace_to_no_one() {
+        let mut t = tracer();
+        t.issue("p", b"content", &["bob"]);
+        let stranger = WatermarkedCopy {
+            content: b"content".to_vec(),
+            tag: [9; 32],
+        };
+        assert_eq!(t.trace("p", &stranger), None);
+        assert_eq!(
+            t.trace_by_content("p", b"content", b"contenx").unwrap(),
+            None
+        );
+        assert_eq!(t.trace("unknown-id", &stranger), None);
+    }
+
+    #[test]
+    fn per_item_separation() {
+        let mut t = tracer();
+        let c1 = t.issue("photo-1", b"data", &["bob"]);
+        let c2 = t.issue("photo-2", b"data", &["bob"]);
+        assert_ne!(c1["bob"].tag, c2["bob"].tag);
+        // A photo-2 copy does not trace under photo-1's id.
+        assert_eq!(t.trace("photo-1", &c2["bob"]), None);
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let mut t = tracer();
+        t.issue("p", b"1234", &["bob"]);
+        assert!(t.trace_by_content("p", b"1234", b"12345").is_err());
+    }
+}

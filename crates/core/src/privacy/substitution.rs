@@ -1,0 +1,228 @@
+//! Information substitution (survey §III-A; NOYB and VPSN).
+//!
+//! "Substitution means replacing real information with fake information …
+//! Users' data will be split into smaller parts called atoms. Users who
+//! trust each other can swap their atoms of the same type, which are
+//! associated with a unique index kept in a dictionary. For swapping an
+//! atom, its index will be encrypted, and the content of the resulting
+//! index will be used for swapping. \[The\] dictionary is public and only
+//! authorized users will be able to trace swapping results."
+//!
+//! Mechanics here follow NOYB: a public [`SubstitutionDictionary`] pools the
+//! atoms of every participating user per *class* ("city", "birthday", …).
+//! When an owner publishes a field, the real atom joins the pool at index
+//! `i`; `i` is encrypted under the owner's friend key; and the *displayed*
+//! atom is the pool entry selected by the ciphertext — a real-looking value
+//! belonging to some other user. The service provider sees only plausible
+//! atoms; friends decrypt the index and recover the truth.
+
+use crate::error::DosnError;
+use dosn_crypto::aead::SymmetricKey;
+use dosn_crypto::chacha::SecureRng;
+use std::collections::BTreeMap;
+
+/// The public, classed atom pools.
+#[derive(Debug, Clone, Default)]
+pub struct SubstitutionDictionary {
+    pools: BTreeMap<String, Vec<String>>,
+}
+
+impl SubstitutionDictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Seeds a pool with decoy atoms (a fresh deployment needs plausible
+    /// material before the first swap).
+    pub fn seed(&mut self, class: &str, atoms: impl IntoIterator<Item = String>) {
+        self.pools
+            .entry(class.to_owned())
+            .or_default()
+            .extend(atoms);
+    }
+
+    /// The public pool of a class.
+    pub fn pool(&self, class: &str) -> &[String] {
+        self.pools.get(class).map_or(&[], Vec::as_slice)
+    }
+
+    fn insert(&mut self, class: &str, atom: String) -> u64 {
+        let pool = self.pools.entry(class.to_owned()).or_default();
+        pool.push(atom);
+        (pool.len() - 1) as u64
+    }
+}
+
+/// A published (substituted) profile field — what the provider stores.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubstitutedField {
+    /// Atom class ("city", "birthday", …).
+    pub class: String,
+    /// The displayed atom: plausible, but (usually) someone else's.
+    pub displayed: String,
+    /// The encrypted pool index only friends can open.
+    pub sealed_index: Vec<u8>,
+}
+
+/// One user's substitution state, keyed by their friend-group key.
+///
+/// ```
+/// use dosn_core::privacy::{SubstitutionDictionary, SubstitutionVault};
+/// use dosn_crypto::{aead::SymmetricKey, chacha::SecureRng};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut rng = SecureRng::seed_from_u64(50);
+/// let mut dict = SubstitutionDictionary::new();
+/// dict.seed("city", ["Ankara".into(), "Izmir".into(), "Bursa".into()]);
+///
+/// let key = SymmetricKey::generate(&mut rng);
+/// let alice = SubstitutionVault::new(key.clone());
+/// let field = alice.publish(&mut dict, "city", "Istanbul", &mut rng);
+///
+/// // The provider's view is a plausible city — not necessarily Istanbul.
+/// assert!(dict.pool("city").contains(&field.displayed));
+/// // Friends holding the key recover the real atom.
+/// let friend = SubstitutionVault::new(key);
+/// assert_eq!(friend.reveal(&dict, &field)?, "Istanbul");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone)]
+pub struct SubstitutionVault {
+    key: SymmetricKey,
+}
+
+impl std::fmt::Debug for SubstitutionVault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SubstitutionVault(..)")
+    }
+}
+
+impl SubstitutionVault {
+    /// Creates a vault bound to a friend-group key.
+    pub fn new(key: SymmetricKey) -> Self {
+        SubstitutionVault { key }
+    }
+
+    /// Publishes `real` under `class`: the real atom enters the public pool,
+    /// its index is sealed for friends, and a pseudorandomly swapped pool
+    /// atom becomes the displayed value.
+    pub fn publish(
+        &self,
+        dict: &mut SubstitutionDictionary,
+        class: &str,
+        real: &str,
+        rng: &mut SecureRng,
+    ) -> SubstitutedField {
+        let index = dict.insert(class, real.to_owned());
+        let sealed_index = self.key.seal(&index.to_be_bytes(), class.as_bytes(), rng);
+        let pool = dict.pool(class);
+        // The ciphertext's content drives the swap ("the content of the
+        // resulting index will be used for swapping").
+        let swap = dosn_overlay::id::Key::hash(&sealed_index).0 % pool.len() as u64;
+        SubstitutedField {
+            class: class.to_owned(),
+            displayed: pool[swap as usize].clone(),
+            sealed_index,
+        }
+    }
+
+    /// Recovers the real atom from a substituted field.
+    ///
+    /// # Errors
+    ///
+    /// [`DosnError::Crypto`] when the vault's key is not the publisher's
+    /// friend key; [`DosnError::ContentUnavailable`] when the index is out
+    /// of range for the public pool.
+    pub fn reveal(
+        &self,
+        dict: &SubstitutionDictionary,
+        field: &SubstitutedField,
+    ) -> Result<String, DosnError> {
+        let plain = self.key.open(&field.sealed_index, field.class.as_bytes())?;
+        let arr: [u8; 8] = plain
+            .try_into()
+            .map_err(|_| DosnError::IntegrityViolation("bad index length".into()))?;
+        let index = u64::from_be_bytes(arr) as usize;
+        dict.pool(&field.class)
+            .get(index)
+            .cloned()
+            .ok_or_else(|| DosnError::ContentUnavailable(format!("pool index {index}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (SubstitutionDictionary, SecureRng) {
+        let mut dict = SubstitutionDictionary::new();
+        dict.seed(
+            "city",
+            ["Ankara", "Izmir", "Bursa", "Adana"]
+                .into_iter()
+                .map(String::from),
+        );
+        (dict, SecureRng::seed_from_u64(51))
+    }
+
+    #[test]
+    fn friends_recover_strangers_see_plausible() {
+        let (mut dict, mut rng) = setup();
+        let key = SymmetricKey::generate(&mut rng);
+        let vault = SubstitutionVault::new(key.clone());
+        let field = vault.publish(&mut dict, "city", "Istanbul", &mut rng);
+        // Displayed is from the pool (plausible class member).
+        assert!(dict.pool("city").contains(&field.displayed));
+        // Friend recovers.
+        assert_eq!(vault.reveal(&dict, &field).unwrap(), "Istanbul");
+        // A stranger with a different key cannot.
+        let stranger = SubstitutionVault::new(SymmetricKey::generate(&mut rng));
+        assert!(stranger.reveal(&dict, &field).is_err());
+    }
+
+    #[test]
+    fn provider_linkage_is_broken_across_publishes() {
+        // Two users publishing the same city produce (with a seeded pool)
+        // independent displayed values; the provider cannot aggregate.
+        let (mut dict, mut rng) = setup();
+        let v1 = SubstitutionVault::new(SymmetricKey::generate(&mut rng));
+        let v2 = SubstitutionVault::new(SymmetricKey::generate(&mut rng));
+        let f1 = v1.publish(&mut dict, "city", "Istanbul", &mut rng);
+        let f2 = v2.publish(&mut dict, "city", "Istanbul", &mut rng);
+        assert_ne!(f1.sealed_index, f2.sealed_index);
+        assert_eq!(v1.reveal(&dict, &f1).unwrap(), "Istanbul");
+        assert_eq!(v2.reveal(&dict, &f2).unwrap(), "Istanbul");
+    }
+
+    #[test]
+    fn pool_grows_with_real_atoms() {
+        let (mut dict, mut rng) = setup();
+        let before = dict.pool("city").len();
+        let vault = SubstitutionVault::new(SymmetricKey::generate(&mut rng));
+        vault.publish(&mut dict, "city", "Istanbul", &mut rng);
+        assert_eq!(dict.pool("city").len(), before + 1);
+        assert!(dict.pool("city").contains(&"Istanbul".to_string()));
+    }
+
+    #[test]
+    fn classes_are_isolated() {
+        let (mut dict, mut rng) = setup();
+        let vault = SubstitutionVault::new(SymmetricKey::generate(&mut rng));
+        let field = vault.publish(&mut dict, "birthday", "26 October 1990", &mut rng);
+        // Birthday pool contains only the one real atom -> displayed is it.
+        assert_eq!(field.displayed, "26 October 1990");
+        assert!(dict.pool("city").iter().all(|c| c != "26 October 1990"));
+        // Tampering with the class breaks decryption (it is bound as AD).
+        let mut forged = field.clone();
+        forged.class = "city".into();
+        assert!(vault.reveal(&dict, &forged).is_err());
+    }
+
+    #[test]
+    fn empty_pool_returns_empty_slice() {
+        let dict = SubstitutionDictionary::new();
+        assert!(dict.pool("nothing").is_empty());
+    }
+}

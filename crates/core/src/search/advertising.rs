@@ -1,0 +1,230 @@
+//! Privacy-preserving advertising (survey §V intro + §VI open problem).
+//!
+//! §V notes that "advertising is another kind of searching where an
+//! advertiser searches for target users", and §VI leaves the business
+//! model open: "provide privacy preserving advertising for a service
+//! provider storing encrypted data of users in order to get income",
+//! pointing at Privad and Adnostic. This module implements the
+//! Adnostic/Privad architecture those works share:
+//!
+//! 1. the broker pushes a *broad* ad portfolio to every client (it learns
+//!    nothing about individual interests);
+//! 2. **ad selection happens on the client** against the local interest
+//!    profile;
+//! 3. impressions/clicks are reported through unlinkable per-event tokens
+//!    and aggregated, so the broker can bill advertisers per-ad without
+//!    learning who saw what.
+
+use crate::content::Profile;
+use crate::search::audit::{Knowledge, LeakageAudit};
+use dosn_crypto::sha256::sha256_concat;
+use std::collections::BTreeMap;
+
+/// An ad in the broker's portfolio.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ad {
+    /// Broker-assigned ad id.
+    pub id: u64,
+    /// Interest keywords targeted.
+    pub keywords: Vec<String>,
+    /// Creative body (opaque here).
+    pub body: String,
+}
+
+/// An unlinkable impression report: ad id + a blinded nonce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImpressionToken {
+    ad_id: u64,
+    nonce: [u8; 32],
+}
+
+/// The ad broker: distributes the portfolio, aggregates billing.
+#[derive(Debug, Default)]
+pub struct AdBroker {
+    portfolio: Vec<Ad>,
+    impressions: BTreeMap<u64, u64>,
+    seen_nonces: std::collections::BTreeSet<[u8; 32]>,
+}
+
+impl AdBroker {
+    /// Creates a broker with an empty portfolio.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an ad campaign; returns its id.
+    pub fn register_ad(&mut self, keywords: &[&str], body: &str) -> u64 {
+        let id = self.portfolio.len() as u64;
+        self.portfolio.push(Ad {
+            id,
+            keywords: keywords.iter().map(|s| s.to_lowercase()).collect(),
+            body: body.to_owned(),
+        });
+        id
+    }
+
+    /// The full portfolio — broadcast identically to every client, so the
+    /// download reveals nothing about the requester (the Privad model).
+    pub fn portfolio(&self) -> &[Ad] {
+        &self.portfolio
+    }
+
+    /// Accepts an impression token. Per-token deduplication prevents
+    /// inflation; the broker learns *that* ad N was shown, not to whom.
+    ///
+    /// Returns `false` for duplicates (replayed tokens).
+    pub fn report_impression(&mut self, token: &ImpressionToken, audit: &mut LeakageAudit) -> bool {
+        // The broker learns only the ad id — record what it does NOT learn.
+        audit.record("broker", Knowledge::SearcherPseudonym);
+        if !self.seen_nonces.insert(token.nonce) {
+            return false;
+        }
+        *self.impressions.entry(token.ad_id).or_insert(0) += 1;
+        true
+    }
+
+    /// Billing view: impressions per ad.
+    pub fn impressions(&self, ad_id: u64) -> u64 {
+        self.impressions.get(&ad_id).copied().unwrap_or(0)
+    }
+}
+
+/// The client-side ad selector: matches the *local* profile against the
+/// broadcast portfolio. The profile never leaves the device.
+#[derive(Debug)]
+pub struct AdClient {
+    profile: Profile,
+    counter: u64,
+    secret: [u8; 32],
+}
+
+impl AdClient {
+    /// Creates a client around a local profile.
+    pub fn new(profile: Profile, secret: [u8; 32]) -> Self {
+        AdClient {
+            profile,
+            counter: 0,
+            secret,
+        }
+    }
+
+    /// Selects the best-matching ads locally (ranked by keyword overlap).
+    /// The broker is never consulted, so nothing leaks.
+    pub fn select_ads<'a>(&self, portfolio: &'a [Ad], top: usize) -> Vec<&'a Ad> {
+        let interests: Vec<String> = self
+            .profile
+            .interests
+            .iter()
+            .map(|i| i.to_lowercase())
+            .collect();
+        let mut scored: Vec<(usize, &Ad)> = portfolio
+            .iter()
+            .map(|ad| {
+                let overlap = ad.keywords.iter().filter(|k| interests.contains(k)).count();
+                (overlap, ad)
+            })
+            .filter(|(score, _)| *score > 0)
+            .collect();
+        scored.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.id.cmp(&b.1.id)));
+        scored.into_iter().take(top).map(|(_, ad)| ad).collect()
+    }
+
+    /// Produces an unlinkable impression token for a displayed ad: the
+    /// nonce is a one-way function of a local secret and counter, so two
+    /// tokens from the same client cannot be linked by the broker.
+    pub fn impression_token(&mut self, ad: &Ad) -> ImpressionToken {
+        self.counter += 1;
+        let nonce = sha256_concat(&[
+            b"dosn.ad.impression",
+            &self.secret,
+            &self.counter.to_be_bytes(),
+        ]);
+        ImpressionToken {
+            ad_id: ad.id,
+            nonce,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn broker_with_ads() -> AdBroker {
+        let mut b = AdBroker::new();
+        b.register_ad(&["football", "sports"], "Football boots -20%");
+        b.register_ad(&["chess"], "Grandmaster lessons");
+        b.register_ad(&["cooking", "food"], "Knife set");
+        b
+    }
+
+    #[test]
+    fn selection_is_local_and_interest_driven() {
+        let broker = broker_with_ads();
+        let client = AdClient::new(
+            Profile::new("alice", "A")
+                .with_interest("chess")
+                .with_interest("cooking"),
+            [1; 32],
+        );
+        let picked = client.select_ads(broker.portfolio(), 2);
+        let ids: Vec<u64> = picked.iter().map(|a| a.id).collect();
+        assert_eq!(ids, vec![1, 2]);
+        // No interests -> no ads.
+        let bored = AdClient::new(Profile::new("bob", "B"), [2; 32]);
+        assert!(bored.select_ads(broker.portfolio(), 2).is_empty());
+    }
+
+    #[test]
+    fn billing_counts_without_identity() {
+        let mut broker = broker_with_ads();
+        let mut alice = AdClient::new(Profile::new("alice", "A").with_interest("chess"), [1; 32]);
+        let mut audit = LeakageAudit::new();
+        let ad = broker.portfolio()[1].clone();
+        for _ in 0..3 {
+            let token = alice.impression_token(&ad);
+            assert!(broker.report_impression(&token, &mut audit));
+        }
+        assert_eq!(broker.impressions(1), 3);
+        assert_eq!(broker.impressions(0), 0);
+        // The broker never learned an identity or an interest profile.
+        assert!(!audit.knows("broker", Knowledge::SearcherIdentity));
+        assert!(!audit.knows("broker", Knowledge::QueryContent));
+    }
+
+    #[test]
+    fn replayed_tokens_rejected() {
+        let mut broker = broker_with_ads();
+        let mut client = AdClient::new(Profile::new("x", "X").with_interest("chess"), [3; 32]);
+        let ad = broker.portfolio()[1].clone();
+        let token = client.impression_token(&ad);
+        let mut audit = LeakageAudit::new();
+        assert!(broker.report_impression(&token, &mut audit));
+        assert!(!broker.report_impression(&token, &mut audit), "replay");
+        assert_eq!(broker.impressions(1), 1);
+    }
+
+    #[test]
+    fn tokens_are_unlinkable_across_events() {
+        let mut client = AdClient::new(Profile::new("x", "X").with_interest("chess"), [4; 32]);
+        let broker = broker_with_ads();
+        let ad = broker.portfolio()[1].clone();
+        let t1 = client.impression_token(&ad);
+        let t2 = client.impression_token(&ad);
+        assert_ne!(t1.nonce, t2.nonce);
+    }
+
+    #[test]
+    fn ranking_prefers_higher_overlap() {
+        let mut b = AdBroker::new();
+        b.register_ad(&["a"], "one keyword");
+        b.register_ad(&["a", "b"], "two keywords");
+        let client = AdClient::new(
+            Profile::new("u", "U").with_interest("a").with_interest("b"),
+            [5; 32],
+        );
+        let picked = client.select_ads(b.portfolio(), 2);
+        assert_eq!(picked[0].id, 1);
+        assert_eq!(picked[1].id, 0);
+    }
+}

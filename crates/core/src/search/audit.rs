@@ -1,0 +1,185 @@
+//! The leakage accountant: who learned what during a search.
+//!
+//! The survey's §V is about *information disclosure during search*: "if
+//! Alice wants to find her old friend Carol, then the relationship of Alice
+//! and Carol will be disclosed to \[the\] service provider, or … to the
+//! intermediate nodes participating in the search." Every search mode in
+//! this crate records its disclosures here, so experiment E7 can print a
+//! leakage matrix per mode instead of hand-waving.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A category of information a principal can learn during a search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Knowledge {
+    /// The real identity of the searcher.
+    SearcherIdentity,
+    /// The content of the query (interests, names searched).
+    QueryContent,
+    /// The identity of the user whose data was searched/returned.
+    OwnerIdentity,
+    /// A pseudonym/alias of the searcher (linkable across queries but not
+    /// to an identity without extra collusion).
+    SearcherPseudonym,
+}
+
+impl Knowledge {
+    /// Display label used in experiment tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Knowledge::SearcherIdentity => "searcher-identity",
+            Knowledge::QueryContent => "query-content",
+            Knowledge::OwnerIdentity => "owner-identity",
+            Knowledge::SearcherPseudonym => "searcher-pseudonym",
+        }
+    }
+}
+
+/// Accumulates disclosure records for one search (or a batch).
+///
+/// ```
+/// use dosn_core::search::{Knowledge, LeakageAudit};
+///
+/// let mut audit = LeakageAudit::new();
+/// audit.record("provider", Knowledge::QueryContent);
+/// audit.record("provider", Knowledge::SearcherIdentity);
+/// assert!(audit.knows("provider", Knowledge::QueryContent));
+/// assert!(!audit.knows("proxy", Knowledge::QueryContent));
+/// assert_eq!(audit.principals_knowing(Knowledge::SearcherIdentity), vec!["provider"]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LeakageAudit {
+    records: BTreeMap<String, BTreeSet<Knowledge>>,
+}
+
+impl LeakageAudit {
+    /// Creates an empty audit.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that `principal` learned `knowledge`.
+    pub fn record(&mut self, principal: &str, knowledge: Knowledge) {
+        self.records
+            .entry(principal.to_owned())
+            .or_default()
+            .insert(knowledge);
+    }
+
+    /// Whether `principal` learned `knowledge`.
+    pub fn knows(&self, principal: &str, knowledge: Knowledge) -> bool {
+        self.records
+            .get(principal)
+            .is_some_and(|set| set.contains(&knowledge))
+    }
+
+    /// All principals that learned `knowledge`, sorted.
+    pub fn principals_knowing(&self, knowledge: Knowledge) -> Vec<&str> {
+        self.records
+            .iter()
+            .filter(|(_, set)| set.contains(&knowledge))
+            .map(|(p, _)| p.as_str())
+            .collect()
+    }
+
+    /// Number of principals that learned the searcher's real identity —
+    /// E7's headline number per mode.
+    pub fn identity_exposure(&self) -> usize {
+        self.principals_knowing(Knowledge::SearcherIdentity).len()
+    }
+
+    /// Merges another audit (for batched experiments).
+    pub fn merge(&mut self, other: &LeakageAudit) {
+        for (p, set) in &other.records {
+            self.records
+                .entry(p.clone())
+                .or_default()
+                .extend(set.iter().copied());
+        }
+    }
+
+    /// All (principal, knowledge) pairs, sorted — for table rendering.
+    pub fn rows(&self) -> Vec<(String, Knowledge)> {
+        self.records
+            .iter()
+            .flat_map(|(p, set)| set.iter().map(move |k| (p.clone(), *k)))
+            .collect()
+    }
+
+    /// Simulates collusion: principals in `colluders` pool their knowledge;
+    /// returns the union of what they know together. (How the survey breaks
+    /// proxy schemes: "the security of this approach can be under the risk
+    /// by collusion of proxy servers".)
+    pub fn collude(&self, colluders: &[&str]) -> BTreeSet<Knowledge> {
+        let mut union = BTreeSet::new();
+        for c in colluders {
+            if let Some(set) = self.records.get(*c) {
+                union.extend(set.iter().copied());
+            }
+        }
+        union
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let mut a = LeakageAudit::new();
+        a.record("provider", Knowledge::QueryContent);
+        a.record("node3", Knowledge::SearcherIdentity);
+        assert!(a.knows("provider", Knowledge::QueryContent));
+        assert!(!a.knows("provider", Knowledge::SearcherIdentity));
+        assert_eq!(a.identity_exposure(), 1);
+    }
+
+    #[test]
+    fn merge_unions() {
+        let mut a = LeakageAudit::new();
+        a.record("p", Knowledge::QueryContent);
+        let mut b = LeakageAudit::new();
+        b.record("p", Knowledge::OwnerIdentity);
+        b.record("q", Knowledge::QueryContent);
+        a.merge(&b);
+        assert!(a.knows("p", Knowledge::QueryContent));
+        assert!(a.knows("p", Knowledge::OwnerIdentity));
+        assert!(a.knows("q", Knowledge::QueryContent));
+    }
+
+    #[test]
+    fn collusion_pools_knowledge() {
+        let mut a = LeakageAudit::new();
+        // Proxy knows who; provider knows what. Separately private...
+        a.record("proxy", Knowledge::SearcherIdentity);
+        a.record("provider", Knowledge::QueryContent);
+        a.record("provider", Knowledge::SearcherPseudonym);
+        a.record("proxy", Knowledge::SearcherPseudonym);
+        // ...together they link identity to query.
+        let pooled = a.collude(&["proxy", "provider"]);
+        assert!(pooled.contains(&Knowledge::SearcherIdentity));
+        assert!(pooled.contains(&Knowledge::QueryContent));
+        // A single party stays partial.
+        assert!(!a
+            .collude(&["provider"])
+            .contains(&Knowledge::SearcherIdentity));
+        assert!(a.collude(&["nobody"]).is_empty());
+    }
+
+    #[test]
+    fn rows_sorted_and_complete() {
+        let mut a = LeakageAudit::new();
+        a.record("b", Knowledge::QueryContent);
+        a.record("a", Knowledge::OwnerIdentity);
+        let rows = a.rows();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0, "a");
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(Knowledge::SearcherIdentity.label(), "searcher-identity");
+        assert_eq!(Knowledge::QueryContent.label(), "query-content");
+    }
+}

@@ -1,0 +1,214 @@
+//! Trusted-friends concentric routing (survey §V-B; Safebook).
+//!
+//! "Each user connects directly to trusted friends to forward messages. It
+//! will cause a concentric circle of friends around each user, which makes
+//! it possible to communicate with the user without revealing identity or
+//! even IP address." A query hops through a chain of the searcher's
+//! friends-of-friends; only the first hop sees the searcher, every later
+//! hop sees only its predecessor, and the provider sees the *exit* node.
+//! The anonymity the provider faces is quantified as the set of users who
+//! could plausibly have originated a query exiting there.
+
+use crate::graph::SocialGraph;
+use crate::identity::UserId;
+use crate::search::audit::{Knowledge, LeakageAudit};
+use crate::search::index::SearchIndex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// Routes queries through chains of trusted friends.
+#[derive(Debug)]
+pub struct FriendCircleRouter {
+    rng: StdRng,
+    /// Number of hops in the mixing chain (ring depth).
+    pub chain_len: usize,
+}
+
+/// The outcome of a routed search.
+#[derive(Debug, Clone)]
+pub struct RoutedSearch {
+    /// The relay chain, searcher first, exit node last.
+    pub chain: Vec<UserId>,
+    /// Matching users.
+    pub results: Vec<UserId>,
+    /// Size of the anonymity set the provider faces (users within
+    /// `chain_len` hops of the exit node).
+    pub anonymity_set: usize,
+}
+
+impl FriendCircleRouter {
+    /// Creates a router with the given chain length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chain_len == 0` (a zero-hop chain is a plain search).
+    pub fn new(chain_len: usize, seed: u64) -> Self {
+        assert!(chain_len >= 1, "chain must have at least one relay");
+        FriendCircleRouter {
+            rng: StdRng::seed_from_u64(seed),
+            chain_len,
+        }
+    }
+
+    /// Builds a random friend chain from `searcher` and runs the query at
+    /// the exit node.
+    ///
+    /// Returns `None` when the searcher has no friends to relay through.
+    pub fn search(
+        &mut self,
+        graph: &SocialGraph,
+        searcher: &UserId,
+        interest: &str,
+        index: &SearchIndex,
+        audit: &mut LeakageAudit,
+    ) -> Option<RoutedSearch> {
+        let mut chain = vec![searcher.clone()];
+        let mut current = searcher.clone();
+        for _ in 0..self.chain_len {
+            let friends = graph.friends(&current);
+            let candidates: Vec<&UserId> = friends.iter().filter(|f| !chain.contains(f)).collect();
+            if candidates.is_empty() {
+                break;
+            }
+            let next = candidates[self.rng.random_range(0..candidates.len())].clone();
+            chain.push(next.clone());
+            current = next;
+        }
+        if chain.len() < 2 {
+            return None;
+        }
+        // Disclosure model: each relay learns only its predecessor. The
+        // first relay therefore knows the searcher — but, per the survey's
+        // relaxation, "friends of a user are trusted parties". We still
+        // record it honestly.
+        audit.record(chain[1].as_str(), Knowledge::SearcherIdentity);
+        // Later relays learn a predecessor pseudonym, not the origin.
+        for relay in chain.iter().skip(2) {
+            audit.record(relay.as_str(), Knowledge::SearcherPseudonym);
+        }
+        // The exit node submits the query: the provider sees the query and
+        // the exit's identity — not the searcher's.
+        let exit = chain.last().expect("chain len >= 2");
+        audit.record("provider", Knowledge::QueryContent);
+        audit.record(exit.as_str(), Knowledge::QueryContent);
+        let results = index.users_interested_in(interest);
+        if !results.is_empty() {
+            audit.record("provider", Knowledge::OwnerIdentity);
+        }
+        audit.record(searcher.as_str(), Knowledge::OwnerIdentity);
+        let anonymity_set = anonymity_set_size(graph, exit, self.chain_len);
+        Some(RoutedSearch {
+            chain,
+            results,
+            anonymity_set,
+        })
+    }
+}
+
+/// Users within `hops` of `exit` — everyone who could have originated a
+/// chain exiting there.
+fn anonymity_set_size(graph: &SocialGraph, exit: &UserId, hops: usize) -> usize {
+    let mut reached: BTreeSet<UserId> = BTreeSet::from([exit.clone()]);
+    let mut frontier = vec![exit.clone()];
+    for _ in 0..hops {
+        let mut next = Vec::new();
+        for node in frontier {
+            for f in graph.friends(&node) {
+                if reached.insert(f.clone()) {
+                    next.push(f);
+                }
+            }
+        }
+        frontier = next;
+    }
+    reached.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::content::Profile;
+    use crate::graph::generators;
+
+    fn setup() -> (SocialGraph, SearchIndex) {
+        let graph = generators::small_world(60, 3, 0.1, 7);
+        let mut idx = SearchIndex::new();
+        idx.insert(Profile::new("user30", "U30").with_interest("jazz"));
+        (graph, idx)
+    }
+
+    #[test]
+    fn chain_hides_searcher_from_provider() {
+        let (graph, idx) = setup();
+        let mut router = FriendCircleRouter::new(3, 1);
+        let mut audit = LeakageAudit::new();
+        let routed = router
+            .search(&graph, &"user0".into(), "jazz", &idx, &mut audit)
+            .unwrap();
+        assert_eq!(routed.results, vec![UserId::from("user30")]);
+        assert!(!audit.knows("provider", Knowledge::SearcherIdentity));
+        assert!(audit.knows("provider", Knowledge::QueryContent));
+        // Only the first relay knows the searcher.
+        assert_eq!(audit.identity_exposure(), 1);
+        assert_eq!(
+            audit.principals_knowing(Knowledge::SearcherIdentity),
+            vec![routed.chain[1].as_str()]
+        );
+    }
+
+    #[test]
+    fn chain_members_are_distinct_friends() {
+        let (graph, idx) = setup();
+        let mut router = FriendCircleRouter::new(4, 2);
+        let mut audit = LeakageAudit::new();
+        let routed = router
+            .search(&graph, &"user5".into(), "jazz", &idx, &mut audit)
+            .unwrap();
+        // Consecutive chain members are friends; no repeats.
+        for pair in routed.chain.windows(2) {
+            assert!(graph.are_friends(&pair[0], &pair[1]));
+        }
+        let unique: BTreeSet<_> = routed.chain.iter().collect();
+        assert_eq!(unique.len(), routed.chain.len());
+    }
+
+    #[test]
+    fn longer_chains_widen_anonymity() {
+        let (graph, idx) = setup();
+        let run = |len: usize| {
+            let mut router = FriendCircleRouter::new(len, 3);
+            let mut audit = LeakageAudit::new();
+            let mut total = 0usize;
+            for s in 0..10 {
+                let searcher = UserId(format!("user{s}"));
+                if let Some(r) = router.search(&graph, &searcher, "jazz", &idx, &mut audit) {
+                    total += r.anonymity_set;
+                }
+            }
+            total
+        };
+        assert!(
+            run(4) > run(1),
+            "deeper rings must face the provider with more candidates"
+        );
+    }
+
+    #[test]
+    fn isolated_searcher_cannot_route() {
+        let mut graph = SocialGraph::new();
+        graph.add_user(&"loner".into());
+        let idx = SearchIndex::new();
+        let mut router = FriendCircleRouter::new(2, 4);
+        let mut audit = LeakageAudit::new();
+        assert!(router
+            .search(&graph, &"loner".into(), "x", &idx, &mut audit)
+            .is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one relay")]
+    fn zero_chain_rejected() {
+        FriendCircleRouter::new(0, 1);
+    }
+}

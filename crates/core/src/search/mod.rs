@@ -1,0 +1,35 @@
+//! Secure social search (survey §V).
+//!
+//! "A tradeoff between search capabilities and privacy is raised." The
+//! survey names four concerns and a solution for each; every one has a
+//! module here, and every search path is instrumented with a
+//! [`LeakageAudit`] recording *which principal learned what* — the quantity
+//! experiment E7 reports:
+//!
+//! | §V concern | Solution in the survey | Module |
+//! |---|---|---|
+//! | Content privacy | Blind signatures (Hummingbird) | [`blind_subscription`] |
+//! | Privacy of searcher | Proxy aliases; trusted-friends rings (Safebook); ZKP + pseudonyms | [`proxy`], [`circles`], [`zk_access`] |
+//! | Privacy of searched data owner | Resource handlers | [`zk_access`] |
+//! | Trusted search result | Trust-chain × popularity ranking | [`trust_rank`] |
+//!
+//! [`index`] provides the plaintext baseline (what a centralized provider
+//! sees) that the private modes are compared against.
+
+pub mod advertising;
+pub mod audit;
+pub mod blind_subscription;
+pub mod circles;
+pub mod index;
+pub mod proxy;
+pub mod trust_rank;
+pub mod zk_access;
+
+pub use advertising::{AdBroker, AdClient};
+pub use audit::{Knowledge, LeakageAudit};
+pub use blind_subscription::SubscriptionAuthority;
+pub use circles::FriendCircleRouter;
+pub use index::SearchIndex;
+pub use proxy::ProxyDirectory;
+pub use trust_rank::{rank_results, RankedResult};
+pub use zk_access::ResourceRegistry;

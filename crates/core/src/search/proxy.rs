@@ -1,0 +1,140 @@
+//! Proxy-based searcher privacy (survey §V-B).
+//!
+//! "The real identity of users will be replaced by aliases via the proxy
+//! server. Since the proxy server knows all the aliases of their users, it
+//! can forward messages correctly. Servers cannot see the real names of
+//! other servers' users. However, the security of this approach can be
+//! under the risk by collusion of proxy servers." Both halves are modelled:
+//! the provider sees only a pseudonym, and
+//! [`LeakageAudit::collude`](crate::search::LeakageAudit::collude) over
+//! `{proxy, provider}` shows the de-anonymization.
+
+use crate::identity::UserId;
+use crate::search::audit::{Knowledge, LeakageAudit};
+use crate::search::index::SearchIndex;
+use dosn_crypto::sha256::sha256_concat;
+use std::collections::BTreeMap;
+
+/// A proxy holding alias ↔ identity mappings.
+#[derive(Debug, Clone, Default)]
+pub struct ProxyDirectory {
+    alias_of: BTreeMap<UserId, String>,
+    real_of: BTreeMap<String, UserId>,
+    secret: [u8; 32],
+}
+
+impl ProxyDirectory {
+    /// Creates a proxy with a aliasing secret.
+    pub fn new(secret: [u8; 32]) -> Self {
+        ProxyDirectory {
+            alias_of: BTreeMap::new(),
+            real_of: BTreeMap::new(),
+            secret,
+        }
+    }
+
+    /// Registers a user, deriving a stable alias.
+    pub fn register(&mut self, user: &UserId) -> String {
+        if let Some(a) = self.alias_of.get(user) {
+            return a.clone();
+        }
+        let digest = sha256_concat(&[b"dosn.proxy.alias", &self.secret, user.as_bytes()]);
+        let alias = format!(
+            "anon-{:02x}{:02x}{:02x}{:02x}",
+            digest[0], digest[1], digest[2], digest[3]
+        );
+        self.alias_of.insert(user.clone(), alias.clone());
+        self.real_of.insert(alias.clone(), user.clone());
+        alias
+    }
+
+    /// The alias of a registered user.
+    pub fn alias(&self, user: &UserId) -> Option<&str> {
+        self.alias_of.get(user).map(String::as_str)
+    }
+
+    /// De-aliasing — only the proxy can do this (and a colluding provider
+    /// via the proxy).
+    pub fn resolve(&self, alias: &str) -> Option<&UserId> {
+        self.real_of.get(alias)
+    }
+
+    /// Searches `index` through the proxy: the provider sees only the
+    /// alias; the proxy sees the identity but (here) not the query, which
+    /// is forwarded opaquely.
+    pub fn search(
+        &mut self,
+        searcher: &UserId,
+        interest: &str,
+        index: &SearchIndex,
+        audit: &mut LeakageAudit,
+    ) -> Vec<UserId> {
+        let _alias = self.register(searcher);
+        // The proxy learns who is asking (it maps the alias) …
+        audit.record("proxy", Knowledge::SearcherIdentity);
+        audit.record("proxy", Knowledge::SearcherPseudonym);
+        // … the provider learns the query and the pseudonym only.
+        audit.record("provider", Knowledge::QueryContent);
+        audit.record("provider", Knowledge::SearcherPseudonym);
+        let matches = index.users_interested_in(interest);
+        if !matches.is_empty() {
+            audit.record("provider", Knowledge::OwnerIdentity);
+        }
+        audit.record(searcher.as_str(), Knowledge::OwnerIdentity);
+        matches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::content::Profile;
+
+    fn index() -> SearchIndex {
+        let mut idx = SearchIndex::new();
+        idx.insert(Profile::new("bob", "Bob").with_interest("chess"));
+        idx
+    }
+
+    #[test]
+    fn aliases_are_stable_and_resolvable_by_proxy_only() {
+        let mut p = ProxyDirectory::new([1; 32]);
+        let a1 = p.register(&"alice".into());
+        let a2 = p.register(&"alice".into());
+        assert_eq!(a1, a2);
+        assert!(a1.starts_with("anon-"));
+        assert_eq!(p.resolve(&a1), Some(&"alice".into()));
+        assert_eq!(p.resolve("anon-ffffffff"), None);
+    }
+
+    #[test]
+    fn different_secrets_different_aliases() {
+        let mut p1 = ProxyDirectory::new([1; 32]);
+        let mut p2 = ProxyDirectory::new([2; 32]);
+        assert_ne!(p1.register(&"alice".into()), p2.register(&"alice".into()));
+    }
+
+    #[test]
+    fn provider_sees_pseudonym_not_identity() {
+        let mut p = ProxyDirectory::new([3; 32]);
+        let idx = index();
+        let mut audit = LeakageAudit::new();
+        let results = p.search(&"alice".into(), "chess", &idx, &mut audit);
+        assert_eq!(results, vec![UserId::from("bob")]);
+        assert!(!audit.knows("provider", Knowledge::SearcherIdentity));
+        assert!(audit.knows("provider", Knowledge::SearcherPseudonym));
+        assert!(audit.knows("provider", Knowledge::QueryContent));
+        assert_eq!(audit.identity_exposure(), 1); // only the proxy
+    }
+
+    #[test]
+    fn collusion_deanonymizes() {
+        let mut p = ProxyDirectory::new([4; 32]);
+        let idx = index();
+        let mut audit = LeakageAudit::new();
+        p.search(&"alice".into(), "chess", &idx, &mut audit);
+        let pooled = audit.collude(&["proxy", "provider"]);
+        assert!(pooled.contains(&Knowledge::SearcherIdentity));
+        assert!(pooled.contains(&Knowledge::QueryContent));
+    }
+}

@@ -1,0 +1,183 @@
+//! Trusted search results (survey §V-D; Huang et al.).
+//!
+//! "If Alice trusts Bob and Bob trusts Sara, then Alice can trust Sara too.
+//! The amount of trust assigned to Sara by Alice, based on the search chain
+//! from Alice to Sara, is a function of trust levels of every intermediate
+//! friend of that chain … In this way, the target users can be ranked and
+//! then chosen." Candidates are scored by the best multiplicative trust
+//! chain from the searcher, blended with a popularity signal, and sorted.
+
+use crate::graph::SocialGraph;
+use crate::identity::UserId;
+use std::collections::BTreeMap;
+
+/// A scored search candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedResult {
+    /// The candidate user.
+    pub user: UserId,
+    /// Best chain trust from the searcher (`0` when unreachable).
+    pub trust: f64,
+    /// Normalized popularity in `[0, 1]`.
+    pub popularity: f64,
+    /// Blended score used for ordering.
+    pub score: f64,
+    /// The best trust chain (searcher → … → candidate), empty if none.
+    pub chain: Vec<UserId>,
+}
+
+/// Ranks `candidates` for `searcher`.
+///
+/// `popularity` maps users to raw popularity counts (followers, content
+/// hits); missing users count 0. `trust_weight ∈ [0, 1]` blends trust vs.
+/// popularity (the paper's model combines both signals); `max_hops` bounds
+/// chain exploration.
+///
+/// ```
+/// use dosn_core::graph::SocialGraph;
+/// use dosn_core::search::rank_results;
+/// use std::collections::BTreeMap;
+///
+/// let mut g = SocialGraph::new();
+/// g.befriend(&"alice".into(), &"bob".into(), 0.9);
+/// g.befriend(&"bob".into(), &"sara".into(), 0.8);
+/// g.befriend(&"alice".into(), &"mallory".into(), 0.1);
+///
+/// let pop = BTreeMap::from([("sara".into(), 10u64), ("mallory".into(), 10u64)]);
+/// let ranked = rank_results(&g, &"alice".into(),
+///                           &["sara".into(), "mallory".into()], &pop, 0.8, 4);
+/// assert_eq!(ranked[0].user.as_str(), "sara"); // trusted chain wins
+/// ```
+///
+/// # Panics
+///
+/// Panics when `trust_weight` is outside `[0, 1]`.
+pub fn rank_results(
+    graph: &SocialGraph,
+    searcher: &UserId,
+    candidates: &[UserId],
+    popularity: &BTreeMap<UserId, u64>,
+    trust_weight: f64,
+    max_hops: usize,
+) -> Vec<RankedResult> {
+    assert!((0.0..=1.0).contains(&trust_weight), "trust_weight in [0,1]");
+    let max_pop = candidates
+        .iter()
+        .map(|c| popularity.get(c).copied().unwrap_or(0))
+        .max()
+        .unwrap_or(0)
+        .max(1) as f64;
+    let mut out: Vec<RankedResult> = candidates
+        .iter()
+        .map(|c| {
+            let (chain, trust) = graph
+                .best_trust_path(searcher, c, max_hops)
+                .unwrap_or((Vec::new(), 0.0));
+            let pop = popularity.get(c).copied().unwrap_or(0) as f64 / max_pop;
+            RankedResult {
+                user: c.clone(),
+                trust,
+                popularity: pop,
+                score: trust_weight * trust + (1.0 - trust_weight) * pop,
+                chain,
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .expect("scores are finite")
+            .then_with(|| a.user.cmp(&b.user))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph() -> SocialGraph {
+        let mut g = SocialGraph::new();
+        g.befriend(&"alice".into(), &"bob".into(), 0.9);
+        g.befriend(&"bob".into(), &"sara".into(), 0.9);
+        g.befriend(&"alice".into(), &"carl".into(), 0.2);
+        g.befriend(&"carl".into(), &"dave".into(), 0.2);
+        g.add_user(&"stranger".into());
+        g
+    }
+
+    fn pop(entries: &[(&str, u64)]) -> BTreeMap<UserId, u64> {
+        entries
+            .iter()
+            .map(|(u, p)| (UserId::from(*u), *p))
+            .collect()
+    }
+
+    #[test]
+    fn trusted_chain_outranks_weak_chain() {
+        let g = graph();
+        let ranked = rank_results(
+            &g,
+            &"alice".into(),
+            &["sara".into(), "dave".into()],
+            &pop(&[("sara", 5), ("dave", 5)]),
+            1.0,
+            4,
+        );
+        assert_eq!(ranked[0].user.as_str(), "sara");
+        assert!((ranked[0].trust - 0.81).abs() < 1e-9);
+        assert!((ranked[1].trust - 0.04).abs() < 1e-9);
+        assert_eq!(ranked[0].chain.len(), 3);
+    }
+
+    #[test]
+    fn popularity_breaks_in_when_weighted() {
+        let g = graph();
+        // dave is far more popular; with popularity-heavy weighting he wins.
+        let ranked = rank_results(
+            &g,
+            &"alice".into(),
+            &["sara".into(), "dave".into()],
+            &pop(&[("sara", 1), ("dave", 100)]),
+            0.1,
+            4,
+        );
+        assert_eq!(ranked[0].user.as_str(), "dave");
+    }
+
+    #[test]
+    fn unreachable_candidate_scores_zero_trust() {
+        let g = graph();
+        let ranked = rank_results(&g, &"alice".into(), &["stranger".into()], &pop(&[]), 1.0, 4);
+        assert_eq!(ranked[0].trust, 0.0);
+        assert!(ranked[0].chain.is_empty());
+        assert_eq!(ranked[0].score, 0.0);
+    }
+
+    #[test]
+    fn ties_break_deterministically() {
+        let g = graph();
+        let ranked = rank_results(
+            &g,
+            &"alice".into(),
+            &["stranger".into(), "dave".into()],
+            &pop(&[]),
+            0.0,
+            4,
+        );
+        // Both score 0 (no popularity, weight 0): sorted by user id.
+        assert_eq!(ranked[0].user.as_str(), "dave");
+    }
+
+    #[test]
+    #[should_panic(expected = "trust_weight")]
+    fn bad_weight_panics() {
+        rank_results(&graph(), &"alice".into(), &[], &BTreeMap::new(), 1.5, 3);
+    }
+
+    #[test]
+    fn empty_candidates_ok() {
+        let ranked = rank_results(&graph(), &"alice".into(), &[], &BTreeMap::new(), 0.5, 3);
+        assert!(ranked.is_empty());
+    }
+}

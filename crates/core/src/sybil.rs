@@ -1,0 +1,230 @@
+//! Social-graph Sybil detection (survey §VI, "other concerns").
+//!
+//! "In a sybil attack, the reputation system of a network will be subverted
+//! by \[an\] attacker who makes (usually multiple) pseudonymous entities."
+//! The SybilGuard family of defences exploits the structural signature of
+//! such attacks: the sybil region connects to the honest region through few
+//! *attack edges*, so short random walks started from an honest verifier
+//! rarely cross into it. This module implements that verified-random-walk
+//! test: a suspect is accepted when enough of the verifier's walks
+//! intersect the suspect's walks.
+
+use crate::graph::SocialGraph;
+use crate::identity::UserId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// Verdict for one suspect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SybilVerdict {
+    /// Enough walk intersections: likely honest.
+    Accepted,
+    /// Too few intersections: likely a sybil identity.
+    Rejected,
+}
+
+/// Random-walk Sybil detector parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SybilDetector {
+    /// Number of random walks per principal.
+    pub walks: usize,
+    /// Walk length (SybilGuard uses Θ(√(n log n)); calibrate per graph).
+    pub walk_length: usize,
+    /// Minimum fraction of verifier walks that must intersect the
+    /// suspect's walk set for acceptance.
+    pub intersection_threshold: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SybilDetector {
+    fn default() -> Self {
+        SybilDetector {
+            walks: 32,
+            walk_length: 16,
+            intersection_threshold: 0.3,
+            seed: 0x5B11,
+        }
+    }
+}
+
+impl SybilDetector {
+    /// Collects the set of nodes touched by `walks` random walks from
+    /// `start`.
+    fn walk_footprint(&self, graph: &SocialGraph, start: &UserId, salt: u64) -> BTreeSet<UserId> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ salt);
+        let mut footprint = BTreeSet::new();
+        for _ in 0..self.walks {
+            let mut current = start.clone();
+            footprint.insert(current.clone());
+            for _ in 0..self.walk_length {
+                let friends = graph.friends(&current);
+                if friends.is_empty() {
+                    break;
+                }
+                current = friends[rng.random_range(0..friends.len())].clone();
+                footprint.insert(current.clone());
+            }
+        }
+        footprint
+    }
+
+    /// Tests whether `suspect` looks honest from `verifier`'s position.
+    pub fn verify(&self, graph: &SocialGraph, verifier: &UserId, suspect: &UserId) -> SybilVerdict {
+        let vf = self.walk_footprint(graph, verifier, 0xA5A5);
+        let sf = self.walk_footprint(graph, suspect, 0x5A5A);
+        let intersection = vf.intersection(&sf).count();
+        let frac = intersection as f64 / vf.len().max(1) as f64;
+        if frac >= self.intersection_threshold {
+            SybilVerdict::Accepted
+        } else {
+            SybilVerdict::Rejected
+        }
+    }
+
+    /// Sweeps a set of suspects; returns `(accepted, rejected)` counts —
+    /// the accuracy numbers an evaluation reports.
+    pub fn sweep(
+        &self,
+        graph: &SocialGraph,
+        verifier: &UserId,
+        suspects: &[UserId],
+    ) -> (usize, usize) {
+        let mut accepted = 0;
+        let mut rejected = 0;
+        for s in suspects {
+            match self.verify(graph, verifier, s) {
+                SybilVerdict::Accepted => accepted += 1,
+                SybilVerdict::Rejected => rejected += 1,
+            }
+        }
+        (accepted, rejected)
+    }
+}
+
+/// Grafts a sybil region onto `graph`: `count` fake identities densely
+/// connected among themselves, attached to the honest region through
+/// exactly `attack_edges` edges. Returns the sybil ids.
+pub fn inject_sybil_region(
+    graph: &mut SocialGraph,
+    count: usize,
+    attack_edges: usize,
+    seed: u64,
+) -> Vec<UserId> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let honest: Vec<UserId> = graph.users();
+    let sybils: Vec<UserId> = (0..count).map(|i| UserId(format!("sybil{i}"))).collect();
+    for s in &sybils {
+        graph.add_user(s);
+    }
+    // Dense internal structure (ring + chords).
+    for i in 0..count {
+        for d in [1usize, 2, 3] {
+            if count > d {
+                let j = (i + d) % count;
+                if i != j {
+                    graph.befriend(&sybils[i], &sybils[j], 0.9);
+                }
+            }
+        }
+    }
+    // Few attack edges into the honest region.
+    for e in 0..attack_edges {
+        let h = &honest[rng.random_range(0..honest.len())];
+        let s = &sybils[e % count];
+        if h != s {
+            graph.befriend(h, s, 0.9);
+        }
+    }
+    sybils
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::generators;
+
+    fn honest_graph() -> SocialGraph {
+        generators::small_world(150, 4, 0.1, 41)
+    }
+
+    #[test]
+    fn honest_nodes_mostly_accepted() {
+        let graph = honest_graph();
+        let detector = SybilDetector::default();
+        let verifier = UserId::from("user0");
+        let suspects: Vec<UserId> = (10..40).map(|i| UserId(format!("user{i}"))).collect();
+        let (accepted, rejected) = detector.sweep(&graph, &verifier, &suspects);
+        assert!(
+            accepted as f64 / (accepted + rejected) as f64 >= 0.8,
+            "honest acceptance too low: {accepted}/{}",
+            accepted + rejected
+        );
+    }
+
+    #[test]
+    fn sybil_region_mostly_rejected() {
+        let mut graph = honest_graph();
+        let sybils = inject_sybil_region(&mut graph, 40, 2, 7);
+        let detector = SybilDetector::default();
+        let verifier = UserId::from("user0");
+        let (accepted, rejected) = detector.sweep(&graph, &verifier, &sybils);
+        assert!(
+            rejected > accepted,
+            "sybils slipped through: accepted {accepted}, rejected {rejected}"
+        );
+    }
+
+    #[test]
+    fn more_attack_edges_weaken_detection() {
+        let detector = SybilDetector::default();
+        let verifier = UserId::from("user0");
+        let run = |edges: usize| {
+            let mut graph = honest_graph();
+            let sybils = inject_sybil_region(&mut graph, 40, edges, 11);
+            let (accepted, _) = detector.sweep(&graph, &verifier, &sybils);
+            accepted
+        };
+        let tight = run(1);
+        let porous = run(60);
+        assert!(
+            porous >= tight,
+            "more attack edges must not improve detection ({tight} vs {porous})"
+        );
+    }
+
+    #[test]
+    fn isolated_suspect_rejected() {
+        let mut graph = honest_graph();
+        graph.add_user(&UserId::from("loner"));
+        let detector = SybilDetector::default();
+        assert_eq!(
+            detector.verify(&graph, &UserId::from("user0"), &UserId::from("loner")),
+            SybilVerdict::Rejected
+        );
+    }
+
+    #[test]
+    fn verifier_accepts_itself_and_neighbors() {
+        let graph = honest_graph();
+        let detector = SybilDetector::default();
+        let v = UserId::from("user0");
+        assert_eq!(detector.verify(&graph, &v, &v), SybilVerdict::Accepted);
+        let friend = &graph.friends(&v)[0];
+        assert_eq!(detector.verify(&graph, &v, friend), SybilVerdict::Accepted);
+    }
+
+    #[test]
+    fn injection_shape() {
+        let mut graph = honest_graph();
+        let before = graph.len();
+        let sybils = inject_sybil_region(&mut graph, 10, 3, 1);
+        assert_eq!(graph.len(), before + 10);
+        assert_eq!(sybils.len(), 10);
+        // Sybils are densely interlinked.
+        for s in &sybils {
+            assert!(graph.friends(s).len() >= 3);
+        }
+    }
+}

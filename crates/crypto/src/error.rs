@@ -1,0 +1,85 @@
+//! Error type shared by every primitive in `dosn-crypto`.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by cryptographic operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CryptoError {
+    /// Ciphertext failed authentication (wrong key or tampered data).
+    AuthenticationFailed,
+    /// The ciphertext is structurally malformed (truncated, bad framing).
+    Malformed(String),
+    /// A signature did not verify.
+    InvalidSignature,
+    /// The recipient/identity is not among the ciphertext's audiences.
+    NotARecipient,
+    /// The decryptor's attributes do not satisfy the ciphertext policy.
+    PolicyNotSatisfied,
+    /// An access policy string failed to parse.
+    PolicyParse(String),
+    /// A secret could not be reconstructed from the available shares.
+    ShareReconstruction(String),
+    /// The requested key is not registered in the directory.
+    UnknownKey(String),
+    /// A protocol message arrived out of order or with bad parameters.
+    Protocol(String),
+    /// A zero-knowledge proof failed verification.
+    InvalidProof,
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::AuthenticationFailed => f.write_str("ciphertext authentication failed"),
+            CryptoError::Malformed(what) => write!(f, "malformed input: {what}"),
+            CryptoError::InvalidSignature => f.write_str("signature verification failed"),
+            CryptoError::NotARecipient => f.write_str("identity is not a ciphertext recipient"),
+            CryptoError::PolicyNotSatisfied => {
+                f.write_str("attributes do not satisfy the access policy")
+            }
+            CryptoError::PolicyParse(msg) => write!(f, "invalid access policy: {msg}"),
+            CryptoError::ShareReconstruction(msg) => {
+                write!(f, "secret share reconstruction failed: {msg}")
+            }
+            CryptoError::UnknownKey(who) => write!(f, "no key registered for {who:?}"),
+            CryptoError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            CryptoError::InvalidProof => f.write_str("zero-knowledge proof verification failed"),
+        }
+    }
+}
+
+impl Error for CryptoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_nonempty() {
+        let samples = [
+            CryptoError::AuthenticationFailed,
+            CryptoError::Malformed("x".into()),
+            CryptoError::InvalidSignature,
+            CryptoError::NotARecipient,
+            CryptoError::PolicyNotSatisfied,
+            CryptoError::PolicyParse("y".into()),
+            CryptoError::ShareReconstruction("z".into()),
+            CryptoError::UnknownKey("alice".into()),
+            CryptoError::Protocol("w".into()),
+            CryptoError::InvalidProof,
+        ];
+        for e in samples {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<CryptoError>();
+    }
+}

@@ -1,0 +1,252 @@
+//! HMAC-SHA256, HKDF, and the keyed PRF abstraction used across the stack.
+//!
+//! The survey (§III-F) models Hummingbird's key derivation as a PRF combined
+//! with a hash over part of the message; [`Prf`] is that object, instantiated
+//! as HMAC-SHA256.
+
+use crate::sha256::{Sha256, BLOCK_LEN, DIGEST_LEN};
+
+/// Computes HMAC-SHA256 (RFC 2104) of `data` under `key`.
+///
+/// ```
+/// let tag = dosn_crypto::hmac::hmac_sha256(b"key", b"The quick brown fox jumps over the lazy dog");
+/// assert_eq!(tag[..4], [0xf7, 0xbc, 0x83, 0xf4]);
+/// ```
+pub fn hmac_sha256(key: &[u8], data: &[u8]) -> [u8; DIGEST_LEN] {
+    let mut mac = HmacSha256::new(key);
+    mac.update(data);
+    mac.finalize()
+}
+
+/// Incremental HMAC-SHA256.
+#[derive(Clone, Debug)]
+pub struct HmacSha256 {
+    inner: Sha256,
+    outer_key: [u8; BLOCK_LEN],
+}
+
+impl HmacSha256 {
+    /// Creates a MAC instance keyed with `key` (any length; long keys are
+    /// hashed down per RFC 2104).
+    pub fn new(key: &[u8]) -> Self {
+        let mut block_key = [0u8; BLOCK_LEN];
+        if key.len() > BLOCK_LEN {
+            let d = crate::sha256::sha256(key);
+            block_key[..DIGEST_LEN].copy_from_slice(&d);
+        } else {
+            block_key[..key.len()].copy_from_slice(key);
+        }
+        let mut ipad = [0u8; BLOCK_LEN];
+        let mut opad = [0u8; BLOCK_LEN];
+        for i in 0..BLOCK_LEN {
+            ipad[i] = block_key[i] ^ 0x36;
+            opad[i] = block_key[i] ^ 0x5c;
+        }
+        let mut inner = Sha256::new();
+        inner.update(&ipad);
+        HmacSha256 {
+            inner,
+            outer_key: opad,
+        }
+    }
+
+    /// Absorbs message bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Produces the 32-byte tag.
+    pub fn finalize(self) -> [u8; DIGEST_LEN] {
+        let inner_digest = self.inner.finalize();
+        let mut outer = Sha256::new();
+        outer.update(&self.outer_key);
+        outer.update(&inner_digest);
+        outer.finalize()
+    }
+}
+
+/// Constant-time tag comparison; returns `true` when equal.
+///
+/// Avoids early-exit timing leaks when verifying MACs.
+pub fn verify_tag(expected: &[u8], actual: &[u8]) -> bool {
+    if expected.len() != actual.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (a, b) in expected.iter().zip(actual) {
+        diff |= a ^ b;
+    }
+    diff == 0
+}
+
+/// HKDF-SHA256 extract step (RFC 5869).
+pub fn hkdf_extract(salt: &[u8], ikm: &[u8]) -> [u8; DIGEST_LEN] {
+    hmac_sha256(salt, ikm)
+}
+
+/// HKDF-SHA256 expand step (RFC 5869).
+///
+/// # Panics
+///
+/// Panics if `len > 255 * 32` (the RFC 5869 limit).
+pub fn hkdf_expand(prk: &[u8; DIGEST_LEN], info: &[u8], len: usize) -> Vec<u8> {
+    assert!(len <= 255 * DIGEST_LEN, "hkdf output too long");
+    let mut out = Vec::with_capacity(len);
+    let mut prev: Vec<u8> = Vec::new();
+    let mut counter = 1u8;
+    while out.len() < len {
+        let mut mac = HmacSha256::new(prk);
+        mac.update(&prev);
+        mac.update(info);
+        mac.update(&[counter]);
+        prev = mac.finalize().to_vec();
+        let take = (len - out.len()).min(DIGEST_LEN);
+        out.extend_from_slice(&prev[..take]);
+        counter += 1;
+    }
+    out
+}
+
+/// One-call HKDF: extract-then-expand.
+///
+/// ```
+/// let okm = dosn_crypto::hmac::hkdf(b"salt", b"input key material", b"ctx", 64);
+/// assert_eq!(okm.len(), 64);
+/// ```
+pub fn hkdf(salt: &[u8], ikm: &[u8], info: &[u8], len: usize) -> Vec<u8> {
+    let prk = hkdf_extract(salt, ikm);
+    hkdf_expand(&prk, info, len)
+}
+
+/// A keyed pseudo-random function `f_s(x)`, instantiated as HMAC-SHA256.
+///
+/// The survey's §III-F describes Hummingbird deriving symmetric keys by
+/// "applying a combination of a PRF and a hash function on a particular part
+/// of \[the\] message"; this type is that PRF.
+///
+/// ```
+/// use dosn_crypto::hmac::Prf;
+/// let prf = Prf::new([1u8; 32]);
+/// let a = prf.eval(b"#icdcs2015");
+/// assert_eq!(a, prf.eval(b"#icdcs2015"));
+/// assert_ne!(a, prf.eval(b"#other"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Prf {
+    secret: [u8; 32],
+}
+
+impl Prf {
+    /// Creates a PRF with the given secret `s`.
+    pub fn new(secret: [u8; 32]) -> Self {
+        Prf { secret }
+    }
+
+    /// Evaluates `f_s(x)`.
+    pub fn eval(&self, x: &[u8]) -> [u8; DIGEST_LEN] {
+        hmac_sha256(&self.secret, x)
+    }
+
+    /// Evaluates the PRF and expands the output to an arbitrary-length key.
+    pub fn eval_expanded(&self, x: &[u8], len: usize) -> Vec<u8> {
+        let prk = self.eval(x);
+        hkdf_expand(&prk, b"dosn.prf.expand", len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(b: &[u8]) -> String {
+        b.iter().map(|x| format!("{x:02x}")).collect()
+    }
+
+    #[test]
+    fn rfc4231_test_case_1() {
+        let key = [0x0b; 20];
+        let tag = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            hex(&tag),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_test_case_2() {
+        let tag = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex(&tag),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_test_case_6_long_key() {
+        let key = [0xaa; 131];
+        let tag = hmac_sha256(
+            &key,
+            b"Test Using Larger Than Block-Size Key - Hash Key First",
+        );
+        assert_eq!(
+            hex(&tag),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let mut mac = HmacSha256::new(b"k");
+        mac.update(b"part one ");
+        mac.update(b"part two");
+        assert_eq!(mac.finalize(), hmac_sha256(b"k", b"part one part two"));
+    }
+
+    #[test]
+    fn rfc5869_test_case_1() {
+        let ikm = [0x0b; 22];
+        let salt: Vec<u8> = (0x00..=0x0c).collect();
+        let info: Vec<u8> = (0xf0..=0xf9).collect();
+        let okm = hkdf(&salt, &ikm, &info, 42);
+        assert_eq!(
+            hex(&okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865"
+        );
+    }
+
+    #[test]
+    fn hkdf_zero_length_and_multiblock() {
+        assert!(hkdf(b"s", b"ikm", b"", 0).is_empty());
+        let long = hkdf(b"s", b"ikm", b"info", 100);
+        assert_eq!(long.len(), 100);
+        // Prefix property: first 32 bytes are block T(1) regardless of total length.
+        let short = hkdf(b"s", b"ikm", b"info", 32);
+        assert_eq!(&long[..32], &short[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "too long")]
+    fn hkdf_over_limit_panics() {
+        let prk = [0u8; 32];
+        let _ = hkdf_expand(&prk, b"", 255 * 32 + 1);
+    }
+
+    #[test]
+    fn verify_tag_behaviour() {
+        assert!(verify_tag(b"same", b"same"));
+        assert!(!verify_tag(b"same", b"diff"));
+        assert!(!verify_tag(b"short", b"longer"));
+        assert!(verify_tag(b"", b""));
+    }
+
+    #[test]
+    fn prf_determinism_and_separation() {
+        let p1 = Prf::new([9u8; 32]);
+        let p2 = Prf::new([8u8; 32]);
+        assert_eq!(p1.eval(b"x"), p1.eval(b"x"));
+        assert_ne!(p1.eval(b"x"), p2.eval(b"x"));
+        assert_ne!(p1.eval(b"x"), p1.eval(b"y"));
+        let expanded = p1.eval_expanded(b"x", 80);
+        assert_eq!(expanded.len(), 80);
+    }
+}

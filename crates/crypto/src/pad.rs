@@ -1,0 +1,587 @@
+//! Persistent authenticated dictionary (survey §III-F).
+//!
+//! "The hybrid structure of the access control lists (ACLs) in Frientegrity
+//! is organized in a persistent authenticated dictionary (PAD). Thus, ACLs
+//! are PADs, making it possible to access in logarithmic time." A PAD lets
+//! an untrusted provider store a key→value map on the owner's behalf and
+//! answer lookups with *proofs*: a positive proof that `k ↦ v` under the
+//! owner-signed root, or a negative proof that `k` is absent — so a
+//! malicious provider can neither forge ACL entries nor hide them.
+//!
+//! Implementation: a Merkle tree over the sorted entry list. Membership
+//! proofs are standard Merkle paths; absence proofs present the two
+//! *adjacent* entries that straddle the missing key (plus their paths), and
+//! persistence comes from retaining every signed root by version. Proof
+//! size and verification are `O(log n)`.
+
+use crate::chacha::SecureRng;
+use crate::error::CryptoError;
+use crate::schnorr::{Signature, SigningKey, VerifyingKey};
+use crate::sha256::{sha256_concat, Sha256};
+use std::collections::BTreeMap;
+
+/// Hash of a PAD node.
+type NodeHash = [u8; 32];
+
+fn leaf_hash(key: &[u8], value: &[u8]) -> NodeHash {
+    sha256_concat(&[
+        b"dosn.pad.leaf",
+        &(key.len() as u64).to_be_bytes(),
+        key,
+        &(value.len() as u64).to_be_bytes(),
+        value,
+    ])
+}
+
+fn node_hash(left: &NodeHash, right: &NodeHash) -> NodeHash {
+    sha256_concat(&[b"dosn.pad.node", left, right])
+}
+
+/// Computes the Merkle root over leaf hashes (zeros when empty).
+fn merkle_root(leaves: &[NodeHash]) -> NodeHash {
+    if leaves.is_empty() {
+        return [0; 32];
+    }
+    let mut level = leaves.to_vec();
+    while level.len() > 1 {
+        level = level
+            .chunks(2)
+            .map(|pair| {
+                if pair.len() == 2 {
+                    node_hash(&pair[0], &pair[1])
+                } else {
+                    pair[0]
+                }
+            })
+            .collect();
+    }
+    level[0]
+}
+
+/// One Merkle path step: the sibling hash and which side it sits on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct PathStep {
+    sibling: NodeHash,
+    sibling_is_left: bool,
+}
+
+/// Computes the authentication path for `index` and verifies it folds to
+/// the root.
+fn merkle_path(leaves: &[NodeHash], index: usize) -> Vec<PathStep> {
+    let mut path = Vec::new();
+    let mut level = leaves.to_vec();
+    let mut idx = index;
+    while level.len() > 1 {
+        let sibling_idx = if idx.is_multiple_of(2) {
+            idx + 1
+        } else {
+            idx - 1
+        };
+        if sibling_idx < level.len() {
+            path.push(PathStep {
+                sibling: level[sibling_idx],
+                sibling_is_left: sibling_idx < idx,
+            });
+        }
+        level = level
+            .chunks(2)
+            .map(|pair| {
+                if pair.len() == 2 {
+                    node_hash(&pair[0], &pair[1])
+                } else {
+                    pair[0]
+                }
+            })
+            .collect();
+        idx /= 2;
+    }
+    path
+}
+
+fn fold_path(mut acc: NodeHash, path: &[PathStep]) -> NodeHash {
+    for step in path {
+        acc = if step.sibling_is_left {
+            node_hash(&step.sibling, &acc)
+        } else {
+            node_hash(&acc, &step.sibling)
+        };
+    }
+    acc
+}
+
+/// A signed root: version, root hash, and the owner's signature.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignedRoot {
+    /// Monotone version (one per mutation).
+    pub version: u64,
+    /// Merkle root at this version.
+    pub root: NodeHash,
+    signature: Signature,
+}
+
+impl SignedRoot {
+    fn digest(version: u64, root: &NodeHash) -> NodeHash {
+        let mut h = Sha256::new();
+        h.update(b"dosn.pad.root");
+        h.update(&version.to_be_bytes());
+        h.update(root);
+        h.finalize()
+    }
+
+    /// Verifies the owner's signature on this root.
+    ///
+    /// # Errors
+    ///
+    /// [`CryptoError::InvalidSignature`] when the signature is bad.
+    pub fn verify(&self, owner: &VerifyingKey) -> Result<(), CryptoError> {
+        owner.verify(&Self::digest(self.version, &self.root), &self.signature)
+    }
+}
+
+/// A proof that a key is present (with its value) or absent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LookupProof {
+    /// `key ↦ value` is in the dictionary.
+    Present {
+        /// The bound value.
+        value: Vec<u8>,
+        /// Leaf index in the sorted entry list.
+        index: usize,
+        path: Vec<PathProof>,
+    },
+    /// `key` is absent; the straddling neighbors prove it.
+    Absent {
+        /// The greatest entry below the key (`None` at the left edge).
+        left: Option<NeighborProof>,
+        /// The least entry above the key (`None` at the right edge).
+        right: Option<NeighborProof>,
+        /// Total entries at this version (to validate edge cases).
+        len: usize,
+    },
+}
+
+/// Re-exported path step (opaque contents).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathProof(PathStep);
+
+/// A neighbor entry with its own membership path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NeighborProof {
+    key: Vec<u8>,
+    value: Vec<u8>,
+    index: usize,
+    path: Vec<PathProof>,
+}
+
+/// The owner-side persistent authenticated dictionary.
+///
+/// ```
+/// use dosn_crypto::pad::AuthenticatedDictionary;
+/// use dosn_crypto::{schnorr::SigningKey, group::SchnorrGroup, chacha::SecureRng};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut rng = SecureRng::seed_from_u64(120);
+/// let owner = SigningKey::generate(SchnorrGroup::toy(), &mut rng);
+/// let mut acl = AuthenticatedDictionary::new(owner.clone());
+///
+/// acl.insert(b"bob", b"reader", &mut rng);
+/// acl.insert(b"carol", b"writer", &mut rng);
+///
+/// // The provider answers lookups with proofs a client can verify offline.
+/// let (proof, root) = acl.prove(b"bob");
+/// AuthenticatedDictionary::verify(owner.verifying_key(), &root, b"bob", &proof)?;
+///
+/// // Absence is also provable: the provider cannot hide entries.
+/// let (proof, root) = acl.prove(b"mallory");
+/// AuthenticatedDictionary::verify(owner.verifying_key(), &root, b"mallory", &proof)?;
+/// # Ok(())
+/// # }
+/// ```
+pub struct AuthenticatedDictionary {
+    owner: SigningKey,
+    entries: BTreeMap<Vec<u8>, Vec<u8>>,
+    version: u64,
+    /// Every signed root ever produced ("persistent").
+    roots: Vec<SignedRoot>,
+}
+
+impl std::fmt::Debug for AuthenticatedDictionary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "AuthenticatedDictionary({} entries, version {})",
+            self.entries.len(),
+            self.version
+        )
+    }
+}
+
+impl AuthenticatedDictionary {
+    /// Creates an empty dictionary owned by `owner`.
+    pub fn new(owner: SigningKey) -> Self {
+        AuthenticatedDictionary {
+            owner,
+            entries: BTreeMap::new(),
+            version: 0,
+            roots: Vec::new(),
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Current version (0 before any mutation).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// All signed roots, oldest first (the persistence trail).
+    pub fn root_history(&self) -> &[SignedRoot] {
+        &self.roots
+    }
+
+    fn leaves(&self) -> (Vec<Vec<u8>>, Vec<NodeHash>) {
+        let keys: Vec<Vec<u8>> = self.entries.keys().cloned().collect();
+        let hashes = self.entries.iter().map(|(k, v)| leaf_hash(k, v)).collect();
+        (keys, hashes)
+    }
+
+    fn sign_root(&mut self, rng: &mut SecureRng) -> SignedRoot {
+        self.version += 1;
+        let (_, leaves) = self.leaves();
+        let root = merkle_root(&leaves);
+        let signature = self
+            .owner
+            .sign(&SignedRoot::digest(self.version, &root), rng);
+        let signed = SignedRoot {
+            version: self.version,
+            root,
+            signature,
+        };
+        self.roots.push(signed.clone());
+        signed
+    }
+
+    /// Inserts (or replaces) an entry, producing a fresh signed root.
+    pub fn insert(&mut self, key: &[u8], value: &[u8], rng: &mut SecureRng) -> SignedRoot {
+        self.entries.insert(key.to_vec(), value.to_vec());
+        self.sign_root(rng)
+    }
+
+    /// Removes an entry (no-op version bump if absent), producing a fresh
+    /// signed root.
+    pub fn remove(&mut self, key: &[u8], rng: &mut SecureRng) -> SignedRoot {
+        self.entries.remove(key);
+        self.sign_root(rng)
+    }
+
+    /// Produces a lookup proof for `key` against the *current* version.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before any mutation (there is no signed root yet).
+    pub fn prove(&self, key: &[u8]) -> (LookupProof, SignedRoot) {
+        let root = self
+            .roots
+            .last()
+            .expect("prove requires at least one signed root")
+            .clone();
+        let (keys, leaves) = self.leaves();
+        let proof = match keys.binary_search(&key.to_vec()) {
+            Ok(index) => LookupProof::Present {
+                value: self.entries[key].clone(),
+                index,
+                path: merkle_path(&leaves, index)
+                    .into_iter()
+                    .map(PathProof)
+                    .collect(),
+            },
+            Err(insertion) => {
+                let neighbor = |idx: usize| -> NeighborProof {
+                    NeighborProof {
+                        key: keys[idx].clone(),
+                        value: self.entries[&keys[idx]].clone(),
+                        index: idx,
+                        path: merkle_path(&leaves, idx)
+                            .into_iter()
+                            .map(PathProof)
+                            .collect(),
+                    }
+                };
+                LookupProof::Absent {
+                    left: insertion.checked_sub(1).map(neighbor),
+                    right: (insertion < keys.len()).then(|| neighbor(insertion)),
+                    len: keys.len(),
+                }
+            }
+        };
+        (proof, root)
+    }
+
+    /// Client-side verification of a lookup proof against a signed root.
+    ///
+    /// # Errors
+    ///
+    /// * [`CryptoError::InvalidSignature`] — bad root signature;
+    /// * [`CryptoError::InvalidProof`] — the proof does not authenticate
+    ///   under the root, or the absence neighbors do not straddle the key.
+    pub fn verify(
+        owner: &VerifyingKey,
+        root: &SignedRoot,
+        key: &[u8],
+        proof: &LookupProof,
+    ) -> Result<(), CryptoError> {
+        root.verify(owner)?;
+        match proof {
+            LookupProof::Present { value, index, path } => {
+                let steps: Vec<PathStep> = path.iter().map(|p| p.0.clone()).collect();
+                let folded = fold_path(leaf_hash(key, value), &steps);
+                if folded != root.root {
+                    return Err(CryptoError::InvalidProof);
+                }
+                let _ = index;
+                Ok(())
+            }
+            LookupProof::Absent { left, right, len } => {
+                if *len == 0 {
+                    // Empty dictionary: root must be the empty root.
+                    return if root.root == [0; 32] {
+                        Ok(())
+                    } else {
+                        Err(CryptoError::InvalidProof)
+                    };
+                }
+                let check_neighbor = |n: &NeighborProof| -> Result<(), CryptoError> {
+                    let steps: Vec<PathStep> = n.path.iter().map(|p| p.0.clone()).collect();
+                    if fold_path(leaf_hash(&n.key, &n.value), &steps) != root.root {
+                        return Err(CryptoError::InvalidProof);
+                    }
+                    Ok(())
+                };
+                match (left, right) {
+                    (Some(l), Some(r)) => {
+                        check_neighbor(l)?;
+                        check_neighbor(r)?;
+                        // Straddling and adjacent.
+                        if !(l.key.as_slice() < key && key < r.key.as_slice()) {
+                            return Err(CryptoError::InvalidProof);
+                        }
+                        if r.index != l.index + 1 {
+                            return Err(CryptoError::InvalidProof);
+                        }
+                        Ok(())
+                    }
+                    (Some(l), None) => {
+                        check_neighbor(l)?;
+                        // Key is beyond the right edge.
+                        if !(l.key.as_slice() < key && l.index + 1 == *len) {
+                            return Err(CryptoError::InvalidProof);
+                        }
+                        Ok(())
+                    }
+                    (None, Some(r)) => {
+                        check_neighbor(r)?;
+                        if !(key < r.key.as_slice() && r.index == 0) {
+                            return Err(CryptoError::InvalidProof);
+                        }
+                        Ok(())
+                    }
+                    (None, None) => Err(CryptoError::InvalidProof),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::SchnorrGroup;
+
+    fn setup() -> (AuthenticatedDictionary, SigningKey, SecureRng) {
+        let mut rng = SecureRng::seed_from_u64(121);
+        let owner = SigningKey::generate(SchnorrGroup::toy(), &mut rng);
+        let dict = AuthenticatedDictionary::new(owner.clone());
+        (dict, owner, rng)
+    }
+
+    fn populated() -> (AuthenticatedDictionary, SigningKey, SecureRng) {
+        let (mut dict, owner, mut rng) = setup();
+        for (k, v) in [("bob", "reader"), ("carol", "writer"), ("erin", "reader")] {
+            dict.insert(k.as_bytes(), v.as_bytes(), &mut rng);
+        }
+        (dict, owner, rng)
+    }
+
+    #[test]
+    fn membership_proofs_verify() {
+        let (dict, owner, _) = populated();
+        for key in ["bob", "carol", "erin"] {
+            let (proof, root) = dict.prove(key.as_bytes());
+            assert!(matches!(proof, LookupProof::Present { .. }));
+            AuthenticatedDictionary::verify(owner.verifying_key(), &root, key.as_bytes(), &proof)
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn absence_proofs_verify() {
+        let (dict, owner, _) = populated();
+        // Interior gap, left edge, right edge.
+        for key in ["dave", "aaron", "zed"] {
+            let (proof, root) = dict.prove(key.as_bytes());
+            assert!(matches!(proof, LookupProof::Absent { .. }), "{key}");
+            AuthenticatedDictionary::verify(owner.verifying_key(), &root, key.as_bytes(), &proof)
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn forged_value_rejected() {
+        let (dict, owner, _) = populated();
+        let (proof, root) = dict.prove(b"bob");
+        let LookupProof::Present { index, path, .. } = proof else {
+            panic!("present");
+        };
+        let forged = LookupProof::Present {
+            value: b"owner".to_vec(), // privilege escalation attempt
+            index,
+            path,
+        };
+        assert_eq!(
+            AuthenticatedDictionary::verify(owner.verifying_key(), &root, b"bob", &forged)
+                .unwrap_err(),
+            CryptoError::InvalidProof
+        );
+    }
+
+    #[test]
+    fn hiding_an_entry_rejected() {
+        // The provider tries to prove "carol" absent although she is listed:
+        // it must fabricate straddling neighbors, but bob/erin are not
+        // adjacent (carol sits between them), so the index check fails.
+        let (dict, owner, _) = populated();
+        let (bob_proof, root) = dict.prove(b"bob");
+        let (erin_proof, _) = dict.prove(b"erin");
+        let LookupProof::Present {
+            value: bv,
+            index: bi,
+            path: bp,
+        } = bob_proof
+        else {
+            panic!()
+        };
+        let LookupProof::Present {
+            value: ev,
+            index: ei,
+            path: ep,
+        } = erin_proof
+        else {
+            panic!()
+        };
+        let fake_absent = LookupProof::Absent {
+            left: Some(NeighborProof {
+                key: b"bob".to_vec(),
+                value: bv,
+                index: bi,
+                path: bp,
+            }),
+            right: Some(NeighborProof {
+                key: b"erin".to_vec(),
+                value: ev,
+                index: ei,
+                path: ep,
+            }),
+            len: dict.len(),
+        };
+        assert!(AuthenticatedDictionary::verify(
+            owner.verifying_key(),
+            &root,
+            b"carol",
+            &fake_absent
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn stale_root_rejected_for_new_entries() {
+        let (mut dict, owner, mut rng) = populated();
+        let (_, old_root) = dict.prove(b"bob");
+        dict.insert(b"dave", b"reader", &mut rng);
+        let (new_proof, new_root) = dict.prove(b"dave");
+        // New proof does not verify against the old root.
+        assert!(AuthenticatedDictionary::verify(
+            owner.verifying_key(),
+            &old_root,
+            b"dave",
+            &new_proof
+        )
+        .is_err());
+        AuthenticatedDictionary::verify(owner.verifying_key(), &new_root, b"dave", &new_proof)
+            .unwrap();
+    }
+
+    #[test]
+    fn removal_and_empty_dictionary() {
+        let (mut dict, owner, mut rng) = setup();
+        dict.insert(b"bob", b"reader", &mut rng);
+        dict.remove(b"bob", &mut rng);
+        assert!(dict.is_empty());
+        let (proof, root) = dict.prove(b"bob");
+        AuthenticatedDictionary::verify(owner.verifying_key(), &root, b"bob", &proof).unwrap();
+        assert!(matches!(proof, LookupProof::Absent { len: 0, .. }));
+    }
+
+    #[test]
+    fn versions_are_persistent_history() {
+        let (mut dict, _, mut rng) = setup();
+        for i in 0..5 {
+            dict.insert(format!("k{i}").as_bytes(), b"v", &mut rng);
+        }
+        let history = dict.root_history();
+        assert_eq!(history.len(), 5);
+        for (i, r) in history.iter().enumerate() {
+            assert_eq!(r.version, i as u64 + 1);
+        }
+        // Roots change with every mutation.
+        let unique: std::collections::HashSet<_> = history.iter().map(|r| r.root).collect();
+        assert_eq!(unique.len(), 5);
+    }
+
+    #[test]
+    fn wrong_owner_rejected() {
+        let (dict, _, mut rng) = populated();
+        let mallory = SigningKey::generate(SchnorrGroup::toy(), &mut rng);
+        let (proof, root) = dict.prove(b"bob");
+        assert_eq!(
+            AuthenticatedDictionary::verify(mallory.verifying_key(), &root, b"bob", &proof)
+                .unwrap_err(),
+            CryptoError::InvalidSignature
+        );
+    }
+
+    #[test]
+    fn large_dictionary_logarithmic_proofs() {
+        let (mut dict, owner, mut rng) = setup();
+        for i in 0..128 {
+            dict.insert(format!("user{i:03}").as_bytes(), b"member", &mut rng);
+        }
+        let (proof, root) = dict.prove(b"user064");
+        let LookupProof::Present { ref path, .. } = proof else {
+            panic!()
+        };
+        assert!(
+            path.len() <= 8,
+            "128 entries -> ≤ 8-step path, got {}",
+            path.len()
+        );
+        AuthenticatedDictionary::verify(owner.verifying_key(), &root, b"user064", &proof).unwrap();
+    }
+}

@@ -1,0 +1,246 @@
+//! Non-interactive zero-knowledge proofs (survey §V-B).
+//!
+//! The survey proposes "ZKP alongside pseudonyms" for searcher privacy: a
+//! user operates under a pseudonym and proves possession of an access
+//! privilege without revealing anything else. This module provides:
+//!
+//! * [`DlogProof`] — a Fiat–Shamir Schnorr proof of knowledge of a discrete
+//!   logarithm (prove you know `x` with `y = g^x` without revealing `x`);
+//! * [`EqualityProof`] — a Chaum–Pedersen proof that two group elements
+//!   share the same exponent (`y1 = g^x` and `y2 = h^x`), the building block
+//!   for pseudonym-to-credential linking without identity disclosure.
+//!
+//! Both accept a `context` byte string that is bound into the challenge, so
+//! proofs cannot be replayed across protocol contexts.
+
+use crate::chacha::SecureRng;
+use crate::error::CryptoError;
+use crate::group::SchnorrGroup;
+use dosn_bigint::BigUint;
+
+/// NIZK proof of knowledge of `x` such that `y = g^x`.
+///
+/// ```
+/// use dosn_crypto::{zkp::DlogProof, group::SchnorrGroup, chacha::SecureRng};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let group = SchnorrGroup::toy();
+/// let mut rng = SecureRng::seed_from_u64(6);
+/// let x = group.random_scalar(&mut rng);
+/// let y = group.pow_g(&x);
+/// let proof = DlogProof::prove(&group, &x, b"resource:photo-7", &mut rng);
+/// proof.verify(&group, &y, b"resource:photo-7")?;
+/// assert!(proof.verify(&group, &y, b"resource:photo-8").is_err()); // context-bound
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DlogProof {
+    commitment: BigUint,
+    response: BigUint,
+}
+
+impl DlogProof {
+    /// Proves knowledge of `x` (with public `y = g^x`) bound to `context`.
+    pub fn prove(group: &SchnorrGroup, x: &BigUint, context: &[u8], rng: &mut SecureRng) -> Self {
+        let k = group.random_scalar(rng);
+        let commitment = group.pow_g(&k);
+        let y = group.pow_g(x);
+        let e = challenge(group, &[&y, &commitment], context);
+        // response = k + e*x mod q
+        let response = k.addmod(&x.mulmod(&e, group.order()), group.order());
+        DlogProof {
+            commitment,
+            response,
+        }
+    }
+
+    /// Verifies the proof against the public element `y` and `context`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidProof`] on failure.
+    pub fn verify(
+        &self,
+        group: &SchnorrGroup,
+        y: &BigUint,
+        context: &[u8],
+    ) -> Result<(), CryptoError> {
+        if !group.contains(&self.commitment) || !group.contains(y) {
+            return Err(CryptoError::InvalidProof);
+        }
+        let e = challenge(group, &[y, &self.commitment], context);
+        // g^response == commitment * y^e
+        let lhs = group.pow_g(&self.response);
+        let rhs = group.mul(&self.commitment, &group.pow(y, &e));
+        if lhs == rhs {
+            Ok(())
+        } else {
+            Err(CryptoError::InvalidProof)
+        }
+    }
+}
+
+/// Chaum–Pedersen NIZK: proves `log_g(y1) == log_h(y2)` without revealing it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EqualityProof {
+    commitment_g: BigUint,
+    commitment_h: BigUint,
+    response: BigUint,
+}
+
+impl EqualityProof {
+    /// Proves that `y1 = g^x` and `y2 = h^x` share the exponent `x`.
+    pub fn prove(
+        group: &SchnorrGroup,
+        x: &BigUint,
+        h: &BigUint,
+        context: &[u8],
+        rng: &mut SecureRng,
+    ) -> Self {
+        let k = group.random_scalar(rng);
+        let commitment_g = group.pow_g(&k);
+        let commitment_h = group.pow(h, &k);
+        let y1 = group.pow_g(x);
+        let y2 = group.pow(h, x);
+        let e = challenge(group, &[h, &y1, &y2, &commitment_g, &commitment_h], context);
+        let response = k.addmod(&x.mulmod(&e, group.order()), group.order());
+        EqualityProof {
+            commitment_g,
+            commitment_h,
+            response,
+        }
+    }
+
+    /// Verifies the proof for public elements `y1 = g^x`, `y2 = h^x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidProof`] on failure.
+    pub fn verify(
+        &self,
+        group: &SchnorrGroup,
+        h: &BigUint,
+        y1: &BigUint,
+        y2: &BigUint,
+        context: &[u8],
+    ) -> Result<(), CryptoError> {
+        for el in [h, y1, y2, &self.commitment_g, &self.commitment_h] {
+            if !group.contains(el) {
+                return Err(CryptoError::InvalidProof);
+            }
+        }
+        let e = challenge(
+            group,
+            &[h, y1, y2, &self.commitment_g, &self.commitment_h],
+            context,
+        );
+        let ok_g = group.pow_g(&self.response) == group.mul(&self.commitment_g, &group.pow(y1, &e));
+        let ok_h =
+            group.pow(h, &self.response) == group.mul(&self.commitment_h, &group.pow(y2, &e));
+        if ok_g && ok_h {
+            Ok(())
+        } else {
+            Err(CryptoError::InvalidProof)
+        }
+    }
+}
+
+fn challenge(group: &SchnorrGroup, elements: &[&BigUint], context: &[u8]) -> BigUint {
+    let encoded: Vec<Vec<u8>> = elements.iter().map(|e| group.element_bytes(e)).collect();
+    let mut parts: Vec<&[u8]> = vec![b"dosn.zkp.v1", context];
+    for e in &encoded {
+        parts.push(e);
+    }
+    group.hash_to_scalar(&parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (SchnorrGroup, SecureRng) {
+        (SchnorrGroup::toy(), SecureRng::seed_from_u64(66))
+    }
+
+    #[test]
+    fn dlog_proof_roundtrip() {
+        let (g, mut rng) = setup();
+        let x = g.random_scalar(&mut rng);
+        let y = g.pow_g(&x);
+        let proof = DlogProof::prove(&g, &x, b"ctx", &mut rng);
+        proof.verify(&g, &y, b"ctx").unwrap();
+    }
+
+    #[test]
+    fn dlog_proof_rejects_wrong_statement() {
+        let (g, mut rng) = setup();
+        let x = g.random_scalar(&mut rng);
+        let proof = DlogProof::prove(&g, &x, b"ctx", &mut rng);
+        let other_y = g.pow_g(&g.random_scalar(&mut rng));
+        assert_eq!(
+            proof.verify(&g, &other_y, b"ctx").unwrap_err(),
+            CryptoError::InvalidProof
+        );
+    }
+
+    #[test]
+    fn dlog_proof_is_context_bound() {
+        let (g, mut rng) = setup();
+        let x = g.random_scalar(&mut rng);
+        let y = g.pow_g(&x);
+        let proof = DlogProof::prove(&g, &x, b"resource-a", &mut rng);
+        assert!(proof.verify(&g, &y, b"resource-b").is_err());
+    }
+
+    #[test]
+    fn dlog_proof_rejects_non_group_elements() {
+        let (g, mut rng) = setup();
+        let x = g.random_scalar(&mut rng);
+        let proof = DlogProof::prove(&g, &x, b"c", &mut rng);
+        assert!(proof.verify(&g, &BigUint::zero(), b"c").is_err());
+    }
+
+    #[test]
+    fn dlog_proofs_are_randomized() {
+        let (g, mut rng) = setup();
+        let x = g.random_scalar(&mut rng);
+        let p1 = DlogProof::prove(&g, &x, b"c", &mut rng);
+        let p2 = DlogProof::prove(&g, &x, b"c", &mut rng);
+        assert_ne!(p1, p2);
+    }
+
+    #[test]
+    fn equality_proof_roundtrip() {
+        let (g, mut rng) = setup();
+        let x = g.random_scalar(&mut rng);
+        let h = g.hash_to_element(b"second generator");
+        let y1 = g.pow_g(&x);
+        let y2 = g.pow(&h, &x);
+        let proof = EqualityProof::prove(&g, &x, &h, b"link", &mut rng);
+        proof.verify(&g, &h, &y1, &y2, b"link").unwrap();
+    }
+
+    #[test]
+    fn equality_proof_rejects_unequal_exponents() {
+        let (g, mut rng) = setup();
+        let x = g.random_scalar(&mut rng);
+        let x2 = g.random_scalar(&mut rng);
+        let h = g.hash_to_element(b"h");
+        let y1 = g.pow_g(&x);
+        let y2_wrong = g.pow(&h, &x2);
+        let proof = EqualityProof::prove(&g, &x, &h, b"link", &mut rng);
+        assert!(proof.verify(&g, &h, &y1, &y2_wrong, b"link").is_err());
+    }
+
+    #[test]
+    fn equality_proof_context_bound() {
+        let (g, mut rng) = setup();
+        let x = g.random_scalar(&mut rng);
+        let h = g.hash_to_element(b"h");
+        let y1 = g.pow_g(&x);
+        let y2 = g.pow(&h, &x);
+        let proof = EqualityProof::prove(&g, &x, &h, b"link-1", &mut rng);
+        assert!(proof.verify(&g, &h, &y1, &y2, b"link-2").is_err());
+    }
+}

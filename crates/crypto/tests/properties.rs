@@ -1,0 +1,168 @@
+//! Property-based tests over the crypto layer's end-to-end invariants.
+
+use dosn_crypto::abe::{AbeAuthority, Policy};
+use dosn_crypto::aead::SymmetricKey;
+use dosn_crypto::chacha::SecureRng;
+use dosn_crypto::elgamal::ElGamalKeyPair;
+use dosn_crypto::group::SchnorrGroup;
+use dosn_crypto::oprf::{OprfReceiver, OprfSender};
+use dosn_crypto::schnorr::SigningKey;
+use dosn_crypto::zkp::DlogProof;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// Shared fixtures: key generation over the toy group is not free, so the
+/// properties reuse one key set and vary the data.
+struct Fixtures {
+    group: SchnorrGroup,
+    signer: SigningKey,
+    elgamal: ElGamalKeyPair,
+    oprf: OprfSender,
+}
+
+fn fixtures() -> &'static Fixtures {
+    static FIX: OnceLock<Fixtures> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let mut rng = SecureRng::seed_from_u64(0xF1C5);
+        let group = SchnorrGroup::toy();
+        Fixtures {
+            signer: SigningKey::generate(group.clone(), &mut rng),
+            elgamal: ElGamalKeyPair::generate(group.clone(), &mut rng),
+            oprf: OprfSender::generate(group.clone(), &mut rng),
+            group,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn aead_roundtrip_any_payload_and_ad(
+        payload in proptest::collection::vec(any::<u8>(), 0..2048),
+        ad in proptest::collection::vec(any::<u8>(), 0..64),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SecureRng::seed_from_u64(seed);
+        let key = SymmetricKey::generate(&mut rng);
+        let ct = key.seal(&payload, &ad, &mut rng);
+        prop_assert_eq!(key.open(&ct, &ad).unwrap(), payload);
+    }
+
+    #[test]
+    fn aead_single_bitflip_always_detected(
+        payload in proptest::collection::vec(any::<u8>(), 1..256),
+        flip_byte in any::<usize>(),
+        flip_bit in 0u8..8,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SecureRng::seed_from_u64(seed);
+        let key = SymmetricKey::generate(&mut rng);
+        let mut ct = key.seal(&payload, b"", &mut rng);
+        let idx = flip_byte % ct.len();
+        ct[idx] ^= 1 << flip_bit;
+        prop_assert!(key.open(&ct, b"").is_err());
+    }
+
+    #[test]
+    fn schnorr_sign_verify_any_message(
+        msg in proptest::collection::vec(any::<u8>(), 0..512),
+        seed in any::<u64>(),
+    ) {
+        let f = fixtures();
+        let mut rng = SecureRng::seed_from_u64(seed);
+        let sig = f.signer.sign(&msg, &mut rng);
+        prop_assert!(f.signer.verifying_key().verify(&msg, &sig).is_ok());
+        // A different message must not verify (avoid the empty/equal case).
+        let mut other = msg.clone();
+        other.push(0x42);
+        prop_assert!(f.signer.verifying_key().verify(&other, &sig).is_err());
+    }
+
+    #[test]
+    fn elgamal_hybrid_roundtrip_any_payload(
+        payload in proptest::collection::vec(any::<u8>(), 0..1024),
+        seed in any::<u64>(),
+    ) {
+        let f = fixtures();
+        let mut rng = SecureRng::seed_from_u64(seed);
+        let ct = f.elgamal.public().encrypt(&payload, &mut rng);
+        prop_assert_eq!(f.elgamal.secret().decrypt(&ct).unwrap(), payload);
+    }
+
+    #[test]
+    fn oprf_protocol_equals_direct_for_any_input(
+        input in proptest::collection::vec(any::<u8>(), 0..128),
+        seed in any::<u64>(),
+    ) {
+        let f = fixtures();
+        let mut rng = SecureRng::seed_from_u64(seed);
+        let (blinded, state) = OprfReceiver::blind(f.oprf.group(), &input, &mut rng);
+        let ev = f.oprf.evaluate_blinded(&blinded).unwrap();
+        prop_assert_eq!(state.finalize(&ev).unwrap(), f.oprf.evaluate(&input));
+    }
+
+    #[test]
+    fn zkp_sound_for_any_context(
+        ctx in proptest::collection::vec(any::<u8>(), 0..64),
+        seed in any::<u64>(),
+    ) {
+        let f = fixtures();
+        let mut rng = SecureRng::seed_from_u64(seed);
+        let x = f.group.random_scalar(&mut rng);
+        let y = f.group.pow_g(&x);
+        let proof = DlogProof::prove(&f.group, &x, &ctx, &mut rng);
+        prop_assert!(proof.verify(&f.group, &y, &ctx).is_ok());
+        // Proof for x does not verify against an unrelated statement.
+        let y2 = f.group.pow_g(&f.group.random_scalar(&mut rng));
+        prop_assert!(proof.verify(&f.group, &y2, &ctx).is_err());
+    }
+
+    #[test]
+    fn policy_display_parse_roundtrip(tree in policy_strategy()) {
+        let rendered = tree.to_string();
+        let reparsed = Policy::parse(&rendered).unwrap();
+        prop_assert_eq!(tree, reparsed);
+    }
+
+    #[test]
+    fn abe_grant_matches_policy_semantics(
+        tree in policy_strategy(),
+        held_mask in any::<u8>(),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SecureRng::seed_from_u64(seed);
+        let mut auth = AbeAuthority::new([7u8; 32]);
+        // Grant a subset of the attribute universe a0..a5 by mask.
+        let held: Vec<String> = (0..6)
+            .filter(|i| held_mask & (1 << i) != 0)
+            .map(|i| format!("a{i}"))
+            .collect();
+        let key = auth.issue_key("user", &held);
+        let ct = auth.encrypt(&tree, b"msg", &mut rng).unwrap();
+        let held_set: std::collections::HashSet<String> = held.into_iter().collect();
+        let should_decrypt = tree.satisfied_by(&held_set);
+        prop_assert_eq!(
+            key.decrypt(&ct).is_ok(),
+            should_decrypt,
+            "policy {} with attrs {:?}",
+            tree,
+            held_set
+        );
+    }
+}
+
+/// Random policies over attributes a0..a5, depth ≤ 3.
+fn policy_strategy() -> impl Strategy<Value = Policy> {
+    let leaf = (0..6u8).prop_map(|i| Policy::Attr(format!("a{i}")));
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(Policy::And),
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(Policy::Or),
+            (proptest::collection::vec(inner, 2..4), 1usize..3).prop_map(|(cs, k)| {
+                let k = k.min(cs.len());
+                Policy::Threshold(k, cs)
+            }),
+        ]
+    })
+}

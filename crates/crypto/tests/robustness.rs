@@ -1,0 +1,47 @@
+//! Robustness: every wire-format decoder must reject (never panic on)
+//! arbitrary malformed input — the overlay hands these functions bytes
+//! fetched from untrusted storage nodes.
+
+use dosn_crypto::elgamal::HybridCiphertext;
+use dosn_crypto::group::SchnorrGroup;
+use dosn_crypto::schnorr::Signature;
+use dosn_crypto::shamir::{reconstruct, Share};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn signature_from_bytes_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let group = SchnorrGroup::toy();
+        let _ = Signature::from_bytes(&group, &bytes);
+    }
+
+    #[test]
+    fn hybrid_ciphertext_from_bytes_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = HybridCiphertext::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn share_decode_never_panics(x in any::<u64>(), bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Share::decode(x, &bytes);
+    }
+
+    #[test]
+    fn reconstruct_garbage_shares_never_panics(
+        payload_a in proptest::collection::vec(any::<u8>(), 8..64),
+        payload_b in proptest::collection::vec(any::<u8>(), 8..64),
+    ) {
+        // Whatever decodes must be safe to feed to reconstruct.
+        let shares: Vec<Share> = [
+            Share::decode(1, &payload_a),
+            Share::decode(2, &payload_b),
+        ]
+        .into_iter()
+        .flatten()
+        .collect();
+        if !shares.is_empty() {
+            let _ = reconstruct(&shares);
+        }
+    }
+}

@@ -1,0 +1,636 @@
+//! Structured overlay: a Chord distributed hash table (survey §II-B,
+//! "structured").
+//!
+//! "Most of the recent DOSNs use structured organization and distributed
+//! hash tables for the lookup service" — PrPl, PeerSoN, Safebook, Cachet.
+//! This module implements Chord's ring geometry: 64-bit identifiers, finger
+//! tables with up to 64 entries, successor lists for replication, and
+//! greedy closest-preceding-finger routing. Lookups route *only* through
+//! each node's local tables and report hop/message metrics, which is what
+//! experiment E5 measures.
+
+use crate::id::{in_interval_open_closed, ring_distance, Key, NodeId};
+use crate::metrics::Metrics;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+const FINGER_BITS: usize = 64;
+
+/// Errors from DHT operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DhtError {
+    /// The overlay has no online nodes to route through.
+    NoNodes,
+    /// The key's owner and all replicas are offline.
+    Unavailable(Key),
+    /// The key was never stored.
+    NotFound(Key),
+    /// The named node does not exist.
+    UnknownNode(NodeId),
+}
+
+impl std::fmt::Display for DhtError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DhtError::NoNodes => f.write_str("overlay has no online nodes"),
+            DhtError::Unavailable(k) => write!(f, "all replicas for {k} are offline"),
+            DhtError::NotFound(k) => write!(f, "key {k} not stored"),
+            DhtError::UnknownNode(n) => write!(f, "unknown node {n}"),
+        }
+    }
+}
+
+impl std::error::Error for DhtError {}
+
+#[derive(Debug, Clone)]
+struct ChordNode {
+    /// Ring identifier.
+    id: u64,
+    /// finger[i] = successor(id + 2^i), as a ring id.
+    fingers: Vec<u64>,
+    /// The `succ_list_len` nodes following this one (for replication).
+    successors: Vec<u64>,
+    online: bool,
+    /// Key-value storage replicated onto this node.
+    storage: HashMap<u64, Vec<u8>>,
+}
+
+/// A Chord ring.
+///
+/// ```
+/// use dosn_overlay::chord::ChordOverlay;
+/// use dosn_overlay::id::Key;
+/// use dosn_overlay::metrics::Metrics;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut ring = ChordOverlay::build(64, 3, 42);
+/// let mut metrics = Metrics::new();
+/// let key = Key::hash(b"alice/profile");
+/// ring.store(ring.random_node(1), key, b"profile-data".to_vec(), &mut metrics)?;
+/// let got = ring.get(ring.random_node(2), key, &mut metrics)?;
+/// assert_eq!(got, b"profile-data");
+/// // O(log n) routing:
+/// assert!(metrics.count("chord.hop") <= 2 * 6 + 2);
+/// # Ok(())
+/// # }
+/// ```
+pub struct ChordOverlay {
+    /// ring id -> node, sorted by ring position.
+    nodes: BTreeMap<u64, ChordNode>,
+    replicas: usize,
+    rng: StdRng,
+    latency_ms: (u64, u64),
+}
+
+impl std::fmt::Debug for ChordOverlay {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ChordOverlay({} nodes, {} replicas)",
+            self.nodes.len(),
+            self.replicas
+        )
+    }
+}
+
+impl ChordOverlay {
+    /// Builds a ring of `n` nodes with random ids and a replication factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `replicas == 0`.
+    pub fn build(n: usize, replicas: usize, seed: u64) -> Self {
+        assert!(n > 0, "ring needs at least one node");
+        assert!(replicas > 0, "need at least one replica (the owner)");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ids = BTreeSet::new();
+        while ids.len() < n {
+            ids.insert(rng.random::<u64>());
+        }
+        let mut overlay = ChordOverlay {
+            nodes: ids
+                .iter()
+                .map(|&id| {
+                    (
+                        id,
+                        ChordNode {
+                            id,
+                            fingers: Vec::new(),
+                            successors: Vec::new(),
+                            online: true,
+                            storage: HashMap::new(),
+                        },
+                    )
+                })
+                .collect(),
+            replicas,
+            rng,
+            latency_ms: (10, 120),
+        };
+        overlay.rebuild_tables();
+        overlay
+    }
+
+    /// Number of nodes (online and offline).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Replication factor.
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    /// A deterministic "random" online node for workload driving.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every node is offline.
+    pub fn random_node(&self, salt: u64) -> NodeId {
+        let online: Vec<u64> = self
+            .nodes
+            .values()
+            .filter(|n| n.online)
+            .map(|n| n.id)
+            .collect();
+        assert!(!online.is_empty(), "no online nodes");
+        NodeId(online[(salt as usize) % online.len()])
+    }
+
+    /// All ring ids, sorted.
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        self.nodes.keys().map(|&id| NodeId(id)).collect()
+    }
+
+    /// Marks a node online/offline (simulating churn). Tables are not
+    /// rebuilt: routing must cope, as in a real deployment between
+    /// stabilization rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics for unknown nodes.
+    pub fn set_online(&mut self, node: NodeId, online: bool) {
+        self.nodes.get_mut(&node.0).expect("unknown node").online = online;
+    }
+
+    /// Whether `node` is online.
+    pub fn is_online(&self, node: NodeId) -> bool {
+        self.nodes.get(&node.0).is_some_and(|n| n.online)
+    }
+
+    /// Runs a stabilization round: recomputes finger tables and successor
+    /// lists from the *online* membership (models Chord's periodic
+    /// stabilize/fix-fingers). Returns the number of maintenance messages a
+    /// real deployment would send (O(log²n) per node, per the Chord paper).
+    pub fn stabilize(&mut self) -> u64 {
+        self.rebuild_tables();
+        let n = self.nodes.values().filter(|n| n.online).count() as u64;
+        let logn = 64 - n.leading_zeros() as u64;
+        n * logn * logn
+    }
+
+    /// Adds a fresh node with a random id, returning it. Tables rebuild
+    /// (join cost is reported like [`ChordOverlay::stabilize`]).
+    pub fn join(&mut self) -> NodeId {
+        let id = loop {
+            let candidate = self.rng.random::<u64>();
+            if !self.nodes.contains_key(&candidate) {
+                break candidate;
+            }
+        };
+        self.nodes.insert(
+            id,
+            ChordNode {
+                id,
+                fingers: Vec::new(),
+                successors: Vec::new(),
+                online: true,
+                storage: HashMap::new(),
+            },
+        );
+        self.rebuild_tables();
+        NodeId(id)
+    }
+
+    /// Permanently removes a node (its stored replicas are lost, as with an
+    /// ungraceful departure).
+    pub fn leave(&mut self, node: NodeId) {
+        self.nodes.remove(&node.0);
+        self.rebuild_tables();
+    }
+
+    /// The online node owning `key` (its clockwise successor).
+    fn owner_of(&self, key: u64) -> Option<u64> {
+        let online: Vec<u64> = self
+            .nodes
+            .values()
+            .filter(|n| n.online)
+            .map(|n| n.id)
+            .collect();
+        if online.is_empty() {
+            return None;
+        }
+        online
+            .iter()
+            .copied()
+            .filter(|&id| id >= key)
+            .min()
+            .or_else(|| online.iter().copied().min())
+    }
+
+    /// Iterative greedy lookup from `from` toward the owner of `key`,
+    /// routing only via finger tables. Returns the terminal node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DhtError`] when the overlay is empty or the start node is
+    /// unknown/offline.
+    pub fn lookup(
+        &mut self,
+        from: NodeId,
+        key: Key,
+        metrics: &mut Metrics,
+    ) -> Result<NodeId, DhtError> {
+        let start = self.nodes.get(&from.0).ok_or(DhtError::UnknownNode(from))?;
+        if !start.online {
+            return Err(DhtError::UnknownNode(from));
+        }
+        let mut current = start.id;
+        let mut hops = 0u64;
+        // 64-bit ring: any correct greedy route is <= 64 hops; a generous
+        // cap guards against routing loops under heavy churn.
+        let cap = 2 * FINGER_BITS as u64 + self.nodes.len() as u64;
+        loop {
+            let node = &self.nodes[&current];
+            // Terminal condition: key lies between us and our first live
+            // successor -> that successor owns it (or we do if we are it).
+            let Some(successor) = self.first_live_successor(current) else {
+                return Err(DhtError::NoNodes);
+            };
+            if in_interval_open_closed(key.0, node.id, successor) {
+                if successor != current {
+                    let lat = self.draw_latency();
+                    metrics.record("chord.hop", 64, lat);
+                }
+                return Ok(NodeId(successor));
+            }
+            // Greedy: closest preceding live finger.
+            let next = self.closest_preceding(current, key.0).unwrap_or(successor);
+            if next == current {
+                return Ok(NodeId(current));
+            }
+            let lat = self.draw_latency();
+            metrics.record("chord.hop", 64, lat);
+            current = next;
+            hops += 1;
+            if hops > cap {
+                // Routing loop under churn: fall back to the true owner and
+                // account one stabilization's worth of repair traffic.
+                let owner = self.owner_of(key.0).ok_or(DhtError::NoNodes)?;
+                metrics.record("chord.repair", 64, self.draw_latency());
+                return Ok(NodeId(owner));
+            }
+        }
+    }
+
+    /// Stores `value` under `key`, replicating to the successor list.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lookup errors.
+    pub fn store(
+        &mut self,
+        from: NodeId,
+        key: Key,
+        value: Vec<u8>,
+        metrics: &mut Metrics,
+    ) -> Result<(), DhtError> {
+        let owner = self.lookup(from, key, metrics)?;
+        let replica_ids = self.replica_set(owner.0);
+        let size = value.len() as u64;
+        for (i, rid) in replica_ids.iter().enumerate() {
+            let lat = self.draw_latency();
+            if i == 0 {
+                metrics.record("chord.store", size, lat);
+            } else {
+                metrics.record_offpath("chord.replicate", size);
+            }
+            self.nodes
+                .get_mut(rid)
+                .expect("replica exists")
+                .storage
+                .insert(key.0, value.clone());
+        }
+        Ok(())
+    }
+
+    /// Retrieves `key`, trying the owner then its successor replicas.
+    ///
+    /// # Errors
+    ///
+    /// [`DhtError::Unavailable`] when every replica holding the key is
+    /// offline; [`DhtError::NotFound`] when no live replica has it.
+    pub fn get(
+        &mut self,
+        from: NodeId,
+        key: Key,
+        metrics: &mut Metrics,
+    ) -> Result<Vec<u8>, DhtError> {
+        let owner = self.lookup(from, key, metrics)?;
+        let replica_ids = self.replica_set(owner.0);
+        let mut any_holder_offline = false;
+        for rid in &replica_ids {
+            let lat = self.draw_latency();
+            let node = &self.nodes[rid];
+            if !node.online {
+                if node.storage.contains_key(&key.0) {
+                    any_holder_offline = true;
+                }
+                metrics.record("chord.fetch_fail", 16, lat);
+                continue;
+            }
+            metrics.record("chord.fetch", 64, lat);
+            if let Some(v) = node.storage.get(&key.0) {
+                return Ok(v.clone());
+            }
+        }
+        if any_holder_offline {
+            Err(DhtError::Unavailable(key))
+        } else {
+            Err(DhtError::NotFound(key))
+        }
+    }
+
+    /// The replica set for an owner: the owner plus following nodes
+    /// (regardless of liveness — liveness is checked on access).
+    fn replica_set(&self, owner: u64) -> Vec<u64> {
+        let mut out = vec![owner];
+        let mut iter = self
+            .nodes
+            .range((owner + 1)..)
+            .chain(self.nodes.range(..owner))
+            .map(|(&id, _)| id);
+        while out.len() < self.replicas {
+            match iter.next() {
+                Some(id) => out.push(id),
+                None => break,
+            }
+        }
+        out
+    }
+
+    fn first_live_successor(&self, id: u64) -> Option<u64> {
+        let node = &self.nodes[&id];
+        for &s in &node.successors {
+            if self.nodes.get(&s).is_some_and(|n| n.online) {
+                return Some(s);
+            }
+        }
+        if node.online {
+            Some(id)
+        } else {
+            None
+        }
+    }
+
+    fn closest_preceding(&self, id: u64, key: u64) -> Option<u64> {
+        let node = &self.nodes[&id];
+        node.fingers.iter().rev().copied().find(|&f| {
+            f != id
+                && self.nodes.get(&f).is_some_and(|n| n.online)
+                && ring_distance(id, f) < ring_distance(id, key)
+                && ring_distance(f, key) < ring_distance(id, key)
+        })
+    }
+
+    fn rebuild_tables(&mut self) {
+        let ids: Vec<u64> = self
+            .nodes
+            .values()
+            .filter(|n| n.online)
+            .map(|n| n.id)
+            .collect();
+        if ids.is_empty() {
+            for node in self.nodes.values_mut() {
+                node.fingers.clear();
+                node.successors.clear();
+            }
+            return;
+        }
+        let sorted = {
+            let mut s = ids.clone();
+            s.sort_unstable();
+            s
+        };
+        let successor_of = |key: u64| -> u64 {
+            match sorted.binary_search(&key) {
+                Ok(i) => sorted[i],
+                Err(i) => {
+                    if i == sorted.len() {
+                        sorted[0]
+                    } else {
+                        sorted[i]
+                    }
+                }
+            }
+        };
+        let succ_list_len = self.replicas.max(2).min(sorted.len());
+        let all: Vec<u64> = self.nodes.keys().copied().collect();
+        for id in all {
+            let mut fingers = Vec::with_capacity(FINGER_BITS);
+            for i in 0..FINGER_BITS {
+                let target = id.wrapping_add(1u64 << i);
+                fingers.push(successor_of(target));
+            }
+            fingers.dedup();
+            let mut successors = Vec::with_capacity(succ_list_len);
+            let mut cursor = id;
+            for _ in 0..succ_list_len {
+                let s = successor_of(cursor.wrapping_add(1));
+                successors.push(s);
+                cursor = s;
+            }
+            let node = self.nodes.get_mut(&id).expect("iterating own keys");
+            node.fingers = fingers;
+            node.successors = successors;
+        }
+    }
+
+    fn draw_latency(&mut self) -> u64 {
+        let (lo, hi) = self.latency_ms;
+        if lo == hi {
+            lo
+        } else {
+            self.rng.random_range(lo..=hi)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(n: usize) -> ChordOverlay {
+        ChordOverlay::build(n, 3, 7)
+    }
+
+    #[test]
+    fn store_and_get_roundtrip() {
+        let mut r = ring(32);
+        let mut m = Metrics::new();
+        let key = Key::hash(b"post:1");
+        let from = r.random_node(0);
+        r.store(from, key, b"hello".to_vec(), &mut m).unwrap();
+        let got = r.get(r.random_node(5), key, &mut m).unwrap();
+        assert_eq!(got, b"hello");
+    }
+
+    #[test]
+    fn lookup_converges_to_same_owner_from_any_start() {
+        let mut r = ring(64);
+        let key = Key::hash(b"content");
+        let mut owners = std::collections::HashSet::new();
+        for salt in 0..10 {
+            let mut m = Metrics::new();
+            let from = r.random_node(salt);
+            owners.insert(r.lookup(from, key, &mut m).unwrap());
+        }
+        assert_eq!(owners.len(), 1, "all lookups agree on the owner");
+    }
+
+    #[test]
+    fn lookup_is_logarithmic() {
+        let mut r = ring(1024);
+        let mut total_hops = 0u64;
+        let lookups = 50;
+        for i in 0..lookups {
+            let mut m = Metrics::new();
+            let key = Key::hash(format!("item-{i}").as_bytes());
+            let from = r.random_node(i);
+            r.lookup(from, key, &mut m).unwrap();
+            total_hops += m.count("chord.hop");
+        }
+        let avg = total_hops as f64 / lookups as f64;
+        // log2(1024) = 10; greedy Chord averages ~ (1/2) log2 n.
+        assert!(avg <= 12.0, "average hops {avg} too high");
+        assert!(avg >= 1.0, "average hops {avg} suspiciously low");
+    }
+
+    #[test]
+    fn missing_key_not_found() {
+        let mut r = ring(16);
+        let mut m = Metrics::new();
+        let from = r.random_node(0);
+        let err = r.get(from, Key::hash(b"never stored"), &mut m).unwrap_err();
+        assert!(matches!(err, DhtError::NotFound(_)));
+    }
+
+    #[test]
+    fn replication_survives_owner_failure() {
+        let mut r = ring(32);
+        let mut m = Metrics::new();
+        let key = Key::hash(b"replicated");
+        let from = r.random_node(0);
+        r.store(from, key, b"v".to_vec(), &mut m).unwrap();
+        let owner = r.lookup(from, key, &mut m).unwrap();
+        r.set_online(owner, false);
+        let reader = (0..64)
+            .map(|s| r.random_node(s))
+            .find(|&n| n != owner)
+            .unwrap();
+        let got = r.get(reader, key, &mut m).unwrap();
+        assert_eq!(got, b"v");
+    }
+
+    #[test]
+    fn unavailable_when_all_replicas_offline() {
+        let mut r = ChordOverlay::build(16, 2, 3);
+        let mut m = Metrics::new();
+        let key = Key::hash(b"fragile");
+        let from = r.random_node(0);
+        r.store(from, key, b"v".to_vec(), &mut m).unwrap();
+        let owner = r.lookup(from, key, &mut m).unwrap();
+        // Knock out owner and every following replica.
+        let ids = r.node_ids();
+        let pos = ids.iter().position(|&n| n == owner).unwrap();
+        for k in 0..2 {
+            r.set_online(ids[(pos + k) % ids.len()], false);
+        }
+        let reader = ids.iter().copied().find(|n| r.is_online(*n)).unwrap();
+        let err = r.get(reader, key, &mut m).unwrap_err();
+        assert!(
+            matches!(err, DhtError::Unavailable(_) | DhtError::NotFound(_)),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn join_changes_membership_and_routing_still_works() {
+        let mut r = ring(8);
+        let before = r.len();
+        let newcomer = r.join();
+        assert_eq!(r.len(), before + 1);
+        let mut m = Metrics::new();
+        let key = Key::hash(b"after-join");
+        r.store(newcomer, key, b"x".to_vec(), &mut m).unwrap();
+        assert_eq!(r.get(r.random_node(1), key, &mut m).unwrap(), b"x");
+    }
+
+    #[test]
+    fn leave_removes_node() {
+        let mut r = ring(8);
+        let victim = r.random_node(3);
+        r.leave(victim);
+        assert_eq!(r.len(), 7);
+        let mut m = Metrics::new();
+        let key = Key::hash(b"post-leave");
+        let from = r.random_node(0);
+        r.store(from, key, b"y".to_vec(), &mut m).unwrap();
+        assert_eq!(r.get(r.random_node(2), key, &mut m).unwrap(), b"y");
+    }
+
+    #[test]
+    fn stabilize_reports_maintenance_cost() {
+        let mut r = ring(64);
+        let cost = r.stabilize();
+        assert!(cost > 0);
+        // 64 nodes * 6^2 hops or so.
+        assert!(cost >= 64 * 36);
+    }
+
+    #[test]
+    fn single_node_ring_owns_everything() {
+        let mut r = ChordOverlay::build(1, 1, 1);
+        let mut m = Metrics::new();
+        let only = r.random_node(0);
+        let key = Key::hash(b"solo");
+        assert_eq!(r.lookup(only, key, &mut m).unwrap(), only);
+        r.store(only, key, b"v".to_vec(), &mut m).unwrap();
+        assert_eq!(r.get(only, key, &mut m).unwrap(), b"v");
+    }
+
+    #[test]
+    fn lookup_under_churn_without_stabilize_still_terminates() {
+        let mut r = ring(128);
+        // Take a third of the ring offline without stabilizing.
+        let ids = r.node_ids();
+        for (i, &id) in ids.iter().enumerate() {
+            if i % 3 == 0 {
+                r.set_online(id, false);
+            }
+        }
+        let from = ids.iter().copied().find(|&n| r.is_online(n)).unwrap();
+        let mut m = Metrics::new();
+        for i in 0..20 {
+            let key = Key::hash(format!("churny-{i}").as_bytes());
+            let owner = r.lookup(from, key, &mut m).unwrap();
+            assert!(r.is_online(owner), "lookup must land on a live node");
+        }
+    }
+}

@@ -1,0 +1,365 @@
+//! Kademlia: the second structured overlay (survey §II-B ablation).
+//!
+//! Most of the survey's structured DOSNs sit on a DHT; Chord and Kademlia
+//! are the two canonical geometries (Cachet's DHT is Kademlia-based via
+//! FreePastry-like routing; PeerSoN uses OpenDHT). Implementing both lets
+//! experiment E5b compare ring-geometry greedy routing against XOR-metric
+//! bucket routing under the identical workload.
+//!
+//! Implementation: 64-bit XOR metric, `k`-buckets per bit prefix, iterative
+//! lookup with α=3 parallelism (accounted, not simulated concurrently), and
+//! store/get on the `k` closest nodes.
+
+use crate::id::{Key, NodeId};
+use crate::metrics::Metrics;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeSet, HashMap};
+
+/// Lookup parallelism (classic Kademlia α).
+const ALPHA: usize = 3;
+
+#[derive(Debug, Clone)]
+struct KadNode {
+    /// k-buckets: bucket `i` holds nodes whose XOR distance has its highest
+    /// set bit at position `i`.
+    buckets: Vec<Vec<u64>>,
+    online: bool,
+    storage: HashMap<u64, Vec<u8>>,
+}
+
+impl KadNode {
+    /// The `count` closest known contacts to `target`.
+    fn closest_known(&self, target: u64, count: usize) -> Vec<u64> {
+        let mut all: Vec<u64> = self.buckets.iter().flatten().copied().collect();
+        all.sort_by_key(|&c| c ^ target);
+        all.truncate(count);
+        all
+    }
+}
+
+/// A Kademlia overlay.
+///
+/// ```
+/// use dosn_overlay::kademlia::KademliaOverlay;
+/// use dosn_overlay::id::Key;
+/// use dosn_overlay::metrics::Metrics;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut net = KademliaOverlay::build(128, 4, 20, 9);
+/// let mut m = Metrics::new();
+/// let key = Key::hash(b"profile");
+/// net.store(net.random_node(0), key, b"data".to_vec(), &mut m)?;
+/// assert_eq!(net.get(net.random_node(3), key, &mut m)?, b"data");
+/// # Ok(())
+/// # }
+/// ```
+pub struct KademliaOverlay {
+    nodes: HashMap<u64, KadNode>,
+    sorted_ids: Vec<u64>,
+    k: usize,
+    replicas: usize,
+    rng: StdRng,
+}
+
+impl std::fmt::Debug for KademliaOverlay {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "KademliaOverlay({} nodes, k={})",
+            self.sorted_ids.len(),
+            self.k
+        )
+    }
+}
+
+impl KademliaOverlay {
+    /// Builds `n` nodes with `replicas`-way storage and bucket size `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n == 0`, `replicas == 0`, or `k == 0`.
+    pub fn build(n: usize, replicas: usize, k: usize, seed: u64) -> Self {
+        assert!(n > 0 && replicas > 0 && k > 0, "invalid parameters");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ids = BTreeSet::new();
+        while ids.len() < n {
+            ids.insert(rng.random::<u64>());
+        }
+        let sorted_ids: Vec<u64> = ids.iter().copied().collect();
+        let mut nodes: HashMap<u64, KadNode> = sorted_ids
+            .iter()
+            .map(|&id| {
+                (
+                    id,
+                    KadNode {
+                        buckets: vec![Vec::new(); 64],
+                        online: true,
+                        storage: HashMap::new(),
+                    },
+                )
+            })
+            .collect();
+        // Populate k-buckets: every node learns up to k contacts per bucket
+        // (deterministic: the numerically smallest XOR distances first, a
+        // fair stand-in for long-lived contacts).
+        for &id in &sorted_ids {
+            let mut per_bucket: Vec<Vec<u64>> = vec![Vec::new(); 64];
+            for &other in &sorted_ids {
+                if other == id {
+                    continue;
+                }
+                let b = 63 - (id ^ other).leading_zeros() as usize;
+                per_bucket[b].push(other);
+            }
+            for bucket in per_bucket.iter_mut() {
+                bucket.sort_by_key(|&c| c ^ id);
+                bucket.truncate(k);
+            }
+            nodes.get_mut(&id).expect("own id").buckets = per_bucket;
+        }
+        KademliaOverlay {
+            nodes,
+            sorted_ids,
+            k,
+            replicas,
+            rng,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.sorted_ids.len()
+    }
+
+    /// Whether the overlay is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted_ids.is_empty()
+    }
+
+    /// A deterministic online node for workload driving.
+    ///
+    /// # Panics
+    ///
+    /// Panics when every node is offline.
+    pub fn random_node(&self, salt: u64) -> NodeId {
+        let online: Vec<u64> = self
+            .sorted_ids
+            .iter()
+            .copied()
+            .filter(|id| self.nodes[id].online)
+            .collect();
+        assert!(!online.is_empty(), "no online nodes");
+        NodeId(online[(salt as usize) % online.len()])
+    }
+
+    /// Marks a node online/offline.
+    ///
+    /// # Panics
+    ///
+    /// Panics for unknown nodes.
+    pub fn set_online(&mut self, node: NodeId, online: bool) {
+        self.nodes.get_mut(&node.0).expect("unknown node").online = online;
+    }
+
+    /// Iterative XOR-metric lookup: returns the `replicas` closest online
+    /// nodes found, recording per-round messages/latency in `metrics`.
+    pub fn lookup(&mut self, from: NodeId, key: Key, metrics: &mut Metrics) -> Vec<NodeId> {
+        let target = key.0;
+        let start = &self.nodes[&from.0];
+        let mut shortlist: Vec<u64> = start.closest_known(target, self.k);
+        let mut queried: BTreeSet<u64> = BTreeSet::new();
+        let mut closest_seen = u64::MAX;
+        loop {
+            // Query the α closest unqueried live candidates.
+            let batch: Vec<u64> = shortlist
+                .iter()
+                .copied()
+                .filter(|c| !queried.contains(c))
+                .take(ALPHA)
+                .collect();
+            if batch.is_empty() {
+                break;
+            }
+            let lat = self.rng.random_range(10u64..=120);
+            let mut improved = false;
+            for candidate in batch {
+                queried.insert(candidate);
+                // α queries go out in parallel: one latency per round.
+                metrics.record_offpath("kad.find_node", 64);
+                let Some(node) = self.nodes.get(&candidate) else {
+                    continue;
+                };
+                if !node.online {
+                    continue;
+                }
+                for learned in node.closest_known(target, self.k) {
+                    if !shortlist.contains(&learned) {
+                        shortlist.push(learned);
+                    }
+                }
+            }
+            metrics.latency_ms += lat;
+            shortlist.sort_by_key(|&c| c ^ target);
+            shortlist.truncate(self.k);
+            if let Some(&best) = shortlist.first() {
+                if best ^ target < closest_seen {
+                    closest_seen = best ^ target;
+                    improved = true;
+                }
+            }
+            if !improved && shortlist.iter().all(|c| queried.contains(c)) {
+                break;
+            }
+        }
+        shortlist
+            .into_iter()
+            .filter(|c| self.nodes[c].online)
+            .take(self.replicas)
+            .map(NodeId)
+            .collect()
+    }
+
+    /// Stores `value` on the closest online nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string when no storage target can be found.
+    pub fn store(
+        &mut self,
+        from: NodeId,
+        key: Key,
+        value: Vec<u8>,
+        metrics: &mut Metrics,
+    ) -> Result<(), String> {
+        let targets = self.lookup(from, key, metrics);
+        if targets.is_empty() {
+            return Err("no online storage targets".into());
+        }
+        for t in targets {
+            metrics.record_offpath("kad.store", value.len() as u64);
+            self.nodes
+                .get_mut(&t.0)
+                .expect("lookup returns known nodes")
+                .storage
+                .insert(key.0, value.clone());
+        }
+        Ok(())
+    }
+
+    /// Retrieves `key` from the closest online nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string when no live replica holds the key.
+    pub fn get(
+        &mut self,
+        from: NodeId,
+        key: Key,
+        metrics: &mut Metrics,
+    ) -> Result<Vec<u8>, String> {
+        let targets = self.lookup(from, key, metrics);
+        for t in targets {
+            metrics.record("kad.fetch", 64, self.rng.random_range(10u64..=120));
+            if let Some(v) = self.nodes[&t.0].storage.get(&key.0) {
+                return Ok(v.clone());
+            }
+        }
+        Err(format!("{key} not found on any close node"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(n: usize) -> KademliaOverlay {
+        KademliaOverlay::build(n, 3, 20, 13)
+    }
+
+    #[test]
+    fn store_get_roundtrip() {
+        let mut k = net(64);
+        let mut m = Metrics::new();
+        let key = Key::hash(b"x");
+        k.store(k.random_node(0), key, b"hello".to_vec(), &mut m)
+            .unwrap();
+        assert_eq!(k.get(k.random_node(7), key, &mut m).unwrap(), b"hello");
+    }
+
+    #[test]
+    fn lookups_converge_from_any_start() {
+        let mut k = net(128);
+        let key = Key::hash(b"converge");
+        let mut all: Vec<Vec<NodeId>> = Vec::new();
+        for s in 0..6 {
+            let mut m = Metrics::new();
+            let from = k.random_node(s * 11);
+            let mut found = k.lookup(from, key, &mut m);
+            found.sort();
+            all.push(found);
+        }
+        // The closest-replica sets agree regardless of the start node.
+        for w in all.windows(2) {
+            assert_eq!(w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn lookup_cost_is_logarithmic() {
+        let mut k = net(1024);
+        let mut total_msgs = 0u64;
+        for i in 0..30 {
+            let mut m = Metrics::new();
+            k.lookup(
+                k.random_node(i),
+                Key::hash(format!("q{i}").as_bytes()),
+                &mut m,
+            );
+            total_msgs += m.count("kad.find_node");
+        }
+        let avg = total_msgs as f64 / 30.0;
+        // α * O(log n) rounds; generous bound.
+        assert!(avg < 80.0, "avg {avg} find_node messages too high");
+        assert!(avg >= 3.0, "avg {avg} suspiciously low");
+    }
+
+    #[test]
+    fn survives_replica_failures() {
+        let mut k = net(64);
+        let mut m = Metrics::new();
+        let key = Key::hash(b"resilient");
+        let from = k.random_node(0);
+        k.store(from, key, b"v".to_vec(), &mut m).unwrap();
+        let replicas = k.lookup(from, key, &mut m);
+        // Knock out the single closest replica.
+        k.set_online(replicas[0], false);
+        let reader = k.random_node(5);
+        assert_eq!(k.get(reader, key, &mut m).unwrap(), b"v");
+    }
+
+    #[test]
+    fn missing_key_errors() {
+        let mut k = net(32);
+        let mut m = Metrics::new();
+        assert!(k
+            .get(k.random_node(0), Key::hash(b"ghost"), &mut m)
+            .is_err());
+    }
+
+    #[test]
+    fn buckets_bounded_by_k() {
+        let k = KademliaOverlay::build(256, 3, 8, 5);
+        for node in k.nodes.values() {
+            for bucket in &node.buckets {
+                assert!(bucket.len() <= 8);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid parameters")]
+    fn zero_nodes_rejected() {
+        KademliaOverlay::build(0, 3, 20, 1);
+    }
+}

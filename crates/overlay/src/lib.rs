@@ -1,0 +1,56 @@
+//! Simulated P2P substrates for the `dosn` reproduction of *"Security and
+//! Privacy of Distributed Online Social Networks"* (ICDCS 2015).
+//!
+//! The survey's §II-B classifies DOSN organizations into five families;
+//! this crate implements all of them over a common deterministic
+//! discrete-event simulator (the substitution for a real planet-scale
+//! deployment — see DESIGN.md):
+//!
+//! | §II-B family | Exemplars in the survey | Module |
+//! |---|---|---|
+//! | Structured | PrPl, PeerSoN, Safebook, Cachet | [`chord`] |
+//! | Unstructured | flooding/gossip micropublishing | [`flood`] |
+//! | Semi-structured | Supernova super-peers | [`superpeer`] |
+//! | Hybrid | Cachet DHT + gossip cache, Cuckoo | [`hybrid`] |
+//! | Server federation | Diaspora pods | [`federation`] |
+//!
+//! Supporting infrastructure: [`sim`] (event-driven engine with churn),
+//! [`churn`] (availability experiments, E6), [`metrics`] (message/hop
+//! accounting used by every experiment), [`id`] (ring identifiers).
+//!
+//! # Example: comparing lookup costs across organizations
+//!
+//! ```
+//! use dosn_overlay::{chord::ChordOverlay, superpeer::SuperPeerOverlay,
+//!                    id::{Key, NodeId}, metrics::Metrics};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let key = Key::hash(b"profile:carol");
+//!
+//! let mut dht = ChordOverlay::build(256, 3, 1);
+//! let mut m_dht = Metrics::new();
+//! dht.store(dht.random_node(0), key, b"data".to_vec(), &mut m_dht)?;
+//! dht.get(dht.random_node(1), key, &mut m_dht)?;
+//!
+//! let mut sp = SuperPeerOverlay::build(256, 16, 1);
+//! sp.publish(NodeId(9), key);
+//! let mut m_sp = Metrics::new();
+//! sp.search(NodeId(200), key, &mut m_sp);
+//!
+//! // Structured costs O(log n) hops; super-peer a small constant.
+//! assert!(m_sp.messages <= 3);
+//! assert!(m_dht.count("chord.hop") >= 1);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod chord;
+pub mod churn;
+pub mod federation;
+pub mod flood;
+pub mod hybrid;
+pub mod id;
+pub mod kademlia;
+pub mod metrics;
+pub mod sim;
+pub mod superpeer;

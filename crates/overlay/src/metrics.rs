@@ -1,0 +1,171 @@
+//! Message/hop/latency accounting shared by every overlay.
+
+use std::collections::BTreeMap;
+
+/// Counters accumulated by overlay operations. Every lookup/store/search
+/// API returns or updates one of these so experiments can report the same
+/// quantities DOSN papers do: messages, hops, and simulated latency.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Metrics {
+    /// Total messages sent.
+    pub messages: u64,
+    /// Total bytes attributed to messages (approximate payload accounting).
+    pub bytes: u64,
+    /// Per-message-type counts.
+    pub by_type: BTreeMap<String, u64>,
+    /// Simulated wall-clock accumulated along the *critical path*, ms.
+    pub latency_ms: u64,
+}
+
+impl Metrics {
+    /// Creates zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one message of `kind` with `bytes` payload and `latency_ms`
+    /// on the critical path.
+    pub fn record(&mut self, kind: &str, bytes: u64, latency_ms: u64) {
+        self.messages += 1;
+        self.bytes += bytes;
+        self.latency_ms += latency_ms;
+        *self.by_type.entry(kind.to_owned()).or_insert(0) += 1;
+    }
+
+    /// Records a message that is *not* on the critical path (parallel fan-out
+    /// such as flooding): counts it without adding latency.
+    pub fn record_offpath(&mut self, kind: &str, bytes: u64) {
+        self.messages += 1;
+        self.bytes += bytes;
+        *self.by_type.entry(kind.to_owned()).or_insert(0) += 1;
+    }
+
+    /// Merges another metrics bundle into this one (latency adds: use for
+    /// sequential phases).
+    pub fn merge(&mut self, other: &Metrics) {
+        self.messages += other.messages;
+        self.bytes += other.bytes;
+        self.latency_ms += other.latency_ms;
+        for (k, v) in &other.by_type {
+            *self.by_type.entry(k.clone()).or_insert(0) += v;
+        }
+    }
+
+    /// Count for one message type.
+    pub fn count(&self, kind: &str) -> u64 {
+        self.by_type.get(kind).copied().unwrap_or(0)
+    }
+}
+
+/// A tiny fixed-bucket histogram for hop counts and latencies.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    samples: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a sample.
+    pub fn add(&mut self, value: u64) {
+        self.samples.push(value);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<u64>() as f64 / self.samples.len() as f64
+    }
+
+    /// The `p`-quantile (0.0..=1.0) by nearest-rank; 0 when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn quantile(&self, p: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&p), "quantile out of range");
+        if self.samples.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let rank = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+        sorted[rank]
+    }
+
+    /// Maximum sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.samples.iter().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates() {
+        let mut m = Metrics::new();
+        m.record("lookup", 100, 20);
+        m.record("lookup", 100, 20);
+        m.record_offpath("flood", 50);
+        assert_eq!(m.messages, 3);
+        assert_eq!(m.bytes, 250);
+        assert_eq!(m.latency_ms, 40);
+        assert_eq!(m.count("lookup"), 2);
+        assert_eq!(m.count("flood"), 1);
+        assert_eq!(m.count("absent"), 0);
+    }
+
+    #[test]
+    fn merge_adds_everything() {
+        let mut a = Metrics::new();
+        a.record("x", 1, 2);
+        let mut b = Metrics::new();
+        b.record("x", 10, 20);
+        b.record("y", 5, 1);
+        a.merge(&b);
+        assert_eq!(a.messages, 3);
+        assert_eq!(a.bytes, 16);
+        assert_eq!(a.latency_ms, 23);
+        assert_eq!(a.count("x"), 2);
+    }
+
+    #[test]
+    fn histogram_stats() {
+        let mut h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0);
+        for v in [1u64, 2, 3, 4, 100] {
+            h.add(v);
+        }
+        assert_eq!(h.len(), 5);
+        assert_eq!(h.mean(), 22.0);
+        assert_eq!(h.quantile(0.5), 3);
+        assert_eq!(h.quantile(1.0), 100);
+        assert_eq!(h.quantile(0.0), 1);
+        assert_eq!(h.max(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile out of range")]
+    fn quantile_rejects_bad_p() {
+        Histogram::new().quantile(1.5);
+    }
+}

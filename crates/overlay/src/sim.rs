@@ -1,0 +1,484 @@
+//! Deterministic discrete-event network simulator.
+//!
+//! DOSN evaluations run on planet-scale P2P deployments; this simulator is
+//! the workspace's substitute (see DESIGN.md). It provides:
+//!
+//! * an event queue with per-link latency drawn from a seeded RNG, so every
+//!   run is reproducible;
+//! * an [`Actor`] trait for protocol nodes (used by the gossip overlay, the
+//!   fork-consistency experiments, and the availability study);
+//! * node churn — actors go online/offline, and messages to offline nodes
+//!   are counted and dropped.
+//!
+//! ```
+//! use dosn_overlay::sim::{Actor, Context, Simulation};
+//! use dosn_overlay::id::NodeId;
+//!
+//! // A one-message ping-pong protocol.
+//! #[derive(Default)]
+//! struct Pong { got: u32 }
+//! impl Actor for Pong {
+//!     type Msg = &'static str;
+//!     fn on_message(&mut self, ctx: &mut Context<'_, Self::Msg>, from: NodeId, msg: &'static str) {
+//!         self.got += 1;
+//!         if msg == "ping" { ctx.send(from, "pong"); }
+//!     }
+//! }
+//!
+//! let mut sim = Simulation::new(vec![Pong::default(), Pong::default()], 7);
+//! sim.post(NodeId(0), NodeId(1), "ping");
+//! sim.run_until_idle();
+//! assert_eq!(sim.actor(NodeId(0)).got, 1); // got the pong back
+//! assert!(sim.now_ms() > 0);
+//! ```
+
+use crate::id::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A protocol running on every simulated node.
+pub trait Actor {
+    /// The message type exchanged by this protocol.
+    type Msg;
+
+    /// Called when a message is delivered to this (online) node.
+    fn on_message(&mut self, ctx: &mut Context<'_, Self::Msg>, from: NodeId, msg: Self::Msg);
+
+    /// Called when a timer set via [`Context::set_timer`] fires.
+    fn on_timer(&mut self, ctx: &mut Context<'_, Self::Msg>, timer: u64) {
+        let _ = (ctx, timer);
+    }
+
+    /// Called when the node transitions online (initially and after churn).
+    fn on_online(&mut self, ctx: &mut Context<'_, Self::Msg>) {
+        let _ = ctx;
+    }
+}
+
+/// The API an actor uses to interact with the network during a callback.
+pub struct Context<'a, M> {
+    /// This node's id.
+    self_id: NodeId,
+    now_ms: u64,
+    outbox: Vec<(NodeId, M)>,
+    timers: Vec<(u64, u64)>,
+    rng: &'a mut StdRng,
+}
+
+impl<M> Context<'_, M> {
+    /// This node's id.
+    pub fn self_id(&self) -> NodeId {
+        self.self_id
+    }
+
+    /// Current simulated time in milliseconds.
+    pub fn now_ms(&self) -> u64 {
+        self.now_ms
+    }
+
+    /// Sends `msg` to `to` (delivered after a random link latency).
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.outbox.push((to, msg));
+    }
+
+    /// Schedules [`Actor::on_timer`] with `tag` after `delay_ms`.
+    pub fn set_timer(&mut self, delay_ms: u64, tag: u64) {
+        self.timers.push((delay_ms, tag));
+    }
+
+    /// Seeded randomness for protocol decisions (peer sampling etc.).
+    pub fn rng(&mut self) -> &mut impl RngCore {
+        self.rng
+    }
+}
+
+#[derive(Debug)]
+enum Event<M> {
+    Deliver { from: NodeId, to: NodeId, msg: M },
+    Timer { node: NodeId, tag: u64 },
+    SetOnline { node: NodeId, online: bool },
+}
+
+struct Scheduled<M> {
+    at_ms: u64,
+    seq: u64,
+    event: Event<M>,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at_ms == other.at_ms && self.seq == other.seq
+    }
+}
+impl<M> Eq for Scheduled<M> {}
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at_ms, self.seq).cmp(&(other.at_ms, other.seq))
+    }
+}
+
+/// Link latency model: uniform in `[min_ms, max_ms]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyModel {
+    /// Minimum one-way latency.
+    pub min_ms: u64,
+    /// Maximum one-way latency.
+    pub max_ms: u64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        // Wide-area P2P spread.
+        LatencyModel {
+            min_ms: 10,
+            max_ms: 120,
+        }
+    }
+}
+
+/// Counters the simulation maintains.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Messages delivered to online nodes.
+    pub delivered: u64,
+    /// Messages dropped because the target was offline.
+    pub dropped_offline: u64,
+    /// Timer callbacks fired.
+    pub timers_fired: u64,
+}
+
+/// The discrete-event simulation over a fixed actor population.
+pub struct Simulation<A: Actor> {
+    actors: Vec<A>,
+    online: Vec<bool>,
+    queue: BinaryHeap<Reverse<Scheduled<A::Msg>>>,
+    now_ms: u64,
+    seq: u64,
+    rng: StdRng,
+    latency: LatencyModel,
+    stats: SimStats,
+}
+
+impl<A: Actor> Simulation<A> {
+    /// Creates a simulation with all nodes online and default latency.
+    pub fn new(actors: Vec<A>, seed: u64) -> Self {
+        Self::with_latency(actors, seed, LatencyModel::default())
+    }
+
+    /// Creates a simulation with an explicit latency model.
+    pub fn with_latency(actors: Vec<A>, seed: u64, latency: LatencyModel) -> Self {
+        let n = actors.len();
+        Simulation {
+            actors,
+            online: vec![true; n],
+            queue: BinaryHeap::new(),
+            now_ms: 0,
+            seq: 0,
+            rng: StdRng::seed_from_u64(seed),
+            latency,
+            stats: SimStats::default(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// Whether the simulation has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.actors.is_empty()
+    }
+
+    /// Current simulated time.
+    pub fn now_ms(&self) -> u64 {
+        self.now_ms
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> SimStats {
+        self.stats
+    }
+
+    /// Immutable access to an actor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is out of range.
+    pub fn actor(&self, id: NodeId) -> &A {
+        &self.actors[id.0 as usize]
+    }
+
+    /// Mutable access to an actor (for test setup and inspection).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is out of range.
+    pub fn actor_mut(&mut self, id: NodeId) -> &mut A {
+        &mut self.actors[id.0 as usize]
+    }
+
+    /// Whether a node is currently online.
+    pub fn is_online(&self, id: NodeId) -> bool {
+        self.online[id.0 as usize]
+    }
+
+    /// Injects a message from outside the simulation (e.g. the workload
+    /// driver), delivered after one link latency.
+    pub fn post(&mut self, from: NodeId, to: NodeId, msg: A::Msg) {
+        let delay = self.draw_latency();
+        self.schedule(delay, Event::Deliver { from, to, msg });
+    }
+
+    /// Schedules a node to go online/offline at `at_ms` (absolute).
+    pub fn schedule_churn(&mut self, at_ms: u64, node: NodeId, online: bool) {
+        let delay = at_ms.saturating_sub(self.now_ms);
+        self.schedule(delay, Event::SetOnline { node, online });
+    }
+
+    /// Invokes `on_online` for every currently online node, letting
+    /// protocols bootstrap (e.g. start gossip timers).
+    pub fn start(&mut self) {
+        for i in 0..self.actors.len() {
+            if self.online[i] {
+                self.with_ctx(NodeId(i as u64), |actor, ctx| actor.on_online(ctx));
+            }
+        }
+    }
+
+    /// Runs until the event queue is empty.
+    pub fn run_until_idle(&mut self) {
+        while self.step() {}
+    }
+
+    /// Runs until simulated time reaches `deadline_ms` or the queue drains.
+    pub fn run_until(&mut self, deadline_ms: u64) {
+        while let Some(Reverse(head)) = self.queue.peek() {
+            if head.at_ms > deadline_ms {
+                break;
+            }
+            self.step();
+        }
+        self.now_ms = self.now_ms.max(deadline_ms);
+    }
+
+    /// Processes one event; returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(scheduled)) = self.queue.pop() else {
+            return false;
+        };
+        self.now_ms = scheduled.at_ms;
+        match scheduled.event {
+            Event::Deliver { from, to, msg } => {
+                if !self.online[to.0 as usize] {
+                    self.stats.dropped_offline += 1;
+                } else {
+                    self.stats.delivered += 1;
+                    self.with_ctx(to, |actor, ctx| actor.on_message(ctx, from, msg));
+                }
+            }
+            Event::Timer { node, tag } => {
+                if self.online[node.0 as usize] {
+                    self.stats.timers_fired += 1;
+                    self.with_ctx(node, |actor, ctx| actor.on_timer(ctx, tag));
+                }
+            }
+            Event::SetOnline { node, online } => {
+                let was = self.online[node.0 as usize];
+                self.online[node.0 as usize] = online;
+                if online && !was {
+                    self.with_ctx(node, |actor, ctx| actor.on_online(ctx));
+                }
+            }
+        }
+        true
+    }
+
+    fn with_ctx<F>(&mut self, id: NodeId, f: F)
+    where
+        F: FnOnce(&mut A, &mut Context<'_, A::Msg>),
+    {
+        let mut ctx = Context {
+            self_id: id,
+            now_ms: self.now_ms,
+            outbox: Vec::new(),
+            timers: Vec::new(),
+            rng: &mut self.rng,
+        };
+        // Split borrow: actor is disjoint from queue/rng.
+        let actor = &mut self.actors[id.0 as usize];
+        f(actor, &mut ctx);
+        let Context { outbox, timers, .. } = ctx;
+        for (to, msg) in outbox {
+            let delay = self.draw_latency();
+            self.schedule(delay, Event::Deliver { from: id, to, msg });
+        }
+        for (delay, tag) in timers {
+            self.schedule(delay, Event::Timer { node: id, tag });
+        }
+    }
+
+    fn draw_latency(&mut self) -> u64 {
+        if self.latency.min_ms == self.latency.max_ms {
+            return self.latency.min_ms;
+        }
+        self.rng
+            .random_range(self.latency.min_ms..=self.latency.max_ms)
+    }
+
+    fn schedule(&mut self, delay_ms: u64, event: Event<A::Msg>) {
+        self.seq += 1;
+        self.queue.push(Reverse(Scheduled {
+            at_ms: self.now_ms + delay_ms,
+            seq: self.seq,
+            event,
+        }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Counts everything it receives; echoes "ping" with "pong".
+    #[derive(Default)]
+    struct Echo {
+        pings: u32,
+        pongs: u32,
+        timer_tags: Vec<u64>,
+        online_calls: u32,
+    }
+
+    impl Actor for Echo {
+        type Msg = &'static str;
+
+        fn on_message(&mut self, ctx: &mut Context<'_, Self::Msg>, from: NodeId, msg: Self::Msg) {
+            match msg {
+                "ping" => {
+                    self.pings += 1;
+                    ctx.send(from, "pong");
+                }
+                "pong" => self.pongs += 1,
+                _ => {}
+            }
+        }
+
+        fn on_timer(&mut self, _ctx: &mut Context<'_, Self::Msg>, tag: u64) {
+            self.timer_tags.push(tag);
+        }
+
+        fn on_online(&mut self, ctx: &mut Context<'_, Self::Msg>) {
+            self.online_calls += 1;
+            ctx.set_timer(5, 42);
+        }
+    }
+
+    fn two_nodes(seed: u64) -> Simulation<Echo> {
+        Simulation::new(vec![Echo::default(), Echo::default()], seed)
+    }
+
+    #[test]
+    fn ping_pong_delivery() {
+        let mut sim = two_nodes(1);
+        sim.post(NodeId(0), NodeId(1), "ping");
+        sim.run_until_idle();
+        assert_eq!(sim.actor(NodeId(1)).pings, 1);
+        assert_eq!(sim.actor(NodeId(0)).pongs, 1);
+        assert_eq!(sim.stats().delivered, 2);
+    }
+
+    #[test]
+    fn offline_target_drops_message() {
+        let mut sim = two_nodes(2);
+        sim.schedule_churn(0, NodeId(1), false);
+        sim.post(NodeId(0), NodeId(1), "ping");
+        sim.run_until_idle();
+        assert_eq!(sim.actor(NodeId(1)).pings, 0);
+        assert_eq!(sim.stats().dropped_offline, 1);
+        assert!(!sim.is_online(NodeId(1)));
+    }
+
+    #[test]
+    fn coming_online_triggers_callback_and_timer() {
+        let mut sim = two_nodes(3);
+        sim.start();
+        sim.run_until_idle();
+        assert_eq!(sim.actor(NodeId(0)).online_calls, 1);
+        assert_eq!(sim.actor(NodeId(0)).timer_tags, vec![42]);
+        assert_eq!(sim.stats().timers_fired, 2);
+    }
+
+    #[test]
+    fn churn_back_online_re_invokes() {
+        let mut sim = two_nodes(4);
+        sim.schedule_churn(10, NodeId(0), false);
+        sim.schedule_churn(20, NodeId(0), true);
+        sim.run_until_idle();
+        assert_eq!(sim.actor(NodeId(0)).online_calls, 1);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        let run = |seed| {
+            let mut sim = two_nodes(seed);
+            sim.post(NodeId(0), NodeId(1), "ping");
+            sim.run_until_idle();
+            sim.now_ms()
+        };
+        assert_eq!(run(9), run(9));
+        // Different seeds draw different latencies (overwhelmingly likely).
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let mut sim = two_nodes(5);
+        sim.post(NodeId(0), NodeId(1), "ping");
+        sim.run_until(1); // before any latency can elapse (min 10ms)
+        assert_eq!(sim.actor(NodeId(1)).pings, 0);
+        assert_eq!(sim.now_ms(), 1);
+        sim.run_until_idle();
+        assert_eq!(sim.actor(NodeId(1)).pings, 1);
+    }
+
+    #[test]
+    fn timers_do_not_fire_offline() {
+        let mut sim = two_nodes(6);
+        sim.start(); // sets timers at +5ms
+        sim.schedule_churn(1, NodeId(0), false);
+        sim.run_until_idle();
+        assert!(sim.actor(NodeId(0)).timer_tags.is_empty());
+        assert_eq!(sim.actor(NodeId(1)).timer_tags, vec![42]);
+    }
+
+    #[test]
+    fn fixed_latency_model() {
+        let mut sim = Simulation::with_latency(
+            vec![Echo::default(), Echo::default()],
+            1,
+            LatencyModel {
+                min_ms: 7,
+                max_ms: 7,
+            },
+        );
+        sim.post(NodeId(0), NodeId(1), "ping");
+        sim.run_until_idle();
+        assert_eq!(sim.now_ms(), 14); // ping 7ms + pong 7ms
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let sim = two_nodes(1);
+        assert_eq!(sim.len(), 2);
+        assert!(!sim.is_empty());
+        let empty: Simulation<Echo> = Simulation::new(vec![], 1);
+        assert!(empty.is_empty());
+    }
+}

@@ -1,0 +1,347 @@
+//! Semi-structured overlay: super-peers (survey §II-B, "semi-structured").
+//!
+//! "Semi-structured DOSN makes use of super peers, which are a subset of all
+//! users who are responsible for storing the index and managing other users
+//! as proposed in Supernova" — including "tracking of users' up-time to find
+//! the best places for replication". Here, peers with the highest announced
+//! uptime are elected super-peers; each ordinary peer attaches to one
+//! super-peer; super-peers hold the content index and answer queries in at
+//! most three hops (leaf → super → super → leaf).
+
+use crate::id::{Key, NodeId};
+use crate::metrics::Metrics;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// A peer in the super-peer overlay.
+#[derive(Debug, Clone)]
+struct Peer {
+    /// Announced uptime fraction in `[0, 1]`; the election criterion.
+    uptime: f64,
+    online: bool,
+    /// `Some(super_id)` for leaves; `None` for super-peers.
+    attached_to: Option<NodeId>,
+}
+
+/// The Supernova-style super-peer overlay.
+///
+/// ```
+/// use dosn_overlay::superpeer::SuperPeerOverlay;
+/// use dosn_overlay::id::{Key, NodeId};
+/// use dosn_overlay::metrics::Metrics;
+///
+/// let mut net = SuperPeerOverlay::build(100, 10, 21);
+/// net.publish(NodeId(42), Key::hash(b"photo"));
+/// let mut m = Metrics::new();
+/// let holder = net.search(NodeId(7), Key::hash(b"photo"), &mut m);
+/// assert_eq!(holder, Some(NodeId(42)));
+/// assert!(m.messages <= 4, "super-peer search is a constant number of hops");
+/// ```
+pub struct SuperPeerOverlay {
+    peers: Vec<Peer>,
+    supers: Vec<NodeId>,
+    /// Per super-peer: key -> holders (the distributed index).
+    index: HashMap<NodeId, HashMap<u64, Vec<NodeId>>>,
+    rng: StdRng,
+}
+
+impl std::fmt::Debug for SuperPeerOverlay {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "SuperPeerOverlay({} peers, {} supers)",
+            self.peers.len(),
+            self.supers.len()
+        )
+    }
+}
+
+impl SuperPeerOverlay {
+    /// Builds `n` peers and elects the `supers` highest-uptime ones as
+    /// super-peers; every leaf attaches to a deterministic super-peer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `supers == 0` or `supers > n`.
+    pub fn build(n: usize, supers: usize, seed: u64) -> Self {
+        assert!(supers >= 1 && supers <= n, "invalid super-peer count");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut peers: Vec<Peer> = (0..n)
+            .map(|_| Peer {
+                uptime: rng.random_range(0.05..1.0),
+                online: true,
+                attached_to: None,
+            })
+            .collect();
+        // Election: the highest-uptime peers become super-peers (Supernova's
+        // uptime-tracking criterion).
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            peers[b]
+                .uptime
+                .partial_cmp(&peers[a].uptime)
+                .expect("uptime is finite")
+        });
+        let super_ids: Vec<NodeId> = order[..supers].iter().map(|&i| NodeId(i as u64)).collect();
+        for (i, peer) in peers.iter_mut().enumerate() {
+            let id = NodeId(i as u64);
+            if !super_ids.contains(&id) {
+                let chosen = super_ids[i % super_ids.len()];
+                peer.attached_to = Some(chosen);
+            }
+        }
+        let index = super_ids.iter().map(|&s| (s, HashMap::new())).collect();
+        SuperPeerOverlay {
+            peers,
+            supers: super_ids,
+            index,
+            rng,
+        }
+    }
+
+    /// Number of peers.
+    pub fn len(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Whether the overlay is empty.
+    pub fn is_empty(&self) -> bool {
+        self.peers.is_empty()
+    }
+
+    /// The elected super-peers.
+    pub fn super_peers(&self) -> &[NodeId] {
+        &self.supers
+    }
+
+    /// The super-peer responsible for indexing `key` (by hash partition).
+    fn index_home(&self, key: Key) -> NodeId {
+        self.supers[(key.0 as usize) % self.supers.len()]
+    }
+
+    /// The super-peer a node talks to (itself if it is one).
+    pub fn super_of(&self, node: NodeId) -> NodeId {
+        self.peers[node.0 as usize].attached_to.unwrap_or(node)
+    }
+
+    /// Announces that `holder` stores `key`: the index entry is placed on
+    /// the responsible super-peer (2 messages: leaf → own super → index home).
+    pub fn publish(&mut self, holder: NodeId, key: Key) {
+        let home = self.index_home(key);
+        self.index
+            .get_mut(&home)
+            .expect("home is a super-peer")
+            .entry(key.0)
+            .or_default()
+            .push(holder);
+    }
+
+    /// Marks a peer online/offline. A failed super-peer takes its index
+    /// partition offline until re-election (call
+    /// [`SuperPeerOverlay::reelect`]).
+    pub fn set_online(&mut self, node: NodeId, online: bool) {
+        self.peers[node.0 as usize].online = online;
+    }
+
+    /// Searches for `key`: leaf → its super-peer → index-home super-peer →
+    /// answer. Message count is constant (≤ 3 on-path + 1 reply).
+    pub fn search(&mut self, from: NodeId, key: Key, metrics: &mut Metrics) -> Option<NodeId> {
+        if !self.peers[from.0 as usize].online {
+            return None;
+        }
+        let own_super = self.super_of(from);
+        if own_super != from {
+            metrics.record("super.query", 32, self.latency());
+        }
+        if !self.peers[own_super.0 as usize].online {
+            return None; // orphaned leaf until re-election
+        }
+        let home = self.index_home(key);
+        if home != own_super {
+            metrics.record("super.forward", 32, self.latency());
+        }
+        if !self.peers[home.0 as usize].online {
+            return None;
+        }
+        metrics.record("super.answer", 32, self.latency());
+        self.index[&home].get(&key.0).and_then(|holders| {
+            holders
+                .iter()
+                .copied()
+                .find(|h| self.peers[h.0 as usize].online)
+        })
+    }
+
+    /// Re-elects super-peers after failures: offline super-peers are
+    /// replaced by the highest-uptime online leaves, and their index
+    /// partitions rebuilt from scratch (returns re-index message count —
+    /// the semi-structured maintenance cost).
+    pub fn reelect(&mut self) -> u64 {
+        let failed: Vec<NodeId> = self
+            .supers
+            .iter()
+            .copied()
+            .filter(|s| !self.peers[s.0 as usize].online)
+            .collect();
+        if failed.is_empty() {
+            return 0;
+        }
+        // Collect surviving index entries before re-partitioning.
+        let mut entries: Vec<(u64, Vec<NodeId>)> = Vec::new();
+        for (_, part) in self.index.iter() {
+            for (k, holders) in part {
+                entries.push((*k, holders.clone()));
+            }
+        }
+        // Promote best online leaves.
+        let mut candidates: Vec<usize> = (0..self.peers.len())
+            .filter(|&i| self.peers[i].online && !self.supers.contains(&NodeId(i as u64)))
+            .collect();
+        candidates.sort_by(|&a, &b| {
+            self.peers[b]
+                .uptime
+                .partial_cmp(&self.peers[a].uptime)
+                .expect("finite")
+        });
+        let mut replacements = candidates.into_iter();
+        for failed_super in &failed {
+            if let Some(new_idx) = replacements.next() {
+                let new_super = NodeId(new_idx as u64);
+                let pos = self
+                    .supers
+                    .iter()
+                    .position(|s| s == failed_super)
+                    .expect("failed super in list");
+                self.supers[pos] = new_super;
+                self.peers[new_idx].attached_to = None;
+            } else {
+                self.supers.retain(|s| s != failed_super);
+            }
+        }
+        // Reattach leaves and rebuild the index.
+        let supers = self.supers.clone();
+        for (i, peer) in self.peers.iter_mut().enumerate() {
+            let id = NodeId(i as u64);
+            if supers.contains(&id) {
+                peer.attached_to = None;
+            } else {
+                peer.attached_to = Some(supers[i % supers.len()]);
+            }
+        }
+        self.index = supers.iter().map(|&s| (s, HashMap::new())).collect();
+        let mut msgs = 0u64;
+        for (k, holders) in entries {
+            for h in holders {
+                self.publish(h, Key(k));
+                msgs += 2;
+            }
+        }
+        msgs
+    }
+
+    fn latency(&mut self) -> u64 {
+        self.rng.random_range(10u64..=120)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn search_finds_published_content_in_constant_hops() {
+        let mut net = SuperPeerOverlay::build(200, 16, 1);
+        let key = Key::hash(b"doc");
+        net.publish(NodeId(100), key);
+        let mut m = Metrics::new();
+        assert_eq!(net.search(NodeId(5), key, &mut m), Some(NodeId(100)));
+        assert!(m.messages <= 3);
+    }
+
+    #[test]
+    fn miss_returns_none_cheaply() {
+        let mut net = SuperPeerOverlay::build(100, 8, 2);
+        let mut m = Metrics::new();
+        assert_eq!(net.search(NodeId(3), Key::hash(b"nope"), &mut m), None);
+        assert!(m.messages <= 3);
+    }
+
+    #[test]
+    fn election_prefers_high_uptime() {
+        let net = SuperPeerOverlay::build(100, 10, 3);
+        let min_super_uptime = net
+            .super_peers()
+            .iter()
+            .map(|s| net.peers[s.0 as usize].uptime)
+            .fold(f64::INFINITY, f64::min);
+        let max_leaf_uptime = (0..100)
+            .filter(|i| !net.super_peers().contains(&NodeId(*i)))
+            .map(|i| net.peers[i as usize].uptime)
+            .fold(0.0, f64::max);
+        assert!(min_super_uptime >= max_leaf_uptime);
+    }
+
+    #[test]
+    fn leaves_attach_to_supers() {
+        let net = SuperPeerOverlay::build(50, 5, 4);
+        for i in 0..50 {
+            let id = NodeId(i);
+            let sup = net.super_of(id);
+            assert!(net.super_peers().contains(&sup));
+            if net.super_peers().contains(&id) {
+                assert_eq!(sup, id);
+            }
+        }
+    }
+
+    #[test]
+    fn offline_holder_not_returned() {
+        let mut net = SuperPeerOverlay::build(50, 5, 5);
+        let key = Key::hash(b"x");
+        net.publish(NodeId(20), key);
+        net.set_online(NodeId(20), false);
+        let mut m = Metrics::new();
+        assert_eq!(net.search(NodeId(1), key, &mut m), None);
+    }
+
+    #[test]
+    fn super_failure_breaks_partition_until_reelect() {
+        let mut net = SuperPeerOverlay::build(60, 4, 6);
+        let key = Key::hash(b"indexed");
+        net.publish(NodeId(30), key);
+        let home = net.index_home(key);
+        net.set_online(home, false);
+        // Choose a searcher whose own super is alive and != home.
+        let searcher = (0..60)
+            .map(NodeId)
+            .find(|&n| {
+                let s = net.super_of(n);
+                s != home && net.peers[s.0 as usize].online && net.peers[n.0 as usize].online
+            })
+            .expect("someone is attached elsewhere");
+        let mut m = Metrics::new();
+        assert_eq!(net.search(searcher, key, &mut m), None, "partition down");
+        let cost = net.reelect();
+        assert!(cost > 0, "re-election re-indexes entries");
+        let mut m2 = Metrics::new();
+        assert_eq!(net.search(searcher, key, &mut m2), Some(NodeId(30)));
+    }
+
+    #[test]
+    fn reelect_noop_when_healthy() {
+        let mut net = SuperPeerOverlay::build(30, 3, 7);
+        assert_eq!(net.reelect(), 0);
+    }
+
+    #[test]
+    fn multiple_holders_prefers_online_one() {
+        let mut net = SuperPeerOverlay::build(40, 4, 8);
+        let key = Key::hash(b"popular");
+        net.publish(NodeId(10), key);
+        net.publish(NodeId(11), key);
+        net.set_online(NodeId(10), false);
+        let mut m = Metrics::new();
+        assert_eq!(net.search(NodeId(2), key, &mut m), Some(NodeId(11)));
+    }
+}

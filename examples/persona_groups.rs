@@ -1,0 +1,83 @@
+//! Persona-style attribute-based access control (survey §III-D).
+//!
+//! Every user is their own ABE authority: Alice defines attributes for her
+//! social circle, issues keys to friends, and encrypts each post under a
+//! policy — `(relative OR painter) AND doctor`-style expressions straight
+//! from the paper. The example also walks the survey's revocation cost
+//! story and contrasts it with IBBE's free removal.
+//!
+//! Run with: `cargo run --example persona_groups`
+
+use dosn::core::privacy::{AccessScheme, IbbeGroupScheme};
+use dosn::crypto::abe::{AbeAuthority, Policy};
+use dosn::crypto::chacha::SecureRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = SecureRng::seed_from_u64(14);
+
+    // ---- Alice as her own attribute authority (Persona model) ----
+    let mut alice = AbeAuthority::new([42u8; 32]);
+    let bob = alice.issue_key("bob", &["relative".into(), "doctor".into()]);
+    let carol = alice.issue_key("carol", &["painter".into()]);
+    let dave = alice.issue_key("dave", &["relative".into()]);
+
+    // The paper's own example policy.
+    let policy = Policy::parse("(relative OR painter) AND doctor")?;
+    println!("policy: {policy}");
+    let ct = alice.encrypt(&policy, b"my test results came back fine", &mut rng)?;
+
+    println!("bob   (relative, doctor): {}", can_read(&bob.decrypt(&ct)));
+    println!(
+        "carol (painter):          {}",
+        can_read(&carol.decrypt(&ct))
+    );
+    println!("dave  (relative):         {}", can_read(&dave.decrypt(&ct)));
+    assert!(bob.decrypt(&ct).is_ok());
+    assert!(carol.decrypt(&ct).is_err()); // painter but not doctor
+    assert!(dave.decrypt(&ct).is_err()); // relative but not doctor
+
+    // Threshold policies work too: any 2 of 3 circles.
+    let threshold = Policy::parse("2 of (relative, doctor, painter)")?;
+    let ct2 = alice.encrypt(&threshold, b"semi-private news", &mut rng)?;
+    assert!(bob.decrypt(&ct2).is_ok()); // holds 2 attributes
+    assert!(carol.decrypt(&ct2).is_err()); // holds 1
+    println!("threshold policy {threshold}: bob yes, carol no");
+
+    // ---- Revocation: the survey's ABE pain point ----
+    let report = alice.revoke_user("bob");
+    println!(
+        "revoking bob rotated attributes {:?} and requires re-issuing {} keys",
+        report.attributes_rotated, report.keys_reissued
+    );
+    let ct3 = alice.encrypt(&policy, b"post-revocation secret", &mut rng)?;
+    assert!(
+        bob.decrypt(&ct3).is_err(),
+        "bob's stale key fails on new epoch"
+    );
+    // Old ciphertexts remain readable by Bob's old key — the "must be
+    // encrypted and stored again" cost of §III-D.
+    assert!(bob.decrypt(&ct).is_ok());
+    println!("bob still reads OLD posts: history must be re-encrypted (survey §III-D)");
+
+    // ---- Contrast: IBBE removal is free (survey §III-E) ----
+    let mut ibbe = IbbeGroupScheme::with_test_pkg();
+    let g = ibbe.create_group(&["bob".into(), "carol".into(), "dave".into()])?;
+    for _ in 0..10 {
+        ibbe.encrypt(&g, b"broadcast history")?;
+    }
+    let cost = ibbe.revoke_member(&g, "bob")?;
+    println!(
+        "IBBE revocation cost: {} key messages, {} re-keyed members, {} posts to re-encrypt",
+        cost.key_messages, cost.rekeyed_members, cost.posts_to_reencrypt
+    );
+    assert_eq!(cost.rekeyed_members, 0);
+    Ok(())
+}
+
+fn can_read<T>(r: &Result<T, dosn::crypto::CryptoError>) -> &'static str {
+    if r.is_ok() {
+        "can read"
+    } else {
+        "refused"
+    }
+}

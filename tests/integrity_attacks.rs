@@ -1,0 +1,221 @@
+//! Attack-matrix integration tests for the §IV integrity layer: every row
+//! of the survey's party-invitation scenario, played out by an active
+//! adversary, must be caught by the corresponding mechanism.
+
+use dosn::core::identity::{Identity, UserId};
+use dosn::core::integrity::envelope::SignedEnvelope;
+use dosn::core::integrity::history::{HistoryClient, HistoryServer, Operation};
+use dosn::core::integrity::relations::{CommentAttachment, PostRelationKeys};
+use dosn::core::integrity::timeline::{ExternalRef, Timeline};
+use dosn::core::DosnError;
+use dosn::crypto::aead::SymmetricKey;
+use dosn::crypto::chacha::SecureRng;
+use dosn::crypto::group::SchnorrGroup;
+use dosn::crypto::keys::KeyDirectory;
+
+struct World {
+    bob: Identity,
+    alice: Identity,
+    mallory: Identity,
+    dir: KeyDirectory,
+    rng: SecureRng,
+}
+
+fn world() -> World {
+    let mut rng = SecureRng::seed_from_u64(2023);
+    let dir = KeyDirectory::new();
+    World {
+        bob: Identity::create("bob", SchnorrGroup::toy(), &dir, &mut rng),
+        alice: Identity::create("alice", SchnorrGroup::toy(), &dir, &mut rng),
+        mallory: Identity::create("mallory", SchnorrGroup::toy(), &dir, &mut rng),
+        dir,
+        rng,
+    }
+}
+
+#[test]
+fn owner_integrity_forged_sender_caught() {
+    let mut w = world();
+    // Mallory writes an invitation and claims Bob sent it.
+    let mut env = SignedEnvelope::seal(
+        &w.mallory,
+        Some("alice".into()),
+        0,
+        10,
+        None,
+        b"Come to my party held at my home on Friday",
+        &mut w.rng,
+    );
+    env.author = UserId::from("bob");
+    assert!(env.verify(&w.dir, Some(&"alice".into()), 20).is_err());
+}
+
+#[test]
+fn content_integrity_modified_invitation_caught() {
+    let mut w = world();
+    let mut env = SignedEnvelope::seal(
+        &w.bob,
+        Some("alice".into()),
+        0,
+        10,
+        None,
+        b"party on Friday",
+        &mut w.rng,
+    );
+    env.body = b"party on Saturday, bring money".to_vec();
+    assert!(env.verify(&w.dir, Some(&"alice".into()), 20).is_err());
+}
+
+#[test]
+fn historical_integrity_expired_invitation_caught() {
+    let mut w = world();
+    let env = SignedEnvelope::seal(
+        &w.bob,
+        Some("alice".into()),
+        0,
+        10,
+        Some(100), // valid until Friday
+        b"party this week",
+        &mut w.rng,
+    );
+    // Replaying last week's invitation for this week's party fails.
+    assert!(env.verify(&w.dir, Some(&"alice".into()), 150).is_err());
+    env.verify(&w.dir, Some(&"alice".into()), 50).unwrap();
+}
+
+#[test]
+fn relation_integrity_invitation_for_someone_else_caught() {
+    let mut w = world();
+    // Bob invites Carol; Mallory forwards the letter to Alice instead.
+    let env = SignedEnvelope::seal(
+        &w.bob,
+        Some("carol".into()),
+        0,
+        10,
+        None,
+        b"you are invited",
+        &mut w.rng,
+    );
+    assert!(matches!(
+        env.verify(&w.dir, Some(&"alice".into()), 20),
+        Err(DosnError::IntegrityViolation(_))
+    ));
+}
+
+#[test]
+fn timeline_reorder_and_injection_caught() {
+    let mut w = world();
+    let mut t = Timeline::new(w.bob.id().clone());
+    for i in 0..5 {
+        t.append(&w.bob, format!("b{i}").as_bytes(), vec![], &mut w.rng);
+    }
+    t.verify(&w.dir).unwrap();
+
+    // A storage node re-orders two posts.
+    let mut reordered = Timeline::from_entries(w.bob.id().clone(), {
+        let mut e = t.entries().to_vec();
+        e.swap(2, 3);
+        e
+    });
+    assert!(reordered.verify(&w.dir).is_err());
+
+    // Mallory injects her own entry into Bob's chain.
+    let mut tm = Timeline::new(w.mallory.id().clone());
+    tm.append(&w.mallory, b"spam", vec![], &mut w.rng);
+    let mut injected = t.entries().to_vec();
+    injected.push(tm.entries()[0].clone());
+    reordered = Timeline::from_entries(w.bob.id().clone(), injected);
+    assert!(reordered.verify(&w.dir).is_err());
+}
+
+#[test]
+fn cross_timeline_order_proven_and_forgery_caught() {
+    let mut w = world();
+    let mut tb = Timeline::new(w.bob.id().clone());
+    let mut ta = Timeline::new(w.alice.id().clone());
+    tb.append(&w.bob, b"bob's announcement", vec![], &mut w.rng);
+    let bref = tb.head_ref().unwrap();
+    ta.append(&w.alice, b"alice's reply", vec![bref.clone()], &mut w.rng);
+    assert_eq!(ta.verify_entanglement(&tb).unwrap(), 1);
+
+    // Mallory fabricates a timeline claiming to predate Bob's announcement
+    // — but she cannot produce a reference to an entry that never existed.
+    let mut tm = Timeline::new(w.mallory.id().clone());
+    tm.append(
+        &w.mallory,
+        b"i knew first",
+        vec![ExternalRef {
+            author: w.bob.id().clone(),
+            sequence: 5,
+            hash: [7; 32],
+        }],
+        &mut w.rng,
+    );
+    assert!(tm.verify_entanglement(&tb).is_err());
+}
+
+#[test]
+fn equivocating_provider_caught_via_gossip_chain() {
+    // Full Frientegrity scenario over three clients with transitive gossip:
+    // alice <-> bob agree, bob <-> carol expose the fork even though alice
+    // and carol never talk directly.
+    let mut server = HistoryServer::new(SchnorrGroup::toy(), 3);
+    server.append("wall", Operation::new("bob", "base"));
+    let branch = server.fork("wall");
+    server.append_to_branch("wall", 0, Operation::new("bob", "A"));
+    server.append_to_branch("wall", branch, Operation::new("bob", "B"));
+
+    let mut alice = HistoryClient::new("alice", "wall", server.verifying_key().clone());
+    let mut bob = HistoryClient::new("bob", "wall", server.verifying_key().clone());
+    let mut carol = HistoryClient::new("carol", "wall", server.verifying_key().clone());
+    let (l, d) = server.view("wall", 0);
+    alice.observe(l, d).unwrap();
+    let (l, d) = server.view("wall", 0);
+    bob.observe(l, d).unwrap();
+    let (l, d) = server.view("wall", branch);
+    carol.observe(l, d).unwrap();
+
+    alice.cross_check(bob.digest().unwrap()).unwrap(); // same branch: fine
+    let err = bob.cross_check(carol.digest().unwrap()).unwrap_err();
+    assert!(matches!(err, DosnError::ForkDetected(_)));
+}
+
+#[test]
+fn comment_spam_from_unprivileged_user_caught() {
+    let mut w = world();
+    let commenters = SymmetricKey::generate(&mut w.rng);
+    let post = PostRelationKeys::create(
+        "bob/party-post",
+        SchnorrGroup::toy(),
+        &commenters,
+        &mut w.rng,
+    );
+
+    // Mallory has no commenters key: cannot even create.
+    let mallory_key = SymmetricKey::generate(&mut w.rng);
+    assert!(CommentAttachment::create(
+        &post,
+        &mallory_key,
+        "mallory".into(),
+        b"buy my stuff",
+        &mut w.rng
+    )
+    .is_err());
+
+    // Alice comments legitimately; Mallory re-targets the comment to a
+    // different post — caught.
+    let alice_comment = CommentAttachment::create(
+        &post,
+        &commenters,
+        "alice".into(),
+        b"see you there!",
+        &mut w.rng,
+    )
+    .unwrap();
+    post.verify_comment(&alice_comment).unwrap();
+    let other_post =
+        PostRelationKeys::create("bob/other", SchnorrGroup::toy(), &commenters, &mut w.rng);
+    let mut moved = alice_comment.clone();
+    moved.post_id = "bob/other".into();
+    assert!(other_post.verify_comment(&moved).is_err());
+}
