@@ -5,7 +5,7 @@
 //! indexes.
 
 use crate::identity::UserId;
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 
 /// A monotonically increasing logical timestamp (the social layer does not
 /// assume synchronized clocks; ordering guarantees come from hash chains,
@@ -14,7 +14,7 @@ pub type LogicalTime = u64;
 
 /// A user profile: the fields OSNs typically force public, which the
 /// information-substitution scheme (§III-A) protects by swapping.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Profile {
     /// The owning user.
     pub owner: UserId,
@@ -65,8 +65,30 @@ impl Profile {
     }
 }
 
+impl Serialize for Profile {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("owner".into(), self.owner.to_value()),
+            ("display_name".into(), self.display_name.to_value()),
+            ("fields".into(), self.fields.to_value()),
+            ("interests".into(), self.interests.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Profile {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(Profile {
+            owner: serde::field(value, "owner")?,
+            display_name: serde::field(value, "display_name")?,
+            fields: serde::field(value, "fields")?,
+            interests: serde::field(value, "interests")?,
+        })
+    }
+}
+
 /// A post on a user's wall.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Post {
     /// The author.
     pub author: UserId,
@@ -113,8 +135,32 @@ impl Post {
     }
 }
 
+impl Serialize for Post {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("author".into(), self.author.to_value()),
+            ("sequence".into(), self.sequence.to_value()),
+            ("created_at".into(), self.created_at.to_value()),
+            ("body".into(), self.body.to_value()),
+            ("hashtags".into(), self.hashtags.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Post {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(Post {
+            author: serde::field(value, "author")?,
+            sequence: serde::field(value, "sequence")?,
+            created_at: serde::field(value, "created_at")?,
+            body: serde::field(value, "body")?,
+            hashtags: serde::field(value, "hashtags")?,
+        })
+    }
+}
+
 /// A comment attached to a post (the data-relation of §IV-C).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Comment {
     /// The commenter.
     pub author: UserId,
@@ -148,6 +194,30 @@ impl Comment {
     /// Canonical byte encoding (for hashing/signing).
     pub fn to_bytes(&self) -> Vec<u8> {
         serde_json::to_vec(self).expect("comment serializes")
+    }
+}
+
+impl Serialize for Comment {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("author".into(), self.author.to_value()),
+            ("post_author".into(), self.post_author.to_value()),
+            ("post_sequence".into(), self.post_sequence.to_value()),
+            ("created_at".into(), self.created_at.to_value()),
+            ("body".into(), self.body.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Comment {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(Comment {
+            author: serde::field(value, "author")?,
+            post_author: serde::field(value, "post_author")?,
+            post_sequence: serde::field(value, "post_sequence")?,
+            created_at: serde::field(value, "created_at")?,
+            body: serde::field(value, "body")?,
+        })
     }
 }
 

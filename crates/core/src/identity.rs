@@ -13,19 +13,20 @@ use dosn_crypto::schnorr::SigningKey;
 use std::fmt;
 
 /// A user identifier (username-style string).
-#[derive(
-    Debug,
-    Clone,
-    Default,
-    PartialEq,
-    Eq,
-    PartialOrd,
-    Ord,
-    Hash,
-    serde::Serialize,
-    serde::Deserialize,
-)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct UserId(pub String);
+
+impl serde::Serialize for UserId {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.0.clone())
+    }
+}
+
+impl serde::Deserialize for UserId {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        <String as serde::Deserialize>::from_value(value).map(UserId)
+    }
+}
 
 impl fmt::Display for UserId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

@@ -9,6 +9,7 @@
 //! each node's local tables and report hop/message metrics, which is what
 //! experiment E5 measures.
 
+use crate::fault::LinkFaults;
 use crate::id::{in_interval_open_closed, ring_distance, Key, NodeId};
 use crate::metrics::Metrics;
 use rand::rngs::StdRng;
@@ -292,6 +293,89 @@ impl ChordOverlay {
             if hops > cap {
                 // Routing loop under churn: fall back to the true owner and
                 // account one stabilization's worth of repair traffic.
+                let owner = self.owner_of(key.0).ok_or(DhtError::NoNodes)?;
+                metrics.record("chord.repair", 64, self.draw_latency());
+                return Ok(NodeId(owner));
+            }
+        }
+    }
+
+    /// [`ChordOverlay::lookup`] over lossy links: every hop is a
+    /// transmission that `faults` may fail, retried up to `retries` extra
+    /// times (counted as `chord.retry`). When a finger link stays dead the
+    /// route falls back to the plain successor (`chord.reroute`) — Chord's
+    /// standard recovery path — so lookups converge under partial loss and
+    /// fail only when the route is truly cut.
+    ///
+    /// # Errors
+    ///
+    /// [`DhtError::Unavailable`] when a hop cannot be crossed within the
+    /// retry budget (e.g. a partition), plus all [`ChordOverlay::lookup`]
+    /// errors.
+    pub fn lookup_with_faults(
+        &mut self,
+        from: NodeId,
+        key: Key,
+        metrics: &mut Metrics,
+        faults: &mut LinkFaults,
+        retries: u32,
+    ) -> Result<NodeId, DhtError> {
+        let start = self.nodes.get(&from.0).ok_or(DhtError::UnknownNode(from))?;
+        if !start.online {
+            return Err(DhtError::UnknownNode(from));
+        }
+        let mut current = start.id;
+        let mut hops = 0u64;
+        let cap = 2 * FINGER_BITS as u64 + self.nodes.len() as u64;
+        loop {
+            let node = &self.nodes[&current];
+            let Some(successor) = self.first_live_successor(current) else {
+                return Err(DhtError::NoNodes);
+            };
+            if in_interval_open_closed(key.0, node.id, successor) {
+                if successor != current {
+                    let (ok, used) =
+                        faults.delivers_with_retries(NodeId(current), NodeId(successor), retries);
+                    for _ in 1..used {
+                        metrics.record_offpath("chord.retry", 64);
+                    }
+                    if !ok {
+                        return Err(DhtError::Unavailable(key));
+                    }
+                    let lat = self.draw_latency();
+                    metrics.record("chord.hop", 64, lat);
+                }
+                return Ok(NodeId(successor));
+            }
+            let mut next = self.closest_preceding(current, key.0).unwrap_or(successor);
+            if next == current {
+                return Ok(NodeId(current));
+            }
+            let (ok, used) = faults.delivers_with_retries(NodeId(current), NodeId(next), retries);
+            for _ in 1..used {
+                metrics.record_offpath("chord.retry", 64);
+            }
+            if !ok {
+                // Finger link is dead: fall back to the successor route.
+                if next == successor {
+                    return Err(DhtError::Unavailable(key));
+                }
+                metrics.record_offpath("chord.reroute", 64);
+                let (ok2, used2) =
+                    faults.delivers_with_retries(NodeId(current), NodeId(successor), retries);
+                for _ in 1..used2 {
+                    metrics.record_offpath("chord.retry", 64);
+                }
+                if !ok2 {
+                    return Err(DhtError::Unavailable(key));
+                }
+                next = successor;
+            }
+            let lat = self.draw_latency();
+            metrics.record("chord.hop", 64, lat);
+            current = next;
+            hops += 1;
+            if hops > cap {
                 let owner = self.owner_of(key.0).ok_or(DhtError::NoNodes)?;
                 metrics.record("chord.repair", 64, self.draw_latency());
                 return Ok(NodeId(owner));

@@ -11,6 +11,7 @@
 //!   event simulator, used by the hybrid overlay's cache layer and by the
 //!   fork-consistency experiment (E4).
 
+use crate::fault::LinkFaults;
 use crate::id::{Key, NodeId};
 use crate::metrics::Metrics;
 use crate::sim::{Actor, Context};
@@ -156,6 +157,75 @@ impl UnstructuredOverlay {
             }
             // Flooding proceeds level-parallel: critical-path latency is the
             // per-level max, approximated by one draw per level.
+            if found.is_some() && depth + 1 >= found.expect("just set").1 {
+                break;
+            }
+        }
+        if let Some((_, hops)) = found {
+            for l in latency_per_hop.iter().take(hops as usize) {
+                metrics.latency_ms += l;
+            }
+        } else {
+            for l in &latency_per_hop {
+                metrics.latency_ms += l;
+            }
+        }
+        found
+    }
+
+    /// [`UnstructuredOverlay::flood_search`] over lossy links: every forwarded
+    /// query copy is a transmission that `faults` may fail, retried up to
+    /// `retries` extra times (counted as `flood.retry`). A lost copy prunes
+    /// that branch of the flood; the protocol's redundancy (every neighbor
+    /// gets its own copy) usually routes around the loss.
+    pub fn flood_search_with_faults(
+        &mut self,
+        from: NodeId,
+        key: Key,
+        ttl: u32,
+        metrics: &mut Metrics,
+        faults: &mut LinkFaults,
+        retries: u32,
+    ) -> Option<(NodeId, u32)> {
+        if !self.online[from.0 as usize] {
+            return None;
+        }
+        let holders = self.content.get(&key.0).cloned().unwrap_or_default();
+        if holders.contains(&from) {
+            return Some((from, 0));
+        }
+        let mut visited = HashSet::from([from]);
+        let mut frontier = VecDeque::from([(from, 0u32)]);
+        let mut latency_per_hop = Vec::new();
+        let mut found: Option<(NodeId, u32)> = None;
+        while let Some((node, depth)) = frontier.pop_front() {
+            if depth >= ttl {
+                continue;
+            }
+            if latency_per_hop.len() <= depth as usize {
+                latency_per_hop.push(self.rng.random_range(10u64..=120));
+            }
+            for &nb in &self.neighbors[node.0 as usize].clone() {
+                if !visited.insert(nb) {
+                    continue;
+                }
+                metrics.record_offpath("flood.query", 32);
+                let (ok, used) = faults.delivers_with_retries(node, nb, retries);
+                for _ in 1..used {
+                    metrics.record_offpath("flood.retry", 32);
+                }
+                if !ok || !self.online[nb.0 as usize] {
+                    // The copy never arrived (or arrived at a dead peer):
+                    // this branch is pruned, but nb stays `visited` because
+                    // a real flood would not re-query a peer it believes it
+                    // already reached.
+                    continue;
+                }
+                if holders.contains(&nb) && found.is_none() {
+                    found = Some((nb, depth + 1));
+                }
+                frontier.push_back((nb, depth + 1));
+            }
             if found.is_some() && depth + 1 >= found.expect("just set").1 {
                 break;
             }

@@ -10,6 +10,7 @@
 //! lookup with α=3 parallelism (accounted, not simulated concurrently), and
 //! store/get on the `k` closest nodes.
 
+use crate::fault::LinkFaults;
 use crate::id::{Key, NodeId};
 use crate::metrics::Metrics;
 use rand::rngs::StdRng;
@@ -153,6 +154,13 @@ impl KademliaOverlay {
         NodeId(online[(salt as usize) % online.len()])
     }
 
+    /// All node ids, in id order.
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        let mut ids: Vec<u64> = self.nodes.keys().copied().collect();
+        ids.sort_unstable();
+        ids.into_iter().map(NodeId).collect()
+    }
+
     /// Marks a node online/offline.
     ///
     /// # Panics
@@ -215,6 +223,84 @@ impl KademliaOverlay {
         shortlist
             .into_iter()
             .filter(|c| self.nodes[c].online)
+            .take(self.replicas)
+            .map(NodeId)
+            .collect()
+    }
+
+    /// [`KademliaOverlay::lookup`] over lossy links: each `FIND_NODE` to a
+    /// shortlist candidate is a transmission that `faults` may fail,
+    /// retried up to `retries` extra times (counted as `kad.retry`).
+    /// Unreachable candidates are simply skipped — Kademlia's α-parallel
+    /// redundancy is itself the alternate route — so the lookup still
+    /// converges on the closest *reachable* replicas.
+    pub fn lookup_with_faults(
+        &mut self,
+        from: NodeId,
+        key: Key,
+        metrics: &mut Metrics,
+        faults: &mut LinkFaults,
+        retries: u32,
+    ) -> Vec<NodeId> {
+        let target = key.0;
+        let start = &self.nodes[&from.0];
+        let mut shortlist: Vec<u64> = start.closest_known(target, self.k);
+        let mut queried: BTreeSet<u64> = BTreeSet::new();
+        let mut reached: BTreeSet<u64> = BTreeSet::new();
+        let mut closest_seen = u64::MAX;
+        loop {
+            let batch: Vec<u64> = shortlist
+                .iter()
+                .copied()
+                .filter(|c| !queried.contains(c))
+                .take(ALPHA)
+                .collect();
+            if batch.is_empty() {
+                break;
+            }
+            let lat = self.rng.random_range(10u64..=120);
+            let mut improved = false;
+            for candidate in batch {
+                queried.insert(candidate);
+                metrics.record_offpath("kad.find_node", 64);
+                let (ok, used) = faults.delivers_with_retries(from, NodeId(candidate), retries);
+                for _ in 1..used {
+                    metrics.record_offpath("kad.retry", 64);
+                }
+                if !ok {
+                    continue;
+                }
+                let Some(node) = self.nodes.get(&candidate) else {
+                    continue;
+                };
+                if !node.online {
+                    continue;
+                }
+                reached.insert(candidate);
+                for learned in node.closest_known(target, self.k) {
+                    if !shortlist.contains(&learned) {
+                        shortlist.push(learned);
+                    }
+                }
+            }
+            metrics.latency_ms += lat;
+            shortlist.sort_by_key(|&c| c ^ target);
+            shortlist.truncate(self.k);
+            if let Some(&best) = shortlist.first() {
+                if best ^ target < closest_seen {
+                    closest_seen = best ^ target;
+                    improved = true;
+                }
+            }
+            if !improved && shortlist.iter().all(|c| queried.contains(c)) {
+                break;
+            }
+        }
+        // Only nodes we actually reached count as lookup results: an online
+        // node behind a partition is indistinguishable from a dead one.
+        shortlist
+            .into_iter()
+            .filter(|c| reached.contains(c))
             .take(self.replicas)
             .map(NodeId)
             .collect()

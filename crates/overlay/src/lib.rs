@@ -46,6 +46,7 @@
 
 pub mod chord;
 pub mod churn;
+pub mod fault;
 pub mod federation;
 pub mod flood;
 pub mod hybrid;

@@ -8,7 +8,13 @@
 //! * an [`Actor`] trait for protocol nodes (used by the gossip overlay, the
 //!   fork-consistency experiments, and the availability study);
 //! * node churn — actors go online/offline, and messages to offline nodes
-//!   are counted and dropped.
+//!   are counted and dropped (once per logical message, however many
+//!   duplicate copies the fault plan produced);
+//! * fault injection via [`FaultPlan`] (loss, duplication, reordering,
+//!   partitions, crashes, latency spikes) applied inside the event queue;
+//! * a [`crate::fault::SimTrace`] digest folding every structural event
+//!   into SHA-256, so identical `(seed, plan)` pairs yield byte-identical
+//!   traces (see [`Simulation::trace_digest`]).
 //!
 //! ```
 //! use dosn_overlay::sim::{Actor, Context, Simulation};
@@ -32,7 +38,10 @@
 //! assert!(sim.now_ms() > 0);
 //! ```
 
+use crate::churn::OfflineDropLedger;
+use crate::fault::{chance, FaultPlan, SimTrace, TraceEvent, TraceEventKind};
 use crate::id::NodeId;
+use crate::metrics::{NodeCounters, PerNodeMetrics};
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 use std::cmp::Reverse;
@@ -96,9 +105,22 @@ impl<M> Context<'_, M> {
 
 #[derive(Debug)]
 enum Event<M> {
-    Deliver { from: NodeId, to: NodeId, msg: M },
-    Timer { node: NodeId, tag: u64 },
-    SetOnline { node: NodeId, online: bool },
+    Deliver {
+        from: NodeId,
+        to: NodeId,
+        msg: M,
+        // Logical message id; duplicate copies share it so offline-drop
+        // accounting stays once-per-message.
+        msg_id: u64,
+    },
+    Timer {
+        node: NodeId,
+        tag: u64,
+    },
+    SetOnline {
+        node: NodeId,
+        online: bool,
+    },
 }
 
 struct Scheduled<M> {
@@ -148,25 +170,51 @@ impl Default for LatencyModel {
 pub struct SimStats {
     /// Messages delivered to online nodes.
     pub delivered: u64,
-    /// Messages dropped because the target was offline.
+    /// Logical messages dropped because the target was offline (each
+    /// message counted once, however many copies or retries arrived).
     pub dropped_offline: u64,
+    /// Raw offline-drop attempts, counting every duplicate copy.
+    pub offline_drop_attempts: u64,
+    /// Messages lost in flight by the fault plan.
+    pub dropped_link: u64,
+    /// Messages blocked by an active partition.
+    pub dropped_partitioned: u64,
+    /// Messages the fault plan duplicated.
+    pub duplicated: u64,
     /// Timer callbacks fired.
     pub timers_fired: u64,
 }
 
 /// The discrete-event simulation over a fixed actor population.
-pub struct Simulation<A: Actor> {
+///
+/// Messages must be `Clone` so the fault plan can schedule duplicate
+/// copies; every message type in this workspace already is.
+pub struct Simulation<A: Actor>
+where
+    A::Msg: Clone,
+{
     actors: Vec<A>,
     online: Vec<bool>,
     queue: BinaryHeap<Reverse<Scheduled<A::Msg>>>,
     now_ms: u64,
     seq: u64,
+    next_msg_id: u64,
     rng: StdRng,
+    // Fault decisions draw from a dedicated RNG (seeded by the plan) so an
+    // inert plan leaves the base latency sequence untouched.
+    fault_rng: StdRng,
     latency: LatencyModel,
+    faults: FaultPlan,
+    trace: SimTrace,
+    offline_ledger: OfflineDropLedger,
+    per_node: PerNodeMetrics,
     stats: SimStats,
 }
 
-impl<A: Actor> Simulation<A> {
+impl<A: Actor> Simulation<A>
+where
+    A::Msg: Clone,
+{
     /// Creates a simulation with all nodes online and default latency.
     pub fn new(actors: Vec<A>, seed: u64) -> Self {
         Self::with_latency(actors, seed, LatencyModel::default())
@@ -174,17 +222,37 @@ impl<A: Actor> Simulation<A> {
 
     /// Creates a simulation with an explicit latency model.
     pub fn with_latency(actors: Vec<A>, seed: u64, latency: LatencyModel) -> Self {
+        Self::with_faults(actors, seed, latency, FaultPlan::none())
+    }
+
+    /// Creates a simulation subject to `plan` (see [`FaultPlan`]). The
+    /// plan's crash schedule is queued immediately; its probabilistic
+    /// faults apply to every subsequent send.
+    pub fn with_faults(actors: Vec<A>, seed: u64, latency: LatencyModel, plan: FaultPlan) -> Self {
         let n = actors.len();
-        Simulation {
+        let mut sim = Simulation {
             actors,
             online: vec![true; n],
             queue: BinaryHeap::new(),
             now_ms: 0,
             seq: 0,
+            next_msg_id: 0,
             rng: StdRng::seed_from_u64(seed),
+            fault_rng: StdRng::seed_from_u64(plan.seed ^ 0x5DEECE66D),
             latency,
+            faults: plan,
+            trace: SimTrace::new(),
+            offline_ledger: OfflineDropLedger::new(),
+            per_node: PerNodeMetrics::new(),
             stats: SimStats::default(),
+        };
+        for crash in sim.faults.crashes.clone() {
+            sim.schedule_churn(crash.at_ms, crash.node, false);
+            if let Some(up) = crash.recover_at_ms {
+                sim.schedule_churn(up, crash.node, true);
+            }
         }
+        sim
     }
 
     /// Number of nodes.
@@ -205,6 +273,51 @@ impl<A: Actor> Simulation<A> {
     /// Accumulated statistics.
     pub fn stats(&self) -> SimStats {
         self.stats
+    }
+
+    /// The active fault plan.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// The trace observability layer.
+    pub fn trace(&self) -> &SimTrace {
+        &self.trace
+    }
+
+    /// SHA-256 digest over every structural event so far; identical
+    /// `(seed, plan)` pairs produce identical digests.
+    pub fn trace_digest(&self) -> [u8; 32] {
+        self.trace.digest()
+    }
+
+    /// Switches the trace to also retain the full event log.
+    ///
+    /// # Panics
+    ///
+    /// Panics if events were already recorded (the log must cover the whole
+    /// run to be meaningful).
+    pub fn enable_trace_log(&mut self) {
+        assert!(self.trace.is_empty(), "enable the event log before running");
+        self.trace = SimTrace::with_log();
+    }
+
+    /// Per-node send/deliver/drop/timer counters.
+    pub fn per_node(&self) -> &PerNodeMetrics {
+        &self.per_node
+    }
+
+    /// Convenience: counters for one node.
+    pub fn node_counters(&self, id: NodeId) -> NodeCounters {
+        self.per_node.get(id)
+    }
+
+    /// Offline-drop accounting: (unique logical messages, raw attempts).
+    pub fn offline_drops(&self) -> (u64, u64) {
+        (
+            self.offline_ledger.unique_messages(),
+            self.offline_ledger.attempts(),
+        )
     }
 
     /// Immutable access to an actor.
@@ -231,10 +344,10 @@ impl<A: Actor> Simulation<A> {
     }
 
     /// Injects a message from outside the simulation (e.g. the workload
-    /// driver), delivered after one link latency.
+    /// driver), delivered after one link latency and subject to the fault
+    /// plan.
     pub fn post(&mut self, from: NodeId, to: NodeId, msg: A::Msg) {
-        let delay = self.draw_latency();
-        self.schedule(delay, Event::Deliver { from, to, msg });
+        self.dispatch(from, to, msg);
     }
 
     /// Schedules a node to go online/offline at `at_ms` (absolute).
@@ -276,23 +389,38 @@ impl<A: Actor> Simulation<A> {
         };
         self.now_ms = scheduled.at_ms;
         match scheduled.event {
-            Event::Deliver { from, to, msg } => {
+            Event::Deliver {
+                from,
+                to,
+                msg,
+                msg_id,
+            } => {
                 if !self.online[to.0 as usize] {
-                    self.stats.dropped_offline += 1;
+                    self.stats.offline_drop_attempts += 1;
+                    if self.offline_ledger.record(msg_id) {
+                        self.stats.dropped_offline += 1;
+                    }
+                    self.per_node.on_dropped(to);
+                    self.record(TraceEventKind::DropOffline, from, to, msg_id);
                 } else {
                     self.stats.delivered += 1;
+                    self.per_node.on_delivered(to);
+                    self.record(TraceEventKind::Deliver, from, to, msg_id);
                     self.with_ctx(to, |actor, ctx| actor.on_message(ctx, from, msg));
                 }
             }
             Event::Timer { node, tag } => {
                 if self.online[node.0 as usize] {
                     self.stats.timers_fired += 1;
+                    self.per_node.on_timer(node);
+                    self.record(TraceEventKind::Timer, node, NodeId(tag), 0);
                     self.with_ctx(node, |actor, ctx| actor.on_timer(ctx, tag));
                 }
             }
             Event::SetOnline { node, online } => {
                 let was = self.online[node.0 as usize];
                 self.online[node.0 as usize] = online;
+                self.record(TraceEventKind::Churn, node, NodeId(u64::from(online)), 0);
                 if online && !was {
                     self.with_ctx(node, |actor, ctx| actor.on_online(ctx));
                 }
@@ -317,12 +445,75 @@ impl<A: Actor> Simulation<A> {
         f(actor, &mut ctx);
         let Context { outbox, timers, .. } = ctx;
         for (to, msg) in outbox {
-            let delay = self.draw_latency();
-            self.schedule(delay, Event::Deliver { from: id, to, msg });
+            self.dispatch(id, to, msg);
         }
         for (delay, tag) in timers {
             self.schedule(delay, Event::Timer { node: id, tag });
         }
+    }
+
+    /// Routes one send through the fault plan: partition and loss checks,
+    /// optional duplication, and latency (base + spike + reordering delay).
+    fn dispatch(&mut self, from: NodeId, to: NodeId, msg: A::Msg) {
+        self.next_msg_id += 1;
+        let msg_id = self.next_msg_id;
+        self.per_node.on_sent(from);
+        self.record(TraceEventKind::Send, from, to, msg_id);
+
+        if self.faults.is_partitioned(from, to, self.now_ms) {
+            self.stats.dropped_partitioned += 1;
+            self.record(TraceEventKind::DropPartition, from, to, msg_id);
+            return;
+        }
+        if chance(&mut self.fault_rng, self.faults.drop_probability) {
+            self.stats.dropped_link += 1;
+            self.record(TraceEventKind::DropLink, from, to, msg_id);
+            return;
+        }
+        if chance(&mut self.fault_rng, self.faults.duplicate_probability) {
+            self.stats.duplicated += 1;
+            self.record(TraceEventKind::Duplicate, from, to, msg_id);
+            let delay = self.delivery_delay(from, to);
+            self.schedule(
+                delay,
+                Event::Deliver {
+                    from,
+                    to,
+                    msg: msg.clone(),
+                    msg_id,
+                },
+            );
+        }
+        let delay = self.delivery_delay(from, to);
+        self.schedule(
+            delay,
+            Event::Deliver {
+                from,
+                to,
+                msg,
+                msg_id,
+            },
+        );
+    }
+
+    fn delivery_delay(&mut self, from: NodeId, to: NodeId) -> u64 {
+        let mut delay = self.draw_latency() + self.faults.spike_extra_ms(from, to, self.now_ms);
+        if chance(&mut self.fault_rng, self.faults.reorder_probability) {
+            delay += self
+                .fault_rng
+                .random_range(0..=self.faults.reorder_max_extra_ms);
+        }
+        delay
+    }
+
+    fn record(&mut self, kind: TraceEventKind, a: NodeId, b: NodeId, msg_id: u64) {
+        self.trace.record(TraceEvent {
+            kind,
+            at_ms: self.now_ms,
+            a: a.0,
+            b: b.0,
+            msg_id,
+        });
     }
 
     fn draw_latency(&mut self) -> u64 {

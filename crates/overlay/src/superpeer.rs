@@ -8,6 +8,7 @@
 //! super-peer; super-peers hold the content index and answer queries in at
 //! most three hops (leaf → super → super → leaf).
 
+use crate::fault::LinkFaults;
 use crate::id::{Key, NodeId};
 use crate::metrics::Metrics;
 use rand::rngs::StdRng;
@@ -162,6 +163,68 @@ impl SuperPeerOverlay {
             metrics.record("super.forward", 32, self.latency());
         }
         if !self.peers[home.0 as usize].online {
+            return None;
+        }
+        metrics.record("super.answer", 32, self.latency());
+        self.index[&home].get(&key.0).and_then(|holders| {
+            holders
+                .iter()
+                .copied()
+                .find(|h| self.peers[h.0 as usize].online)
+        })
+    }
+
+    /// [`SuperPeerOverlay::search`] over lossy links: each of the three
+    /// on-path transmissions (leaf → own super, own super → index home,
+    /// answer back) may fail and is retried up to `retries` extra times
+    /// (counted as `super.retry`). The constant-hop design means there is
+    /// no alternate route: an uncrossable link fails the whole search,
+    /// which is exactly the fragility the semi-structured family trades
+    /// for its low message count.
+    pub fn search_with_faults(
+        &mut self,
+        from: NodeId,
+        key: Key,
+        metrics: &mut Metrics,
+        faults: &mut LinkFaults,
+        retries: u32,
+    ) -> Option<NodeId> {
+        if !self.peers[from.0 as usize].online {
+            return None;
+        }
+        let own_super = self.super_of(from);
+        if own_super != from {
+            let (ok, used) = faults.delivers_with_retries(from, own_super, retries);
+            for _ in 1..used {
+                metrics.record_offpath("super.retry", 32);
+            }
+            if !ok {
+                return None;
+            }
+            metrics.record("super.query", 32, self.latency());
+        }
+        if !self.peers[own_super.0 as usize].online {
+            return None;
+        }
+        let home = self.index_home(key);
+        if home != own_super {
+            let (ok, used) = faults.delivers_with_retries(own_super, home, retries);
+            for _ in 1..used {
+                metrics.record_offpath("super.retry", 32);
+            }
+            if !ok {
+                return None;
+            }
+            metrics.record("super.forward", 32, self.latency());
+        }
+        if !self.peers[home.0 as usize].online {
+            return None;
+        }
+        let (ok, used) = faults.delivers_with_retries(home, from, retries);
+        for _ in 1..used {
+            metrics.record_offpath("super.retry", 32);
+        }
+        if !ok {
             return None;
         }
         metrics.record("super.answer", 32, self.latency());

@@ -1,0 +1,343 @@
+//! Integration tests for the fault-injection harness: deterministic trace
+//! digests, partition/crash/duplication semantics in the event-driven
+//! simulator, and overlay lookups surviving lossy links via the retry
+//! hooks.
+
+use dosn_overlay::chord::ChordOverlay;
+use dosn_overlay::fault::{FaultPlan, LinkFaults, TraceEventKind};
+use dosn_overlay::flood::UnstructuredOverlay;
+use dosn_overlay::id::{Key, NodeId};
+use dosn_overlay::kademlia::KademliaOverlay;
+use dosn_overlay::metrics::Metrics;
+use dosn_overlay::sim::{Actor, Context, LatencyModel, Simulation};
+use dosn_overlay::superpeer::SuperPeerOverlay;
+
+/// A relay chain: each delivery with a positive TTL is forwarded to the
+/// next node, so a single injected message exercises many links.
+struct Relay {
+    n: u64,
+    received: Vec<(u64, u32)>,
+}
+
+impl Actor for Relay {
+    type Msg = u32;
+
+    fn on_message(&mut self, ctx: &mut Context<'_, u32>, _from: NodeId, ttl: u32) {
+        self.received.push((ctx.now_ms(), ttl));
+        if ttl > 0 {
+            let next = NodeId((ctx.self_id().0 + 1) % self.n);
+            ctx.send(next, ttl - 1);
+        }
+    }
+}
+
+fn relays(n: usize) -> Vec<Relay> {
+    (0..n)
+        .map(|_| Relay {
+            n: n as u64,
+            received: Vec::new(),
+        })
+        .collect()
+}
+
+fn fixed_latency() -> LatencyModel {
+    LatencyModel {
+        min_ms: 10,
+        max_ms: 10,
+    }
+}
+
+/// A busy plan touching every fault class, for the determinism test.
+fn busy_plan(fault_seed: u64) -> FaultPlan {
+    FaultPlan::seeded(fault_seed)
+        .with_drop_probability(0.15)
+        .with_duplicate_probability(0.1)
+        .with_reordering(0.2, 80)
+        .with_partition([NodeId(0), NodeId(1)], [NodeId(2), NodeId(3)], 50, 150)
+        .with_crash_recovery(NodeId(4), 40, 400)
+        .with_crash(NodeId(5), 300)
+        .with_latency_spike(NodeId(0), NodeId(1), 0, 100, 75)
+}
+
+fn run_busy(sim_seed: u64, fault_seed: u64) -> (String, u64) {
+    let mut sim = Simulation::with_faults(
+        relays(8),
+        sim_seed,
+        LatencyModel::default(),
+        busy_plan(fault_seed),
+    );
+    for i in 0..8u64 {
+        sim.post(NodeId(i), NodeId((i + 1) % 8), 12);
+    }
+    sim.run_until_idle();
+    (sim.trace().hex_digest(), sim.stats().delivered)
+}
+
+/// Acceptance criterion: the same (seed, plan) pair produces a
+/// byte-identical trace digest across independent runs, and perturbing
+/// either seed changes it.
+#[test]
+fn same_seed_same_plan_identical_trace_digest() {
+    let (d1, delivered1) = run_busy(11, 77);
+    let (d2, delivered2) = run_busy(11, 77);
+    assert_eq!(
+        d1, d2,
+        "identical (seed, plan) must replay byte-identically"
+    );
+    assert_eq!(delivered1, delivered2);
+
+    let (d3, _) = run_busy(12, 77);
+    let (d4, _) = run_busy(11, 78);
+    assert_ne!(d1, d3, "sim seed must influence the trace");
+    assert_ne!(d1, d4, "fault seed must influence the trace");
+}
+
+#[test]
+fn inert_plan_matches_plain_simulation() {
+    let run = |sim: &mut Simulation<Relay>| {
+        sim.post(NodeId(0), NodeId(1), 9);
+        sim.run_until_idle();
+        (sim.stats(), sim.trace().hex_digest())
+    };
+    let mut plain = Simulation::with_latency(relays(4), 5, fixed_latency());
+    let mut inert = Simulation::with_faults(relays(4), 5, fixed_latency(), FaultPlan::seeded(99));
+    assert_eq!(
+        run(&mut plain),
+        run(&mut inert),
+        "an empty plan must not disturb the base run"
+    );
+}
+
+#[test]
+fn full_loss_delivers_nothing() {
+    let plan = FaultPlan::seeded(3).with_drop_probability(1.0);
+    let mut sim = Simulation::with_faults(relays(4), 1, fixed_latency(), plan);
+    for i in 0..4u64 {
+        sim.post(NodeId(i), NodeId((i + 1) % 4), 5);
+    }
+    sim.run_until_idle();
+    assert_eq!(sim.stats().delivered, 0);
+    assert_eq!(sim.stats().dropped_link, 4);
+    assert_eq!(sim.node_counters(NodeId(0)).sent, 1);
+    assert_eq!(sim.node_counters(NodeId(1)).delivered, 0);
+}
+
+#[test]
+fn partition_blocks_until_it_heals() {
+    // Nodes {0} | {1} partitioned for t in [0, 1000).
+    let plan = FaultPlan::seeded(3).with_partition([NodeId(0)], [NodeId(1)], 0, 1000);
+    let mut sim = Simulation::with_faults(relays(2), 1, fixed_latency(), plan);
+    sim.post(NodeId(0), NodeId(1), 0);
+    sim.run_until(999);
+    assert_eq!(sim.stats().dropped_partitioned, 1);
+    assert_eq!(sim.stats().delivered, 0);
+    // After the window the same link works again.
+    sim.run_until(1000);
+    sim.post(NodeId(0), NodeId(1), 0);
+    sim.run_until_idle();
+    assert_eq!(sim.stats().delivered, 1);
+    assert_eq!(sim.node_counters(NodeId(1)).delivered, 1);
+}
+
+#[test]
+fn crash_stop_and_crash_recovery_follow_the_schedule() {
+    let plan = FaultPlan::seeded(0)
+        .with_crash(NodeId(1), 5)
+        .with_crash_recovery(NodeId(2), 5, 500);
+    let mut sim = Simulation::with_faults(relays(3), 1, fixed_latency(), plan);
+    sim.run_until(10);
+    assert!(!sim.is_online(NodeId(1)));
+    assert!(!sim.is_online(NodeId(2)));
+    // Messages to both are dropped while down.
+    sim.post(NodeId(0), NodeId(1), 0);
+    sim.post(NodeId(0), NodeId(2), 0);
+    sim.run_until(490);
+    assert_eq!(sim.stats().dropped_offline, 2);
+    // Node 2 recovers; node 1 never does.
+    sim.run_until(501);
+    assert!(!sim.is_online(NodeId(1)));
+    assert!(sim.is_online(NodeId(2)));
+    sim.post(NodeId(0), NodeId(2), 0);
+    sim.run_until_idle();
+    assert_eq!(sim.stats().delivered, 1);
+}
+
+/// Satellite regression: a message whose every copy finds the target
+/// offline counts once in `dropped_offline`, however many copies arrive.
+#[test]
+fn offline_drop_counts_once_per_message_despite_duplication() {
+    let plan = FaultPlan::seeded(8)
+        .with_duplicate_probability(1.0)
+        .with_crash(NodeId(1), 0);
+    let mut sim = Simulation::with_faults(relays(2), 1, fixed_latency(), plan);
+    sim.run_until(1); // apply the crash
+    sim.post(NodeId(0), NodeId(1), 0);
+    sim.run_until_idle();
+    let stats = sim.stats();
+    assert_eq!(stats.duplicated, 1);
+    assert_eq!(stats.dropped_offline, 1, "logical message lost once");
+    assert_eq!(stats.offline_drop_attempts, 2, "but both copies arrived");
+    assert_eq!(sim.offline_drops(), (1, 2));
+    // Per-node sees both raw arrivals at the dead node.
+    assert_eq!(sim.node_counters(NodeId(1)).dropped, 2);
+}
+
+#[test]
+fn latency_spike_delays_affected_link_only() {
+    let plan = FaultPlan::seeded(0).with_latency_spike(NodeId(0), NodeId(1), 0, 100, 300);
+    let mut sim = Simulation::with_faults(relays(3), 1, fixed_latency(), plan);
+    sim.post(NodeId(0), NodeId(1), 0); // spiked: 10 + 300
+    sim.post(NodeId(2), NodeId(1), 0); // unaffected: 10
+    sim.step();
+    assert_eq!(sim.now_ms(), 10, "unspiked message arrives first");
+    sim.step();
+    assert_eq!(sim.now_ms(), 310, "spiked link pays the extra latency");
+}
+
+#[test]
+fn trace_log_retains_ordered_events() {
+    let plan = FaultPlan::seeded(3).with_drop_probability(1.0);
+    let mut sim = Simulation::with_faults(relays(2), 1, fixed_latency(), plan);
+    sim.enable_trace_log();
+    sim.post(NodeId(0), NodeId(1), 0);
+    sim.run_until_idle();
+    let events = sim.trace().events().expect("log enabled");
+    let kinds: Vec<TraceEventKind> = events.iter().map(|e| e.kind).collect();
+    assert_eq!(kinds, [TraceEventKind::Send, TraceEventKind::DropLink]);
+    assert_eq!(events[0].a, 0);
+    assert_eq!(events[0].b, 1);
+    assert_eq!(sim.trace().len(), 2);
+}
+
+/// Acceptance criterion: Chord lookups still converge under 10% message
+/// loss once a two-way partition heals.
+#[test]
+fn chord_lookup_converges_under_loss_with_healed_partition() {
+    let mut chord = ChordOverlay::build(64, 3, 7);
+    let ids = chord.node_ids();
+    let (side_a, side_b) = ids.split_at(ids.len() / 2);
+    let mut faults =
+        LinkFaults::new(42, 0.10).with_partition(side_a.iter().copied(), side_b.iter().copied());
+
+    // While partitioned, a lookup that must cross the cut fails.
+    let key = Key::hash(b"profile:alice");
+    let mut m = Metrics::new();
+    let owner = chord
+        .lookup(side_a[0], key, &mut m)
+        .expect("fault-free lookup");
+    let from = if side_b.contains(&owner) {
+        side_a[0]
+    } else {
+        side_b[0]
+    };
+    assert!(
+        chord
+            .lookup_with_faults(from, key, &mut m, &mut faults, 4)
+            .is_err(),
+        "cross-partition lookup cannot succeed"
+    );
+
+    // Healed: every lookup converges to the same owner despite 10% loss.
+    faults.heal_partitions();
+    for (i, &start) in ids.iter().enumerate() {
+        let key = Key::hash(format!("post:{i}").as_bytes());
+        let mut m_ok = Metrics::new();
+        let expect = chord
+            .lookup(start, key, &mut m_ok)
+            .expect("reference lookup");
+        let mut m_faulty = Metrics::new();
+        let got = chord
+            .lookup_with_faults(start, key, &mut m_faulty, &mut faults, 4)
+            .expect("lookup under 10% loss");
+        assert_eq!(got, expect, "loss must not change the route's destination");
+    }
+    assert!(faults.failures > 0, "10% loss must actually bite");
+}
+
+/// Acceptance criterion: Kademlia lookups still find live replicas under
+/// 10% loss once a two-way partition heals.
+#[test]
+fn kademlia_lookup_converges_under_loss_with_healed_partition() {
+    let mut kad = KademliaOverlay::build(64, 3, 20, 13);
+    let ids = kad.node_ids();
+    let from = ids[0];
+    // Isolate the querying node from everyone else: a clean two-way cut.
+    let mut faults =
+        LinkFaults::new(9, 0.10).with_partition([from], ids.iter().copied().filter(|&n| n != from));
+
+    let key = Key::hash(b"profile:bob");
+    let mut m = Metrics::new();
+    assert!(
+        kad.lookup_with_faults(from, key, &mut m, &mut faults, 4)
+            .is_empty(),
+        "an isolated node reaches no replicas"
+    );
+
+    faults.heal_partitions();
+    let mut m2 = Metrics::new();
+    let found = kad.lookup_with_faults(from, key, &mut m2, &mut faults, 4);
+    assert_eq!(found.len(), 3, "healed lookup reaches a full replica set");
+
+    // End-to-end store/get across the healed, lossy overlay.
+    let mut m3 = Metrics::new();
+    kad.store(from, key, b"hello".to_vec(), &mut m3)
+        .expect("store");
+    let replicas = kad.lookup_with_faults(ids[5], key, &mut m3, &mut faults, 4);
+    assert!(
+        replicas.iter().any(|r| found.contains(r)),
+        "lossy lookup agrees with the earlier replica set"
+    );
+}
+
+#[test]
+fn flood_search_routes_around_loss() {
+    let mut net = UnstructuredOverlay::build(64, 6, 3);
+    let key = Key::hash(b"item");
+    net.publish(NodeId(40), key);
+
+    // Reliable faults reproduce the baseline result.
+    let mut m0 = Metrics::new();
+    let baseline = net.flood_search(NodeId(0), key, 6, &mut m0);
+    let mut reliable = LinkFaults::reliable();
+    let mut m1 = Metrics::new();
+    let same = net.flood_search_with_faults(NodeId(0), key, 6, &mut m1, &mut reliable, 0);
+    assert_eq!(baseline.map(|(n, _)| n), same.map(|(n, _)| n));
+
+    // Under 20% loss with retries, flooding's redundancy still finds it.
+    let mut lossy = LinkFaults::new(21, 0.2);
+    let mut m2 = Metrics::new();
+    let found = net.flood_search_with_faults(NodeId(0), key, 6, &mut m2, &mut lossy, 2);
+    assert_eq!(found.map(|(n, _)| n), Some(NodeId(40)));
+    assert!(m2.count("flood.retry") > 0, "retries were exercised");
+}
+
+#[test]
+fn superpeer_search_fails_closed_on_partition_and_retries_loss() {
+    let mut sp = SuperPeerOverlay::build(64, 4, 1);
+    let key = Key::hash(b"song");
+    sp.publish(NodeId(9), key);
+    let leaf = NodeId(17);
+    let own_super = sp.super_of(leaf);
+
+    let mut cut = LinkFaults::reliable().with_partition([leaf], [own_super]);
+    let mut m = Metrics::new();
+    assert_eq!(sp.search_with_faults(leaf, key, &mut m, &mut cut, 3), None);
+
+    // Moderate loss with a retry budget: the constant-hop search succeeds.
+    let mut lossy = LinkFaults::new(5, 0.3);
+    let mut m2 = Metrics::new();
+    let mut successes = 0;
+    for _ in 0..20 {
+        if sp
+            .search_with_faults(leaf, key, &mut m2, &mut lossy, 5)
+            .is_some()
+        {
+            successes += 1;
+        }
+    }
+    assert!(
+        successes >= 18,
+        "retries should mask 30% loss: {successes}/20"
+    );
+    assert!(m2.count("super.retry") > 0);
+}

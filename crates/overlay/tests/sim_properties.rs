@@ -24,7 +24,11 @@ impl Actor for Recorder {
     }
 }
 
-fn run(nodes: usize, injections: &[(u64, u64, u32)], seed: u64) -> (Vec<Vec<(u64, u32)>>, u64, u64) {
+fn run(
+    nodes: usize,
+    injections: &[(u64, u64, u32)],
+    seed: u64,
+) -> (Vec<Vec<(u64, u32)>>, u64, u64) {
     let actors: Vec<Recorder> = (0..nodes)
         .map(|_| Recorder {
             ttl_seen: Vec::new(),
@@ -40,11 +44,7 @@ fn run(nodes: usize, injections: &[(u64, u64, u32)], seed: u64) -> (Vec<Vec<(u64
         },
     );
     for &(from, to, ttl) in injections {
-        sim.post(
-            NodeId(from % nodes as u64),
-            NodeId(to % nodes as u64),
-            ttl,
-        );
+        sim.post(NodeId(from % nodes as u64), NodeId(to % nodes as u64), ttl);
     }
     sim.run_until_idle();
     let traces = (0..nodes)

@@ -114,6 +114,33 @@ proptest! {
     }
 }
 
+/// Deterministic replay of the shrunk case a previous proptest run recorded
+/// (`ops = [Post(0), Add(2), Revoke(2)]`): a post sealed while only u0 was
+/// active, followed by admitting and revoking u2, must stay readable by u0
+/// and stay unreadable by users never admitted. Kept as a plain test so the
+/// case is exercised on every run regardless of generator seeds.
+#[test]
+fn regression_post_then_add_then_revoke() {
+    for mut scheme in schemes() {
+        let g = scheme.create_group(&["u0".to_string()]).unwrap();
+        let sealed = scheme.encrypt(&g, b"post-0").unwrap();
+        scheme.add_member(&g, "u2").unwrap();
+        scheme.revoke_member(&g, "u2").unwrap();
+        assert!(
+            scheme.decrypt_as(&g, "u0", &sealed).is_ok(),
+            "{}: u0 active at post time and still active must decrypt",
+            scheme.name()
+        );
+        for outsider in ["u1", "u3", "u4", "u5"] {
+            assert!(
+                scheme.decrypt_as(&g, outsider, &sealed).is_err(),
+                "{}: {outsider} never admitted must not decrypt",
+                scheme.name()
+            );
+        }
+    }
+}
+
 #[test]
 fn outsider_never_reads_any_scheme() {
     for mut scheme in schemes() {

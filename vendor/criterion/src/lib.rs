@@ -1,0 +1,264 @@
+//! Offline shim for `criterion`.
+//!
+//! Keeps the registration surface the benches use (`criterion_group!`,
+//! `criterion_main!`, `Criterion::bench_function`, benchmark groups,
+//! `bench_with_input`, `BenchmarkId`) and measures wall-clock time over a
+//! small fixed number of iterations instead of criterion's statistical
+//! sampling. When invoked by `cargo test` (cargo passes `--test` to
+//! `harness = false` bench binaries) every benchmark runs exactly once as a
+//! smoke test.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Identifier that is just the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Times closures passed to [`Bencher::iter`].
+pub struct Bencher {
+    iterations: u64,
+    total_ns: u128,
+    measured: u64,
+}
+
+impl Bencher {
+    /// Runs `f` (one warm-up pass, then `iterations` timed passes) and
+    /// records the elapsed time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(f());
+        }
+        self.total_ns += start.elapsed().as_nanos();
+        self.measured += self.iterations;
+    }
+
+    /// Hands the iteration count to `f`, which returns the total measured
+    /// time for that many passes (upstream's escape hatch for excluding
+    /// per-pass setup).
+    pub fn iter_custom<F>(&mut self, mut f: F)
+    where
+        F: FnMut(u64) -> std::time::Duration,
+    {
+        let elapsed = f(self.iterations);
+        self.total_ns += elapsed.as_nanos();
+        self.measured += self.iterations;
+    }
+
+    /// Like [`Bencher::iter`], but runs `setup` before each pass with only
+    /// the `routine` time recorded.
+    pub fn iter_with_setup<I, O, S, F>(&mut self, mut setup: S, mut routine: F)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        for _ in 0..self.iterations {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.total_ns += start.elapsed().as_nanos();
+        }
+        self.measured += self.iterations;
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo invokes harness = false bench binaries with `--test` during
+        // `cargo test`; collapse to a single iteration there.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            sample_size: 10,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Upstream-parity hook; the shim reads no CLI options beyond `--test`.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        run_bench(id.into().id, self.effective_iters(), f);
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    fn effective_iters(&self) -> u64 {
+        if self.test_mode {
+            1
+        } else {
+            self.sample_size.min(10) as u64
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the iteration count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Registers and runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        let label = format!("{}/{}", self.name, id.into().id);
+        run_bench(label, self.iters(), f);
+    }
+
+    /// Registers and runs one parameterised benchmark in the group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let label = format!("{}/{}", self.name, id.id);
+        let iters = self.iters();
+        run_bench(label, iters, |b| f(b, input));
+    }
+
+    /// Ends the group (no-op; kept for upstream parity).
+    pub fn finish(self) {}
+
+    fn iters(&self) -> u64 {
+        if self.criterion.test_mode {
+            1
+        } else {
+            self.sample_size
+                .unwrap_or(self.criterion.sample_size)
+                .min(10) as u64
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(label: String, iterations: u64, mut f: F) {
+    let mut b = Bencher {
+        iterations,
+        total_ns: 0,
+        measured: 0,
+    };
+    f(&mut b);
+    if b.measured > 0 {
+        let per_iter = b.total_ns / u128::from(b.measured);
+        println!(
+            "bench {label:<48} {per_iter:>12} ns/iter ({} iters)",
+            b.measured
+        );
+    } else {
+        println!("bench {label:<48} (no measurement)");
+    }
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running each registered group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut runs = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        assert!(runs >= 2, "warm-up plus at least one timed pass");
+    }
+
+    #[test]
+    fn group_bench_with_input_passes_input() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        let mut seen = 0u64;
+        group.bench_with_input(BenchmarkId::new("p", 42), &42u64, |b, &n| {
+            b.iter(|| {
+                seen = n;
+                black_box(seen)
+            })
+        });
+        group.finish();
+        assert_eq!(seen, 42);
+    }
+}

@@ -1,0 +1,630 @@
+//! Offline shim for `proptest`.
+//!
+//! Provides the subset the workspace uses: the [`Strategy`] trait with
+//! `prop_map` / `prop_recursive` / `boxed`, range and tuple and `any::<T>()`
+//! strategies, `proptest::collection::vec`, the `proptest!` /
+//! `prop_oneof!` / `prop_assert*!` / `prop_assume!` macros, and a
+//! deterministic runner. Differences from upstream: no shrinking, and
+//! seeds are derived from the test name (override with `PROPTEST_SEED=<n>`
+//! to replay a printed failing case), so failures reproduce exactly.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use std::ops::{Range, RangeFrom, RangeInclusive};
+use std::sync::Arc;
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Runner configuration. Only `cases` is honoured; the struct keeps the
+/// upstream construction idiom `ProptestConfig { cases: N, ..Default::default() }`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases required.
+    pub cases: u32,
+    /// Maximum rejected cases (via `prop_assume!`) before the runner gives up.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property was violated.
+    Fail(String),
+    /// The inputs were rejected by `prop_assume!`; the case is skipped.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Constructs a failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Constructs a rejection.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// A generator of values of type `Self::Value`.
+///
+/// Unlike upstream there is no value tree / shrinking: a strategy is just a
+/// deterministic function of the RNG state.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy. The result is cheaply `Clone`.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Arc::new(self))
+    }
+
+    /// Builds a recursive strategy by unrolling `recurse` `depth` times
+    /// starting from `self` as the leaf case. `_desired_size` and
+    /// `_expected_branch_size` are accepted for upstream signature parity
+    /// but ignored.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let mut strat = self.boxed();
+        for _ in 0..depth {
+            strat = recurse(strat).boxed();
+        }
+        strat
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Arc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `prop_map` combinator.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice between boxed alternatives (backs `prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union; panics if `options` is empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        let idx = (rand::RngCore::next_u64(rng) % self.options.len() as u64) as usize;
+        self.options[idx].generate(rng)
+    }
+}
+
+// ---- primitive strategies ----
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T> Clone for AnyStrategy<T> {
+    fn clone(&self) -> Self {
+        AnyStrategy(std::marker::PhantomData)
+    }
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Strategy over every value of `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+fn next_u128(rng: &mut StdRng) -> u128 {
+    let hi = rand::RngCore::next_u64(rng);
+    let lo = rand::RngCore::next_u64(rng);
+    (u128::from(hi) << 64) | u128::from(lo)
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                next_u128(rng) as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rand::RngCore::next_u64(rng) & 1 == 1
+    }
+}
+
+// Range strategies. Sampling goes through u128 arithmetic (modulo; the bias
+// is irrelevant for test generation and keeps determinism trivial).
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                (self.start as u128).wrapping_add(next_u128(rng) % span) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                let (lo, hi) = (*self.start() as u128, *self.end() as u128);
+                assert!(lo <= hi, "empty range strategy");
+                let span = hi.wrapping_sub(lo).wrapping_add(1);
+                if span == 0 {
+                    // Full u128 domain.
+                    next_u128(rng) as $t
+                } else {
+                    lo.wrapping_add(next_u128(rng) % span) as $t
+                }
+            }
+        }
+
+        impl Strategy for RangeFrom<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                (self.start..=<$t>::MAX).generate(rng)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, u128, usize);
+
+// Float ranges sample uniformly from the 53-bit unit interval and scale;
+// upstream's finer-grained float strategies are not needed here.
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        let v = self.start + unit * (self.end - self.start);
+        // Guard against rounding up to the excluded endpoint.
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range strategy");
+        let unit = (rng.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64;
+        lo + unit * (hi - lo)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0);
+    (A.0, B.1);
+    (A.0, B.1, C.2);
+    (A.0, B.1, C.2, D.3);
+    (A.0, B.1, C.2, D.3, E.4);
+    (A.0, B.1, C.2, D.3, E.4, F.5);
+}
+
+pub mod collection {
+    //! Collection strategies (`proptest::collection::vec`).
+
+    use super::{StdRng, Strategy};
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Clone> Clone for VecStrategy<S> {
+        fn clone(&self) -> Self {
+            VecStrategy {
+                element: self.element.clone(),
+                len: self.len.clone(),
+            }
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = self.len.clone().generate(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Vector of values from `element`, length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+}
+
+// ---- runner ----
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Drives one `proptest!` function: runs `config.cases` passing cases, with
+/// per-case seeds derived from the test name so runs are reproducible.
+/// Failing cases print their seed; rerun with `PROPTEST_SEED=<seed>` to
+/// replay exactly that case.
+pub fn run_cases<F>(name: &str, config: &ProptestConfig, mut case: F)
+where
+    F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+{
+    if let Ok(seed_text) = std::env::var("PROPTEST_SEED") {
+        let seed: u64 = seed_text
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("PROPTEST_SEED must be a u64, got {seed_text:?}"));
+        run_one(name, seed, &mut case);
+        return;
+    }
+
+    let base = fnv1a(name.as_bytes());
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let mut attempt = 0u64;
+    while passed < config.cases {
+        attempt += 1;
+        let seed = splitmix64(base ^ attempt);
+        match run_one(name, seed, &mut case) {
+            CaseOutcome::Pass => passed += 1,
+            CaseOutcome::Reject => {
+                rejected += 1;
+                assert!(
+                    rejected <= config.max_global_rejects,
+                    "proptest `{name}`: too many rejected cases ({rejected}); \
+                     weaken prop_assume! or the strategy"
+                );
+            }
+        }
+    }
+}
+
+enum CaseOutcome {
+    Pass,
+    Reject,
+}
+
+fn run_one<F>(name: &str, seed: u64, case: &mut F) -> CaseOutcome
+where
+    F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+{
+    let mut rng = StdRng::seed_from_u64(seed);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| case(&mut rng)));
+    match result {
+        Ok(Ok(())) => CaseOutcome::Pass,
+        Ok(Err(TestCaseError::Reject(_))) => CaseOutcome::Reject,
+        Ok(Err(TestCaseError::Fail(msg))) => {
+            panic!(
+                "proptest `{name}` failed: {msg}\n  replay with: PROPTEST_SEED={seed} cargo test {name}"
+            );
+        }
+        Err(payload) => {
+            eprintln!(
+                "proptest `{name}` panicked; replay with: PROPTEST_SEED={seed} cargo test {name}"
+            );
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+// ---- macros ----
+
+/// Defines property tests. Supports the upstream surface used here:
+/// an optional `#![proptest_config(..)]` header and `fn name(pat in strategy, ..) { .. }`
+/// items carrying their own attributes (e.g. `#[test]`).
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_items! { config = $config; $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_items! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( config = $config:expr; ) => {};
+    (
+        config = $config:expr;
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $config;
+            $crate::run_cases(stringify!($name), &__config, |__rng| {
+                $(let $arg = $crate::Strategy::generate(&($strat), __rng);)+
+                let mut __case = || -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    ::std::result::Result::Ok(())
+                };
+                __case()
+            });
+        }
+        $crate::__proptest_items! { config = $config; $($rest)* }
+    };
+}
+
+/// Uniform choice between strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $($strat:expr),+ $(,)? ) => {
+        $crate::Union::new(vec![ $($crate::Strategy::boxed($strat)),+ ])
+    };
+}
+
+/// Asserts a property inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{:?}` != `{:?}`",
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{:?}` != `{:?}`: {}",
+            __l,
+            __r,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(*__l != *__r, "assertion failed: `{:?}` == `{:?}`", __l, __r);
+    }};
+}
+
+/// Rejects the current case unless `cond` holds (the case is retried with
+/// fresh inputs and does not count toward `cases`).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let v = (3u64..9).generate(&mut rng);
+            assert!((3..9).contains(&v));
+            let w = (2u64..).generate(&mut rng);
+            assert!(w >= 2);
+            let z = (0..4usize).generate(&mut rng);
+            assert!(z < 4);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let strat = crate::collection::vec((any::<u64>(), 0u32..6), 1..8);
+        let a: Vec<_> = {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+            strat.generate(&mut rng)
+        };
+        let b: Vec<_> = {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+            strat.generate(&mut rng)
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn oneof_and_map_and_recursive_compose() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum Tree {
+            Leaf(u8),
+            Node(Vec<Tree>),
+        }
+        let leaf = (0..6u8).prop_map(Tree::Leaf);
+        let strat = leaf.prop_recursive(3, 24, 4, |inner| {
+            prop_oneof![
+                crate::collection::vec(inner.clone(), 2..4).prop_map(Tree::Node),
+                inner,
+            ]
+        });
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            let t = strat.generate(&mut rng);
+            fn depth(t: &Tree) -> usize {
+                match t {
+                    Tree::Leaf(_) => 0,
+                    Tree::Node(cs) => 1 + cs.iter().map(depth).max().unwrap_or(0),
+                }
+            }
+            assert!(depth(&t) <= 3);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn macro_binds_patterns((a, b) in (any::<u64>(), 1u64..100), v in crate::collection::vec(any::<u8>(), 0..5)) {
+            prop_assume!(a % 7 != 0);
+            prop_assert!((1..100).contains(&b));
+            prop_assert_eq!(v.len(), v.len());
+            prop_assert_ne!(b, 0);
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! Offline shim for `serde`.
+//!
+//! The real serde is a zero-cost visitor framework with derive macros; this
+//! vendored stand-in keeps the two trait names the workspace imports and a
+//! self-describing [`Value`] data model that `serde_json` (the sibling shim)
+//! renders to and parses from JSON text. Types implement the traits by hand
+//! (there is no proc-macro derive offline); the workspace only serializes a
+//! handful of small content structs, so the impls live next to them.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The self-describing data model (a JSON-shaped tree).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Null / missing.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Unsigned integer (kept exact; never routed through f64).
+    UInt(u64),
+    /// Signed integer.
+    Int(i64),
+    /// Floating point.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Ordered sequence.
+    Array(Vec<Value>),
+    /// Key-value map with insertion order preserved.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a field of an object by key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Error raised while mapping a [`Value`] onto a concrete type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+impl DeError {
+    /// Convenience constructor.
+    pub fn msg(m: impl Into<String>) -> Self {
+        DeError(m.into())
+    }
+}
+
+/// Types that can render themselves into the [`Value`] data model.
+pub trait Serialize {
+    /// Converts `self` to a [`Value`] tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a [`Value`] tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when the value has the wrong shape.
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+}
+
+// ---- impls for primitives and std containers the workspace serializes ----
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::msg(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::msg(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(u64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let n = match value {
+                    Value::UInt(n) => *n,
+                    Value::Int(n) if *n >= 0 => *n as u64,
+                    other => return Err(DeError::msg(format!("expected integer, got {other:?}"))),
+                };
+                <$t>::try_from(n).map_err(|_| DeError::msg("integer out of range"))
+            }
+        }
+    )*};
+}
+
+impl_serde_uint!(u8, u16, u32, u64);
+
+impl Serialize for i64 {
+    fn to_value(&self) -> Value {
+        Value::Int(*self)
+    }
+}
+
+impl Deserialize for i64 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Int(n) => Ok(*n),
+            Value::UInt(n) => i64::try_from(*n).map_err(|_| DeError::msg("integer out of range")),
+            other => Err(DeError::msg(format!("expected integer, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Float(x) => Ok(*x),
+            Value::UInt(n) => Ok(*n as f64),
+            Value::Int(n) => Ok(*n as f64),
+            other => Err(DeError::msg(format!("expected number, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::msg(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Array(items) if items.len() == 2 => {
+                Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+            }
+            other => Err(DeError::msg(format!("expected 2-tuple, got {other:?}"))),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Object(fields) => fields
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            other => Err(DeError::msg(format!("expected object, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+/// Pulls a required field out of an object value (helper for hand-written
+/// [`Deserialize`] impls).
+///
+/// # Errors
+///
+/// Returns [`DeError`] when the field is absent or has the wrong shape.
+pub fn field<T: Deserialize>(value: &Value, name: &str) -> Result<T, DeError> {
+    let v = value
+        .get(name)
+        .ok_or_else(|| DeError::msg(format!("missing field `{name}`")))?;
+    T::from_value(v).map_err(|e| DeError::msg(format!("field `{name}`: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(String::from_value(&"x".to_owned().to_value()).unwrap(), "x");
+        assert_eq!(u64::from_value(&7u64.to_value()).unwrap(), 7);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert!(u8::from_value(&Value::UInt(300)).is_err());
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![("a".to_owned(), "1".to_owned())];
+        assert_eq!(
+            Vec::<(String, String)>::from_value(&v.to_value()).unwrap(),
+            v
+        );
+        let o: Option<u64> = None;
+        assert_eq!(Option::<u64>::from_value(&o.to_value()).unwrap(), None);
+    }
+
+    #[test]
+    fn field_helper_reports_missing() {
+        let obj = Value::Object(vec![("a".into(), Value::UInt(1))]);
+        assert_eq!(field::<u64>(&obj, "a").unwrap(), 1);
+        assert!(field::<u64>(&obj, "b")
+            .unwrap_err()
+            .to_string()
+            .contains("missing"));
+    }
+}
