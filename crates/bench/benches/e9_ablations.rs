@@ -11,9 +11,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dosn_bench::{table_header, table_row};
-use dosn_bigint::BigUint;
+use dosn_bigint::{BigUint, ModContext};
 use dosn_crypto::abe::{AbeAuthority, Policy};
 use dosn_crypto::chacha::SecureRng;
+use dosn_crypto::group::{GroupSize, SchnorrGroup};
 use dosn_overlay::chord::ChordOverlay;
 use dosn_overlay::id::Key;
 use dosn_overlay::kademlia::KademliaOverlay;
@@ -21,22 +22,53 @@ use dosn_overlay::metrics::Metrics;
 use std::hint::black_box;
 
 fn bench_modpow(c: &mut Criterion) {
+    // Exponentiation-engine ablation: each variant adds one engine feature.
+    // `barrett_percall` rebuilds the reducer inside the timed loop (the old
+    // `modpow` behavior); `barrett_cached`/`ctx_windowed` amortize it;
+    // `fixed_base` adds the precomputed radix-16 table; `multi_exp` evaluates
+    // g^s·y^e in one pass vs `two_pows` separately. The quick-mode twin of
+    // this sweep (`e9_quick`) records BENCH_2.json.
     let mut group = c.benchmark_group("e9/modpow");
     group.sample_size(10);
-    for bits in [256u64, 512, 1024, 2048] {
-        // Deterministic odd modulus of the right size.
-        let m = (BigUint::one() << bits) - BigUint::from(189u64);
-        let base = BigUint::from(0xDEADBEEFu64);
-        let e = (BigUint::one() << (bits - 1)) + BigUint::from(12345u64);
+    for (size, bits) in [
+        (GroupSize::Demo, 512u64),
+        (GroupSize::Legacy, 1024),
+        (GroupSize::Standard, 2048),
+    ] {
+        // Real group moduli and dense full-width operands: sparse exponents
+        // or 2^k − c moduli would flatter individual paths and skew the
+        // ablation (see e9_quick for the same sweep in quick mode).
+        let m = SchnorrGroup::with_size(size).modulus().clone();
+        let base = &m / &BigUint::from(3u64);
+        let e = &m / &BigUint::from(7u64);
         let reducer = dosn_bigint::BarrettReducer::new(&m);
-        group.bench_with_input(BenchmarkId::new("barrett", bits), &bits, |b, _| {
+        let ctx = ModContext::new(&m);
+        let table = ctx.precompute(&base, bits);
+        let base2 = &m / &BigUint::from(5u64);
+        let e2 = &m / &BigUint::from(11u64);
+        group.bench_with_input(BenchmarkId::new("division", bits), &bits, |b, _| {
+            b.iter(|| black_box(base.modpow_plain(&e, &m)))
+        });
+        group.bench_with_input(BenchmarkId::new("barrett_percall", bits), &bits, |b, _| {
+            b.iter(|| black_box(dosn_bigint::BarrettReducer::new(&m).pow(&base, &e)))
+        });
+        group.bench_with_input(BenchmarkId::new("barrett_cached", bits), &bits, |b, _| {
             b.iter(|| black_box(reducer.pow(&base, &e)))
+        });
+        group.bench_with_input(BenchmarkId::new("ctx_windowed", bits), &bits, |b, _| {
+            b.iter(|| black_box(ctx.pow(&base, &e)))
+        });
+        group.bench_with_input(BenchmarkId::new("fixed_base", bits), &bits, |b, _| {
+            b.iter(|| black_box(table.pow(&e)))
         });
         group.bench_with_input(BenchmarkId::new("auto_dispatch", bits), &bits, |b, _| {
             b.iter(|| black_box(base.modpow(&e, &m)))
         });
-        group.bench_with_input(BenchmarkId::new("division", bits), &bits, |b, _| {
-            b.iter(|| black_box(base.modpow_plain(&e, &m)))
+        group.bench_with_input(BenchmarkId::new("two_pows", bits), &bits, |b, _| {
+            b.iter(|| black_box(ctx.mul(&ctx.pow(&base, &e), &ctx.pow(&base2, &e2))))
+        });
+        group.bench_with_input(BenchmarkId::new("multi_exp", bits), &bits, |b, _| {
+            b.iter(|| black_box(ctx.pow_multi(&[(&base, &e), (&base2, &e2)])))
         });
     }
     group.finish();

@@ -85,23 +85,17 @@ impl BarrettReducer {
         self.reduce(&(a * b))
     }
 
-    /// Modular exponentiation using Barrett reduction throughout.
+    /// Modular exponentiation using Barrett reduction throughout
+    /// (sliding-window; see [`crate::window`]).
     pub fn pow(&self, base: &BigUint, exponent: &BigUint) -> BigUint {
         if self.modulus.is_one() {
             return BigUint::zero();
         }
-        let mut result = BigUint::one();
-        let base = self.reduce(base);
         if exponent.is_zero() {
-            return result;
+            return BigUint::one();
         }
-        for i in (0..exponent.bits()).rev() {
-            result = self.mul(&result, &result);
-            if exponent.bit(i) {
-                result = self.mul(&result, &base);
-            }
-        }
-        result
+        let base = self.reduce(base);
+        crate::window::pow_sliding(&base, exponent, |a, b| self.mul(a, b))
     }
 }
 

@@ -14,6 +14,10 @@
 //!   division.
 //! * Modular arithmetic ([`BigUint::modpow`], [`BigUint::modinv`],
 //!   [`BigUint::gcd`], [`BigUint::jacobi`]) used by the crypto layer.
+//! * An exponentiation engine for hot paths: [`ModContext`] caches the
+//!   Barrett reciprocal per modulus, exponentiates with sliding windows,
+//!   evaluates products `∏ bᵢ^eᵢ` simultaneously (Shamir's trick), and
+//!   builds [`FixedBaseTable`] precomputations for repeated bases.
 //! * Probabilistic primality testing and random prime generation
 //!   ([`BigUint::is_probable_prime`], [`gen_prime`], [`gen_safe_prime`]).
 //!
@@ -34,10 +38,14 @@
 
 mod arith;
 mod barrett;
+mod fixed_base;
 mod modular;
 mod prime;
 mod uint;
+mod window;
 
 pub use barrett::BarrettReducer;
+pub use fixed_base::FixedBaseTable;
+pub use modular::ModContext;
 pub use prime::{gen_prime, gen_safe_prime, random_below, SMALL_PRIMES};
 pub use uint::{BigUint, ParseBigUintError};

@@ -1,7 +1,117 @@
-//! Modular arithmetic: exponentiation, inverse, GCD, and the Jacobi symbol.
+//! Modular arithmetic: exponentiation, inverse, GCD, and the Jacobi symbol,
+//! plus [`ModContext`], the per-modulus exponentiation engine.
 
+use crate::barrett::BarrettReducer;
 use crate::BigUint;
 use std::cmp::Ordering;
+
+/// Per-modulus exponentiation context.
+///
+/// [`BigUint::modpow`] rebuilds its [`BarrettReducer`] — including the
+/// 2n-limb division that computes µ — on every call, which dominates the
+/// cost of repeated exponentiations under one modulus (every group
+/// operation in `dosn-crypto`). A `ModContext` pays that setup once and is
+/// then reused for every `reduce`/`mul`/`pow` under the same modulus.
+///
+/// The reduction backend follows the measured E9 crossover: Barrett for
+/// 2–16 limb (128–1024-bit) moduli, Knuth division elsewhere. All
+/// exponentiation is sliding-window (see [`crate::window`]), and
+/// [`ModContext::pow_multi`] evaluates products `∏ bᵢ^eᵢ` with Shamir's
+/// trick so the squaring chain is shared.
+///
+/// ```
+/// use dosn_bigint::{BigUint, ModContext};
+///
+/// let m = BigUint::from(497u64);
+/// let ctx = ModContext::new(&m);
+/// let base = BigUint::from(4u64);
+/// let exp = BigUint::from(13u64);
+/// assert_eq!(ctx.pow(&base, &exp), base.modpow(&exp, &m));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ModContext {
+    modulus: BigUint,
+    /// `Some` when the modulus sits in Barrett's winning range (2–16 limbs);
+    /// `None` means division-based reduction.
+    barrett: Option<BarrettReducer>,
+}
+
+impl ModContext {
+    /// Builds the context, precomputing the Barrett reciprocal when the
+    /// modulus size favors it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is zero.
+    pub fn new(modulus: &BigUint) -> Self {
+        assert!(!modulus.is_zero(), "zero modulus");
+        let limbs = modulus.limbs().len();
+        let barrett = if (2..=16).contains(&limbs) {
+            Some(BarrettReducer::new(modulus))
+        } else {
+            None
+        };
+        ModContext {
+            modulus: modulus.clone(),
+            barrett,
+        }
+    }
+
+    /// The modulus this context serves.
+    pub fn modulus(&self) -> &BigUint {
+        &self.modulus
+    }
+
+    /// Reduces `x` modulo the context's modulus.
+    pub fn reduce(&self, x: &BigUint) -> BigUint {
+        match &self.barrett {
+            Some(b) => b.reduce(x),
+            None => x % &self.modulus,
+        }
+    }
+
+    /// Modular multiplication: `(a * b) mod m`.
+    pub fn mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        self.reduce(&(a * b))
+    }
+
+    /// Sliding-window modular exponentiation: `base^exp mod m`.
+    pub fn pow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        if self.modulus.is_one() {
+            return BigUint::zero();
+        }
+        if exp.is_zero() {
+            return BigUint::one();
+        }
+        let base = self.reduce(base);
+        crate::window::pow_sliding(&base, exp, |a, b| self.mul(a, b))
+    }
+
+    /// Simultaneous multi-exponentiation: `∏ bases[k]^exps[k] mod m` via
+    /// Shamir's trick (one shared squaring chain plus a subset-product
+    /// table), ~40% faster than evaluating the powers separately for the
+    /// two-base verification products the crypto layer uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 6 pairs are supplied (the subset table grows as
+    /// `2^n`; split larger products).
+    pub fn pow_multi(&self, pairs: &[(&BigUint, &BigUint)]) -> BigUint {
+        if self.modulus.is_one() {
+            return BigUint::zero();
+        }
+        let bases: Vec<BigUint> = pairs.iter().map(|(b, _)| self.reduce(b)).collect();
+        let exps: Vec<&BigUint> = pairs.iter().map(|(_, e)| *e).collect();
+        crate::window::pow_simultaneous(&bases, &exps, |a, b| self.mul(a, b))
+            .unwrap_or_else(BigUint::one)
+    }
+
+    /// Builds a fixed-base precomputation table for `base`, covering
+    /// exponents up to `max_exp_bits` bits. See [`crate::FixedBaseTable`].
+    pub fn precompute(&self, base: &BigUint, max_exp_bits: u64) -> crate::FixedBaseTable {
+        crate::FixedBaseTable::new(self, base, max_exp_bits)
+    }
+}
 
 /// Minimal signed big integer used internally by the extended Euclid loop.
 #[derive(Clone, Debug)]
@@ -57,8 +167,12 @@ impl SignedBig {
 }
 
 impl BigUint {
-    /// Modular exponentiation: `self^exponent mod modulus` via left-to-right
+    /// Modular exponentiation: `self^exponent mod modulus` via sliding-window
     /// square-and-multiply.
+    ///
+    /// One-shot convenience: the Barrett reciprocal is rebuilt per call.
+    /// Repeated exponentiations under one modulus should go through
+    /// [`ModContext`], which pays that setup once.
     ///
     /// ```
     /// use dosn_bigint::BigUint;
@@ -83,26 +197,18 @@ impl BigUint {
         self.modpow_plain(exponent, modulus)
     }
 
-    /// Plain square-and-multiply with division-based reduction (the E9
+    /// Sliding-window exponentiation with division-based reduction (the E9
     /// ablation baseline for [`BigUint::modpow`]).
     pub fn modpow_plain(&self, exponent: &BigUint, modulus: &BigUint) -> BigUint {
         assert!(!modulus.is_zero(), "modpow with zero modulus");
         if modulus.is_one() {
             return BigUint::zero();
         }
-        let mut result = BigUint::one();
-        let base = self % modulus;
         if exponent.is_zero() {
-            return result;
+            return BigUint::one();
         }
-        let nbits = exponent.bits();
-        for i in (0..nbits).rev() {
-            result = &(&result * &result) % modulus;
-            if exponent.bit(i) {
-                result = &(&result * &base) % modulus;
-            }
-        }
-        result
+        let base = self % modulus;
+        crate::window::pow_sliding(&base, exponent, |a, b| &(a * b) % modulus)
     }
 
     /// Greatest common divisor (Euclid's algorithm).

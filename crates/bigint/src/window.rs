@@ -1,0 +1,211 @@
+//! Windowed exponentiation kernels shared by every reduction backend.
+//!
+//! Both [`crate::BarrettReducer::pow`] and [`crate::BigUint::modpow_plain`]
+//! used to walk the exponent one bit at a time (one squaring per bit plus a
+//! multiplication per set bit, ~1.5 products per bit). The sliding-window
+//! form here keeps the squaring chain but batches multiplications: with a
+//! width-`w` window it performs one multiplication per ~`w` bits plus a
+//! `2^{w-1}`-entry odd-power table, cutting total products by ~25–30% at the
+//! 512–2048-bit exponents the crypto layer uses. The kernels are generic
+//! over the modular-multiplication closure so Barrett and division backends
+//! share one implementation (and one set of tests).
+
+use crate::BigUint;
+
+/// Sliding-window width for an exponent of `exp_bits` bits.
+///
+/// Chosen so the odd-power table (`2^{w-1}` entries) amortizes: the table
+/// costs `2^{w-1}` multiplications and saves roughly
+/// `exp_bits · (1/2 − 1/(w+1))` of them.
+pub(crate) fn window_width(exp_bits: u64) -> u32 {
+    match exp_bits {
+        0..=24 => 1,
+        25..=80 => 3,
+        81..=240 => 4,
+        241..=768 => 5,
+        _ => 6,
+    }
+}
+
+/// Left-to-right sliding-window exponentiation: `base^exp` under `mul`.
+///
+/// Contract: `base` is already reduced, `exp` is non-zero, and the modulus
+/// behind `mul` is greater than one (callers own those edge cases).
+pub(crate) fn pow_sliding<M>(base: &BigUint, exp: &BigUint, mul: M) -> BigUint
+where
+    M: Fn(&BigUint, &BigUint) -> BigUint,
+{
+    debug_assert!(!exp.is_zero(), "pow_sliding requires a non-zero exponent");
+    let nbits = exp.bits();
+    let w = i64::from(window_width(nbits));
+
+    // Odd powers base^1, base^3, …, base^(2^w − 1).
+    let table_len = 1usize << (w - 1);
+    let mut odd = Vec::with_capacity(table_len);
+    odd.push(base.clone());
+    if table_len > 1 {
+        let base_sq = mul(base, base);
+        for i in 1..table_len {
+            odd.push(mul(&odd[i - 1], &base_sq));
+        }
+    }
+
+    let mut result: Option<BigUint> = None;
+    let mut i = nbits as i64 - 1;
+    while i >= 0 {
+        if !exp.bit(i as u64) {
+            if let Some(r) = result.take() {
+                result = Some(mul(&r, &r));
+            }
+            i -= 1;
+            continue;
+        }
+        // Maximal window [j, i] of width ≤ w whose lowest bit is set, so the
+        // gathered digit is odd and indexes the table directly.
+        let mut j = (i - w + 1).max(0);
+        while !exp.bit(j as u64) {
+            j += 1;
+        }
+        let mut digit = 0u64;
+        for k in (j..=i).rev() {
+            digit = (digit << 1) | u64::from(exp.bit(k as u64));
+        }
+        let entry = &odd[((digit - 1) / 2) as usize];
+        result = Some(match result.take() {
+            Some(mut r) => {
+                for _ in 0..(i - j + 1) {
+                    r = mul(&r, &r);
+                }
+                mul(&r, entry)
+            }
+            None => entry.clone(),
+        });
+        i = j - 1;
+    }
+    result.expect("non-zero exponent has at least one set bit")
+}
+
+/// Simultaneous (Shamir's-trick) multi-exponentiation:
+/// `∏ bases[k]^exps[k]` under `mul`, sharing one squaring chain.
+///
+/// Precomputes the `2^n − 1` non-empty subset products of the bases, then
+/// scans all exponents' bits together: `max_bits` squarings plus at most one
+/// multiplication per bit position, instead of a full squaring chain per
+/// base. Returns `None` when every exponent is zero (the caller supplies the
+/// reduced identity). Contract: bases are reduced, modulus > 1, and
+/// `bases.len() == exps.len()` with at most 6 bases.
+pub(crate) fn pow_simultaneous<M>(bases: &[BigUint], exps: &[&BigUint], mul: M) -> Option<BigUint>
+where
+    M: Fn(&BigUint, &BigUint) -> BigUint,
+{
+    assert_eq!(bases.len(), exps.len(), "bases/exponents length mismatch");
+    assert!(
+        bases.len() <= 6,
+        "subset table grows as 2^n; split the product"
+    );
+    let max_bits = exps.iter().map(|e| e.bits()).max().unwrap_or(0);
+    if max_bits == 0 {
+        return None;
+    }
+
+    // products[mask − 1] = ∏_{k ∈ mask} bases[k]
+    let n = bases.len();
+    let mut products: Vec<BigUint> = Vec::with_capacity((1 << n) - 1);
+    for mask in 1usize..(1 << n) {
+        let low = mask.trailing_zeros() as usize;
+        let rest = mask & (mask - 1);
+        let p = if rest == 0 {
+            bases[low].clone()
+        } else {
+            mul(&products[rest - 1], &bases[low])
+        };
+        products.push(p);
+    }
+
+    let mut result: Option<BigUint> = None;
+    for i in (0..max_bits).rev() {
+        if let Some(r) = result.take() {
+            result = Some(mul(&r, &r));
+        }
+        let mut mask = 0usize;
+        for (k, e) in exps.iter().enumerate() {
+            if e.bit(i) {
+                mask |= 1 << k;
+            }
+        }
+        if mask != 0 {
+            let p = &products[mask - 1];
+            result = Some(match result.take() {
+                Some(r) => mul(&r, p),
+                None => p.clone(),
+            });
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn modmul(m: &BigUint) -> impl Fn(&BigUint, &BigUint) -> BigUint + '_ {
+        move |a, b| &(a * b) % m
+    }
+
+    fn naive_pow(base: &BigUint, exp: u64, m: &BigUint) -> BigUint {
+        let mut r = &BigUint::one() % m;
+        for _ in 0..exp {
+            r = &(&r * base) % m;
+        }
+        r
+    }
+
+    #[test]
+    fn sliding_matches_naive_small() {
+        let m = BigUint::from(1_000_003u64);
+        for base in [0u64, 1, 2, 7, 1_000_002] {
+            for exp in [1u64, 2, 3, 15, 16, 17, 64, 255, 1000] {
+                let b = &BigUint::from(base) % &m;
+                let got = pow_sliding(&b, &BigUint::from(exp), modmul(&m));
+                assert_eq!(got, naive_pow(&b, exp, &m), "base={base} exp={exp}");
+            }
+        }
+    }
+
+    #[test]
+    fn simultaneous_matches_product_of_naive() {
+        let m = BigUint::from(999_999_937u64);
+        let bases = [
+            &BigUint::from(2u64) % &m,
+            &BigUint::from(12345u64) % &m,
+            &BigUint::from(999_999_936u64) % &m,
+        ];
+        let exps = [77u64, 123, 3];
+        let exp_refs: Vec<BigUint> = exps.iter().map(|&e| BigUint::from(e)).collect();
+        let refs: Vec<&BigUint> = exp_refs.iter().collect();
+        let got = pow_simultaneous(&bases, &refs, modmul(&m)).unwrap();
+        let mut expect = BigUint::one();
+        for (b, &e) in bases.iter().zip(exps.iter()) {
+            expect = &(&expect * &naive_pow(b, e, &m)) % &m;
+        }
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn simultaneous_all_zero_exponents_is_none() {
+        let m = BigUint::from(97u64);
+        let z = BigUint::zero();
+        let bases = [BigUint::from(3u64)];
+        assert!(pow_simultaneous(&bases, &[&z], modmul(&m)).is_none());
+    }
+
+    #[test]
+    fn window_width_is_monotone() {
+        let mut prev = 0;
+        for bits in [1u64, 24, 25, 80, 81, 240, 241, 768, 769, 4096] {
+            let w = window_width(bits);
+            assert!(w >= prev, "width must not shrink with exponent size");
+            prev = w;
+        }
+    }
+}

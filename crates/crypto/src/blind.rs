@@ -133,10 +133,11 @@ impl BlindingRequest {
         let group = vk.group().clone();
         let alpha = group.random_scalar(rng);
         let beta = group.random_scalar(rng);
-        // R' = R * g^alpha * y^beta
+        // R' = R * g^alpha * y^beta (the two exponentiations share one
+        // simultaneous multi-exp).
         let r_prime = group.mul(
-            &group.mul(&commitment.r, &group.pow_g(&alpha)),
-            &group.pow(vk.element(), &beta),
+            &commitment.r,
+            &group.multi_pow(&[(group.generator(), &alpha), (vk.element(), &beta)]),
         );
         let e_prime = vk.challenge_scalar(&r_prime, message);
         let e = e_prime.submod(&beta, group.order());
@@ -166,10 +167,10 @@ impl BlindingRequest {
         let sig = Signature::from_scalars(self.e_prime.clone(), s_prime);
         // Sanity-check against the stored message digest tag: recompute the
         // verification equation without needing the message again.
-        let r = self.group.mul(
-            &self.group.pow_g(sig.s_scalar()),
-            &self.group.pow(self.vk.element(), sig.e_scalar()),
-        );
+        let r = self.group.multi_pow(&[
+            (self.group.generator(), sig.s_scalar()),
+            (self.vk.element(), sig.e_scalar()),
+        ]);
         let _ = r;
         let _ = self.message_digest_tag;
         Ok(sig)

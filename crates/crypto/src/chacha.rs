@@ -65,9 +65,24 @@ fn chacha20_block(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN]) ->
 /// chacha20_xor(&key, &nonce, 1, &mut buf);
 /// assert_eq!(&buf, b"attack at dawn");
 /// ```
+///
+/// # Panics
+///
+/// Panics when the keystream would be exhausted: RFC 8439's block counter is
+/// 32 bits, so `counter + ceil(data.len() / 64) - 1` must fit in `u32`
+/// (256 GiB of keystream from counter 0). Wrapping would silently reuse
+/// keystream blocks, which breaks confidentiality.
 pub fn chacha20_xor(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN], counter: u32, data: &mut [u8]) {
+    let nblocks = data.len().div_ceil(64) as u64;
+    assert!(
+        u64::from(counter) + nblocks <= 1u64 << 32,
+        "chacha20 keystream exhausted: encrypting {} block(s) from counter {} \
+         would wrap the 32-bit block counter and reuse keystream",
+        nblocks,
+        counter,
+    );
     for (block_idx, chunk) in data.chunks_mut(64).enumerate() {
-        let ks = chacha20_block(key, counter.wrapping_add(block_idx as u32), nonce);
+        let ks = chacha20_block(key, counter + block_idx as u32, nonce);
         for (b, k) in chunk.iter_mut().zip(ks.iter()) {
             *b ^= k;
         }
@@ -183,6 +198,33 @@ mod tests {
 
     fn hex(b: &[u8]) -> String {
         b.iter().map(|x| format!("{x:02x}")).collect()
+    }
+
+    #[test]
+    fn xor_at_last_valid_block_succeeds() {
+        // counter = u32::MAX with one block of data touches exactly the last
+        // valid keystream block; it must encrypt, not panic, and must agree
+        // with the tail of a two-block run that starts one counter earlier.
+        let key = [1u8; 32];
+        let nonce = [2u8; 12];
+        let mut last = [0u8; 64];
+        chacha20_xor(&key, &nonce, u32::MAX, &mut last);
+        let mut two = [0u8; 128];
+        chacha20_xor(&key, &nonce, u32::MAX - 1, &mut two);
+        assert_eq!(&two[64..], &last[..]);
+        // Shorter-than-a-block tails at the boundary are fine too.
+        let mut tail = [0u8; 5];
+        chacha20_xor(&key, &nonce, u32::MAX, &mut tail);
+        assert_eq!(tail, last[..5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "keystream exhausted")]
+    fn xor_past_last_block_panics() {
+        // One byte past the last block would wrap the counter to 0 and reuse
+        // the first keystream block.
+        let mut buf = [0u8; 65];
+        chacha20_xor(&[0u8; 32], &[0u8; 12], u32::MAX, &mut buf);
     }
 
     #[test]

@@ -80,6 +80,9 @@ impl ElGamalKeyPair {
     pub fn generate(group: SchnorrGroup, rng: &mut SecureRng) -> Self {
         let x = group.random_scalar(rng);
         let y = group.pow_g(&x);
+        // The public element is exponentiated on every encryption to this
+        // key; precompute its fixed-base table.
+        group.cache_base(&y);
         ElGamalKeyPair {
             public: ElGamalPublicKey {
                 group: group.clone(),
@@ -139,28 +142,45 @@ impl ElGamalPublicKey {
 
 impl ElGamalSecretKey {
     /// Decrypts a textbook element ciphertext.
-    pub fn decrypt_element(&self, ct: &ElementCiphertext) -> BigUint {
-        let s = self.group.pow(&ct.c1, &self.x);
-        self.group.mul(&ct.c2, &self.group.invert(&s))
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::Protocol`] when either ciphertext component is
+    /// not an element of the order-`q` subgroup. Decrypting unvalidated
+    /// components would silently produce garbage (and, for small-subgroup
+    /// `c1`, leak bits of `x` to an active attacker).
+    pub fn decrypt_element(&self, ct: &ElementCiphertext) -> Result<BigUint, CryptoError> {
+        if !self.group.contains(&ct.c1) || !self.group.contains(&ct.c2) {
+            return Err(CryptoError::Protocol(
+                "elgamal ciphertext component is not a group element".into(),
+            ));
+        }
+        // c1 has order q, so c1^{-x} = c1^{q-x}: one multi-exponentiation
+        // replaces the extended-Euclid inverse.
+        let neg_x = self.group.order() - &self.x;
+        Ok(self.group.mul(&ct.c2, &self.group.pow(&ct.c1, &neg_x)))
     }
 
     /// Decrypts a hybrid ciphertext.
     ///
     /// # Errors
     ///
-    /// Returns [`CryptoError::AuthenticationFailed`] when the ciphertext was
+    /// Returns [`CryptoError::Protocol`] on malformed KEM components and
+    /// [`CryptoError::AuthenticationFailed`] when the ciphertext was
     /// produced for a different key or has been tampered with.
     pub fn decrypt(&self, ct: &HybridCiphertext) -> Result<Vec<u8>, CryptoError> {
-        let shared = self.decrypt_element(&ct.kem);
+        let shared = self.decrypt_element(&ct.kem)?;
         let dek = SymmetricKey::derive(&self.group.element_bytes(&shared), b"dosn.elgamal.dem");
         dek.open(&ct.sealed, b"")
     }
 
     /// The public key corresponding to this secret.
     pub fn public(&self) -> ElGamalPublicKey {
+        let y = self.group.pow_g(&self.x);
+        self.group.cache_base(&y);
         ElGamalPublicKey {
             group: self.group.clone(),
-            y: self.group.pow_g(&self.x),
+            y,
         }
     }
 }
@@ -235,7 +255,7 @@ mod tests {
         for _ in 0..5 {
             let m = g.pow_g(&g.random_scalar(&mut rng));
             let ct = kp.public().encrypt_element(&m, &mut rng);
-            assert_eq!(kp.secret().decrypt_element(&ct), m);
+            assert_eq!(kp.secret().decrypt_element(&ct).unwrap(), m);
         }
     }
 
@@ -296,7 +316,36 @@ mod tests {
             c1: g.mul(&c1.c1, &c2.c1),
             c2: g.mul(&c1.c2, &c2.c2),
         };
-        assert_eq!(kp.secret().decrypt_element(&prod), g.mul(&m1, &m2));
+        assert_eq!(kp.secret().decrypt_element(&prod).unwrap(), g.mul(&m1, &m2));
+    }
+
+    #[test]
+    fn tampered_element_ciphertext_rejected() {
+        // Components outside the order-q subgroup must error, not decrypt
+        // to garbage: zero, values ≥ p, and quadratic non-residues (for a
+        // safe prime, p-1 = -1 is a non-residue).
+        let (kp, mut rng) = setup();
+        let g = kp.public().group().clone();
+        let m = g.pow_g(&g.random_scalar(&mut rng));
+        let good = kp.public().encrypt_element(&m, &mut rng);
+        let non_residue = g.modulus() - &BigUint::one();
+        for (c1, c2) in [
+            (BigUint::zero(), good.c2.clone()),
+            (good.c1.clone(), BigUint::zero()),
+            (g.modulus().clone(), good.c2.clone()),
+            (non_residue.clone(), good.c2.clone()),
+            (good.c1.clone(), non_residue),
+        ] {
+            let bad = ElementCiphertext { c1, c2 };
+            assert!(
+                kp.secret().decrypt_element(&bad).is_err(),
+                "tampered component accepted"
+            );
+        }
+        // The hybrid path surfaces the same rejection.
+        let mut hybrid = kp.public().encrypt(b"payload", &mut rng);
+        hybrid.kem.c1 = g.modulus() - &BigUint::one();
+        assert!(kp.secret().decrypt(&hybrid).is_err());
     }
 
     #[test]

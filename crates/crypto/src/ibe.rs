@@ -25,7 +25,7 @@ use crate::aead::SymmetricKey;
 use crate::chacha::SecureRng;
 use crate::error::CryptoError;
 use crate::sha256::sha256_concat;
-use dosn_bigint::{gen_prime, random_below, BigUint};
+use dosn_bigint::{gen_prime, random_below, BigUint, ModContext};
 use std::sync::Arc;
 
 /// Which square-root branch an identity key holds.
@@ -75,11 +75,22 @@ pub struct CocksPublicParams {
     inner: Arc<ParamsInner>,
 }
 
-#[derive(PartialEq, Eq)]
 struct ParamsInner {
     n: BigUint,
     element_len: usize,
+    /// Barrett context for `n`, shared by extract and the per-bit
+    /// encrypt/decrypt loops.
+    ctx: ModContext,
 }
+
+// Parameter identity is the modulus; the context is derived state.
+impl PartialEq for ParamsInner {
+    fn eq(&self, other: &Self) -> bool {
+        self.n == other.n
+    }
+}
+
+impl Eq for ParamsInner {}
 
 impl std::fmt::Debug for CocksPublicParams {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -142,11 +153,16 @@ impl CocksPkg {
         };
         let n = &p * &q;
         let element_len = n.bits().div_ceil(8) as usize;
+        let ctx = ModContext::new(&n);
         CocksPkg {
             p,
             q,
             params: CocksPublicParams {
-                inner: Arc::new(ParamsInner { n, element_len }),
+                inner: Arc::new(ParamsInner {
+                    n,
+                    element_len,
+                    ctx,
+                }),
             },
         }
     }
@@ -164,8 +180,9 @@ impl CocksPkg {
         let exp = &(&(n + &BigUint::from(5u64)) - &self.p) - &self.q;
         debug_assert!((&exp % &BigUint::from(8u64)).is_zero());
         let exp = &exp >> 3;
-        let r = a.modpow(&exp, n);
-        let r_sq = r.mulmod(&r, n);
+        let ctx = &self.params.inner.ctx;
+        let r = ctx.pow(&a, &exp);
+        let r_sq = ctx.mul(&r, &r);
         let branch = if r_sq == a {
             Branch::Plus
         } else {
@@ -229,6 +246,7 @@ impl CocksPublicParams {
     ) -> CocksCiphertext {
         let a = self.hash_identity(identity);
         let n = &self.inner.n;
+        let ctx = &self.inner.ctx;
         let neg_a = n - &(&a % n);
         let mut bits = Vec::with_capacity(data.len() * 8);
         for byte in data {
@@ -236,8 +254,8 @@ impl CocksPublicParams {
                 let bit = (byte >> bit_idx) & 1;
                 // Encode bit 0 -> +1, bit 1 -> -1.
                 let m = if bit == 0 { 1 } else { -1 };
-                let c_plus = encrypt_branch(n, &a, m, false, rng);
-                let c_minus = encrypt_branch(n, &neg_a, m, true, rng);
+                let c_plus = encrypt_branch(ctx, &a, m, false, rng);
+                let c_minus = encrypt_branch(ctx, &neg_a, m, true, rng);
                 bits.push((c_plus, c_minus));
             }
         }
@@ -275,12 +293,13 @@ impl CocksPublicParams {
 /// For the minus branch (`value = -a`, passed already negated):
 /// `c = t + (−a)·t⁻¹`, i.e. `t − a·t⁻¹`.
 fn encrypt_branch(
-    n: &BigUint,
+    ctx: &ModContext,
     value: &BigUint,
     m: i32,
     _is_minus: bool,
     rng: &mut SecureRng,
 ) -> BigUint {
+    let n = ctx.modulus();
     loop {
         let t = random_below(n, rng);
         if t.is_zero() {
@@ -293,7 +312,7 @@ fn encrypt_branch(
             // gcd(t, n) > 1 would factor n; astronomically unlikely.
             continue;
         };
-        return t.addmod(&value.mulmod(&t_inv, n), n);
+        return t.addmod(&ctx.mul(value, &t_inv), n);
     }
 }
 

@@ -63,6 +63,9 @@ impl SigningKey {
     /// the identity-based layer and by per-post relation keys).
     pub fn from_scalar(group: SchnorrGroup, x: BigUint) -> Self {
         let y = group.pow_g(&x);
+        // y is exponentiated on every verification under this key;
+        // precompute its fixed-base table.
+        group.cache_base(&y);
         SigningKey {
             vk: VerifyingKey {
                 group: group.clone(),
@@ -132,6 +135,7 @@ impl VerifyingKey {
                 "verification key is not a group element".into(),
             ));
         }
+        group.cache_base(&y);
         Ok(VerifyingKey { group, y })
     }
 
@@ -154,11 +158,12 @@ impl VerifyingKey {
         if signature.e >= *self.group.order() || signature.s >= *self.group.order() {
             return Err(CryptoError::InvalidSignature);
         }
-        // r' = g^s * y^e; valid iff H(r' || m) == e.
-        let r = self.group.mul(
-            &self.group.pow_g(&signature.s),
-            &self.group.pow(&self.y, &signature.e),
-        );
+        // r' = g^s * y^e (one simultaneous multi-exp); valid iff
+        // H(r' || m) == e.
+        let r = self.group.multi_pow(&[
+            (self.group.generator(), &signature.s),
+            (&self.y, &signature.e),
+        ]);
         if self.challenge(&r, message) == signature.e {
             Ok(())
         } else {

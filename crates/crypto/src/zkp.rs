@@ -70,10 +70,12 @@ impl DlogProof {
             return Err(CryptoError::InvalidProof);
         }
         let e = challenge(group, &[y, &self.commitment], context);
-        // g^response == commitment * y^e
-        let lhs = group.pow_g(&self.response);
-        let rhs = group.mul(&self.commitment, &group.pow(y, &e));
-        if lhs == rhs {
+        // g^response == commitment * y^e, checked as
+        // g^response * y^(q-e) == commitment (y has order q, so y^(q-e) is
+        // y^-e) — one simultaneous multi-exp instead of two exponentiations.
+        let neg_e = group.order() - &e;
+        let lhs = group.multi_pow(&[(group.generator(), &self.response), (y, &neg_e)]);
+        if lhs == self.commitment {
             Ok(())
         } else {
             Err(CryptoError::InvalidProof)
@@ -135,9 +137,12 @@ impl EqualityProof {
             &[h, y1, y2, &self.commitment_g, &self.commitment_h],
             context,
         );
-        let ok_g = group.pow_g(&self.response) == group.mul(&self.commitment_g, &group.pow(y1, &e));
-        let ok_h =
-            group.pow(h, &self.response) == group.mul(&self.commitment_h, &group.pow(y2, &e));
+        // Same rearrangement as DlogProof::verify: fold y^e into the
+        // left-hand multi-exp as y^(q-e).
+        let neg_e = group.order() - &e;
+        let ok_g = group.multi_pow(&[(group.generator(), &self.response), (y1, &neg_e)])
+            == self.commitment_g;
+        let ok_h = group.multi_pow(&[(h, &self.response), (y2, &neg_e)]) == self.commitment_h;
         if ok_g && ok_h {
             Ok(())
         } else {
