@@ -17,6 +17,9 @@ pub enum DosnError {
     NotAuthorized(String),
     /// An integrity check failed (tampering, forgery, reordering).
     IntegrityViolation(String),
+    /// A stored record could not be parsed as a signed envelope
+    /// (truncated, bad framing, or an unsupported wire format).
+    MalformedEnvelope(String),
     /// Two parties discovered inconsistent (forked) histories.
     ForkDetected(String),
     /// The requested content does not exist or is unreachable.
@@ -33,6 +36,7 @@ impl fmt::Display for DosnError {
             DosnError::UnknownGroup(g) => write!(f, "unknown group {g:?}"),
             DosnError::NotAuthorized(what) => write!(f, "not authorized: {what}"),
             DosnError::IntegrityViolation(what) => write!(f, "integrity violation: {what}"),
+            DosnError::MalformedEnvelope(what) => write!(f, "malformed envelope: {what}"),
             DosnError::ForkDetected(what) => write!(f, "fork detected: {what}"),
             DosnError::ContentUnavailable(what) => write!(f, "content unavailable: {what}"),
             DosnError::Search(what) => write!(f, "search failed: {what}"),

@@ -17,6 +17,10 @@ use dosn_crypto::keys::KeyDirectory;
 use dosn_crypto::schnorr::Signature;
 use dosn_crypto::sha256::Sha256;
 
+/// Fixed wire-header length: epoch, issue time, and sequence words plus the
+/// signature length prefix (see [`SignedEnvelope::encode_wire`]).
+pub const WIRE_HEADER_LEN: usize = 8 + 8 + 8 + 4;
+
 /// A signed, optionally recipient-bound, optionally expiring message.
 ///
 /// ```
@@ -167,6 +171,88 @@ impl SignedEnvelope {
     /// Serializes the signature for the wire (group needed for width).
     pub fn signature_bytes(&self, group: &dosn_crypto::group::SchnorrGroup) -> Vec<u8> {
         self.signature.to_bytes(group)
+    }
+
+    /// Serializes a broadcast envelope for overlay storage:
+    /// `epoch(8) | issued_at(8) | sequence(8) | sig_len(4) | sig | body`,
+    /// all integers big-endian. [`SignedEnvelope::decode_wire`] inverts it.
+    pub fn encode_wire(&self, epoch: u64, group: &dosn_crypto::group::SchnorrGroup) -> Vec<u8> {
+        let sig = self.signature.to_bytes(group);
+        let mut out = Vec::with_capacity(WIRE_HEADER_LEN + sig.len() + self.body.len());
+        out.extend_from_slice(&epoch.to_be_bytes());
+        out.extend_from_slice(&self.issued_at.to_be_bytes());
+        out.extend_from_slice(&self.sequence.to_be_bytes());
+        out.extend_from_slice(&(sig.len() as u32).to_be_bytes());
+        out.extend_from_slice(&sig);
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Parses a stored record back into an envelope plus its privacy epoch.
+    /// Every length is validated before use, so arbitrary bytes produce a
+    /// typed error, never a panic; the result still has to pass
+    /// [`SignedEnvelope::verify`].
+    ///
+    /// # Errors
+    ///
+    /// * [`DosnError::MalformedEnvelope`] — truncated header, signature
+    ///   length exceeding the record, or a signature that does not parse
+    ///   under `group`;
+    /// * [`DosnError::IntegrityViolation`] — the embedded sequence number
+    ///   differs from `expected_seq` (a record swapped onto another slot).
+    pub fn decode_wire(
+        author: &UserId,
+        expected_seq: u64,
+        bytes: &[u8],
+        group: &dosn_crypto::group::SchnorrGroup,
+    ) -> Result<(SignedEnvelope, u64), DosnError> {
+        if bytes.len() < WIRE_HEADER_LEN {
+            return Err(DosnError::MalformedEnvelope(format!(
+                "record of {} bytes is shorter than the {WIRE_HEADER_LEN}-byte header",
+                bytes.len()
+            )));
+        }
+        let word = |i: usize| -> u64 {
+            let mut w = [0u8; 8];
+            w.copy_from_slice(&bytes[i..i + 8]);
+            u64::from_be_bytes(w)
+        };
+        let epoch = word(0);
+        let issued_at = word(8);
+        let sequence = word(16);
+        let mut len4 = [0u8; 4];
+        len4.copy_from_slice(&bytes[24..28]);
+        let sig_len = u32::from_be_bytes(len4) as usize;
+        let Some(body_offset) = WIRE_HEADER_LEN.checked_add(sig_len) else {
+            return Err(DosnError::MalformedEnvelope(
+                "signature length overflows".into(),
+            ));
+        };
+        if bytes.len() < body_offset {
+            return Err(DosnError::MalformedEnvelope(format!(
+                "claimed signature of {sig_len} bytes exceeds the {}-byte record",
+                bytes.len()
+            )));
+        }
+        let signature = Signature::from_bytes(group, &bytes[WIRE_HEADER_LEN..body_offset])
+            .map_err(|e| DosnError::MalformedEnvelope(format!("signature does not parse: {e}")))?;
+        if sequence != expected_seq {
+            return Err(DosnError::IntegrityViolation(format!(
+                "record carries sequence {sequence}, slot expects {expected_seq}"
+            )));
+        }
+        Ok((
+            SignedEnvelope::from_parts(
+                author.clone(),
+                None,
+                sequence,
+                issued_at,
+                None,
+                bytes[body_offset..].to_vec(),
+                signature,
+            ),
+            epoch,
+        ))
     }
 
     /// The canonical signed digest.

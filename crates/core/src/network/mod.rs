@@ -1,0 +1,642 @@
+//! A complete assembled DOSN: the facade the examples build on.
+//!
+//! [`DosnNetwork`] composes three pluggable planes, one per survey axis:
+//!
+//! ```text
+//!                 ┌────────────────────────────────────────────┐
+//!                 │            DosnNetwork<S> facade           │
+//!                 │  register · befriend · post · read · …     │
+//!                 └──────┬───────────────┬──────────────┬──────┘
+//!                        │               │              │
+//!          ┌─────────────▼───┐   ┌───────▼────────┐  ┌──▼──────────────┐
+//!          │  PrivacyPlane   │   │ IntegrityPlane │  │ ReplicatedStore │
+//!          │  (§III, per     │   │ (§IV, network- │  │ R-way placement │
+//!          │   user)         │   │  wide)         │  │ quorum reads    │
+//!          │ any AccessScheme│   │ envelopes      │  │ read-repair     │
+//!          │ as trait object │   │ timelines      │  └──┬──────────────┘
+//!          │ + body codec    │   │ relation keys  │     │ StoragePlane
+//!          └─────────────────┘   └────────────────┘  ┌──▼──────────────┐
+//!                                                    │ Chord │ Kademlia│
+//!                                                    │ Super │ Federa- │
+//!                                                    │ -peer │ tion    │
+//!                                                    └─────────────────┘
+//! ```
+//!
+//! Posts are encrypted by the author's privacy plane, signed and chained by
+//! the integrity plane, and written R-way by the replicated store; reads
+//! run a quorum fetch whose per-copy verifier is the envelope check itself,
+//! then decrypt. The default composition (`DosnNetwork::new`) is the
+//! survey's §II-B structured-overlay baseline — Chord with replication 3
+//! and the symmetric friends-group scheme — but any [`StoragePlane`]
+//! slots in via [`DosnNetwork::with_plane`], and any
+//! [`crate::privacy::AccessScheme`] via
+//! [`DosnNetwork::register_with_scheme`].
+
+pub(crate) mod integrity_plane;
+pub(crate) mod privacy_plane;
+pub(crate) mod storage_glue;
+pub(crate) mod user;
+
+pub use integrity_plane::IntegrityPlane;
+pub use privacy_plane::PrivacyPlane;
+
+pub use dosn_overlay::replication::{apply_crash_schedule, ReplicatedStore};
+pub use dosn_overlay::storage::{
+    ChordPlane, FederationPlane, KademliaPlane, StorageError, StoragePlane, SuperPeerPlane,
+};
+
+use crate::content::Post;
+use crate::error::DosnError;
+use crate::graph::SocialGraph;
+use crate::identity::UserId;
+use crate::integrity::envelope::SignedEnvelope;
+use crate::privacy::AccessScheme;
+use dosn_crypto::chacha::SecureRng;
+use dosn_crypto::group::SchnorrGroup;
+use dosn_crypto::keys::KeyDirectory;
+use dosn_overlay::fault::FaultPlan;
+use dosn_overlay::metrics::Metrics;
+use std::collections::BTreeMap;
+use storage_glue::{storage_to_dosn, wall_key};
+use user::UserState;
+
+/// An assembled distributed online social network over a pluggable
+/// storage plane (Chord by default).
+///
+/// ```
+/// use dosn_core::network::DosnNetwork;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut net = DosnNetwork::new(32, 42);
+/// net.register("alice")?;
+/// net.register("bob")?;
+/// net.befriend("alice", "bob", 0.9)?;
+///
+/// let post_key = net.post("alice", "dinner at my place, friends only")?;
+/// // Bob (a friend) reads and verifies; the DHT nodes never see plaintext.
+/// let body = net.read_post("bob", "alice", post_key)?;
+/// assert_eq!(body, "dinner at my place, friends only");
+///
+/// // Carol (a stranger) is refused at the decryption layer.
+/// net.register("carol")?;
+/// assert!(net.read_post("carol", "alice", post_key).is_err());
+/// # Ok(())
+/// # }
+/// ```
+///
+/// Any overlay family slots in as the storage plane:
+///
+/// ```
+/// use dosn_core::network::{DosnNetwork, KademliaPlane};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut net = DosnNetwork::with_plane(KademliaPlane::build(32, 20, 7), 3, 7);
+/// net.register("alice")?;
+/// net.register("bob")?;
+/// net.befriend("alice", "bob", 1.0)?;
+/// let seq = net.post("alice", "same API, different overlay")?;
+/// assert_eq!(net.read_post("bob", "alice", seq)?, "same API, different overlay");
+/// # Ok(())
+/// # }
+/// ```
+pub struct DosnNetwork<S: StoragePlane = ChordPlane> {
+    group: SchnorrGroup,
+    directory: KeyDirectory,
+    storage: ReplicatedStore<S>,
+    users: BTreeMap<UserId, UserState>,
+    integrity: IntegrityPlane,
+    graph: SocialGraph,
+    metrics: Metrics,
+    rng: SecureRng,
+}
+
+impl<S: StoragePlane> std::fmt::Debug for DosnNetwork<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "DosnNetwork({} users over {} x{})",
+            self.users.len(),
+            self.storage.plane().name(),
+            self.storage.replicas(),
+        )
+    }
+}
+
+impl DosnNetwork {
+    /// Creates the default composition: a Chord ring of `overlay_nodes`
+    /// with replication factor 3.
+    pub fn new(overlay_nodes: usize, seed: u64) -> Self {
+        Self::with_plane(ChordPlane::build(overlay_nodes, seed), 3, seed)
+    }
+}
+
+impl<S: StoragePlane> DosnNetwork<S> {
+    /// Assembles a network over any storage plane with `replicas`-way
+    /// replication and a majority read quorum.
+    pub fn with_plane(plane: S, replicas: usize, seed: u64) -> Self {
+        Self::with_replication(ReplicatedStore::new(plane, replicas), seed)
+    }
+
+    /// Assembles a network over a pre-configured replicated store (custom
+    /// read quorum, pre-seeded plane).
+    pub fn with_replication(storage: ReplicatedStore<S>, seed: u64) -> Self {
+        DosnNetwork {
+            group: SchnorrGroup::toy(),
+            directory: KeyDirectory::new(),
+            storage,
+            users: BTreeMap::new(),
+            integrity: IntegrityPlane::new(),
+            graph: SocialGraph::new(),
+            metrics: Metrics::new(),
+            rng: SecureRng::seed_from_u64(seed ^ 0xD05A),
+        }
+    }
+
+    /// Registers a user with the default symmetric friends-group scheme.
+    ///
+    /// # Errors
+    ///
+    /// [`DosnError::UnknownUser`] if the name is already taken (reported
+    /// against the name).
+    pub fn register(&mut self, name: &str) -> Result<(), DosnError> {
+        let mut master = [0u8; 32];
+        rand::RngCore::fill_bytes(&mut self.rng, &mut master);
+        self.register_with_scheme(name, PrivacyPlane::symmetric(master))
+    }
+
+    /// Registers a user whose posts are protected by an arbitrary §III
+    /// access scheme (wrapped in a [`PrivacyPlane`]). The scheme must be
+    /// able to create a group containing the user and to seal bodies for
+    /// storage (symmetric and per-recipient schemes can; ABE/IBBE report a
+    /// typed error at post time).
+    ///
+    /// # Errors
+    ///
+    /// [`DosnError::UnknownUser`] for a taken name, plus scheme-specific
+    /// group-creation failures.
+    pub fn register_with_scheme(
+        &mut self,
+        name: &str,
+        mut privacy: PrivacyPlane,
+    ) -> Result<(), DosnError> {
+        let id = UserId::from(name);
+        if self.users.contains_key(&id) {
+            return Err(DosnError::UnknownUser(format!("{name} already registered")));
+        }
+        let identity = crate::identity::Identity::create(
+            name,
+            self.group.clone(),
+            &self.directory,
+            &mut self.rng,
+        );
+        let friends_group = privacy.create_group(&[name.to_owned()])?;
+        self.graph.add_user(&id);
+        self.integrity.register(id.clone(), &mut self.rng);
+        self.users.insert(
+            id,
+            UserState {
+                identity,
+                privacy,
+                friends_group,
+            },
+        );
+        Ok(())
+    }
+
+    /// The social graph.
+    pub fn graph(&self) -> &SocialGraph {
+        &self.graph
+    }
+
+    /// The key directory.
+    pub fn directory(&self) -> &KeyDirectory {
+        &self.directory
+    }
+
+    /// Accumulated overlay + plane metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// A user's timeline (verifier view).
+    pub fn timeline(&self, user: &str) -> Option<&crate::integrity::Timeline> {
+        self.integrity.timeline(&UserId::from(user))
+    }
+
+    /// The replicated storage layer (placement, accounting).
+    pub fn storage(&self) -> &ReplicatedStore<S> {
+        &self.storage
+    }
+
+    /// The replicated storage layer, mutably (churn injection, direct
+    /// plane access).
+    pub fn storage_mut(&mut self) -> &mut ReplicatedStore<S> {
+        &mut self.storage
+    }
+
+    /// Applies a fault plan's crash schedule to the storage plane as of
+    /// `now_ms` (see [`apply_crash_schedule`]). Returns how many storage
+    /// nodes are down afterwards.
+    pub fn apply_crashes(&mut self, plan: &FaultPlan, now_ms: u64) -> usize {
+        apply_crash_schedule(self.storage.plane_mut(), plan, now_ms)
+    }
+
+    /// Makes two users friends: graph edge + mutual friends-group
+    /// membership (each can now read the other's friends-only posts).
+    ///
+    /// # Errors
+    ///
+    /// [`DosnError::UnknownUser`] for unregistered names.
+    pub fn befriend(&mut self, a: &str, b: &str, trust: f64) -> Result<(), DosnError> {
+        let (ida, idb) = (UserId::from(a), UserId::from(b));
+        if !self.users.contains_key(&ida) {
+            return Err(DosnError::UnknownUser(a.to_owned()));
+        }
+        if !self.users.contains_key(&idb) {
+            return Err(DosnError::UnknownUser(b.to_owned()));
+        }
+        self.graph.befriend(&ida, &idb, trust);
+        let state_a = self
+            .users
+            .get_mut(&ida)
+            .ok_or_else(|| DosnError::UnknownUser(a.to_owned()))?;
+        let ga = state_a.friends_group.clone();
+        state_a.privacy.add_member(&ga, b)?;
+        let state_b = self
+            .users
+            .get_mut(&idb)
+            .ok_or_else(|| DosnError::UnknownUser(b.to_owned()))?;
+        let gb = state_b.friends_group.clone();
+        state_b.privacy.add_member(&gb, a)?;
+        Ok(())
+    }
+
+    /// Publishes a friends-only post: encrypt (privacy plane) → sign +
+    /// chain + mint relation keys (integrity plane) → R-way store
+    /// (storage). Returns the author-local sequence number.
+    ///
+    /// # Errors
+    ///
+    /// [`DosnError::UnknownUser`], privacy-plane sealing failures, and
+    /// [`DosnError::ContentUnavailable`] for storage failures.
+    pub fn post(&mut self, author: &str, body: &str) -> Result<u64, DosnError> {
+        let id = UserId::from(author);
+        let state = self
+            .users
+            .get_mut(&id)
+            .ok_or_else(|| DosnError::UnknownUser(author.to_owned()))?;
+        let seq = self.integrity.next_sequence(&id)?;
+        let post = Post::new(author, seq, seq, body);
+
+        // §III: encrypt for the friends group, wire-encoded for storage.
+        let friends_group = state.friends_group.clone();
+        let (ciphertext, epoch) = state.privacy.seal(&friends_group, &post.to_bytes())?;
+        // §IV: sign the ciphertext, chain it, and mint commenter keys.
+        let envelope = self.integrity.seal_post(
+            &state.identity,
+            seq,
+            self.group.clone(),
+            &ciphertext,
+            &mut self.rng,
+        )?;
+
+        let record = envelope.encode_wire(epoch, &self.group);
+        self.storage
+            .put(wall_key(author, seq), record, &mut self.metrics)
+            .map_err(storage_to_dosn)?;
+        Ok(seq)
+    }
+
+    /// Attaches a comment to `author`'s post `seq` as `commenter` — only
+    /// friends hold the commenters key, and the per-post relation key binds
+    /// the comment to exactly that post (§IV-C).
+    ///
+    /// # Errors
+    ///
+    /// * [`DosnError::UnknownUser`] / [`DosnError::ContentUnavailable`];
+    /// * [`DosnError::NotAuthorized`] — commenter is not in the author's
+    ///   friends group.
+    pub fn comment(
+        &mut self,
+        commenter: &str,
+        author: &str,
+        seq: u64,
+        body: &str,
+    ) -> Result<(), DosnError> {
+        let commenter_id = UserId::from(commenter);
+        if !self.users.contains_key(&commenter_id) {
+            return Err(DosnError::UnknownUser(commenter.to_owned()));
+        }
+        let author_id = UserId::from(author);
+        let author_state = self
+            .users
+            .get(&author_id)
+            .ok_or_else(|| DosnError::UnknownUser(author.to_owned()))?;
+        // The friends-group check: only members may use the commenters key.
+        if !author_state
+            .privacy
+            .is_member(&author_state.friends_group, commenter)
+        {
+            return Err(DosnError::NotAuthorized(format!(
+                "{commenter} is not in {author}'s friends group"
+            )));
+        }
+        self.integrity.attach_comment(
+            &author_id,
+            seq,
+            commenter_id,
+            body.as_bytes(),
+            &mut self.rng,
+        )
+    }
+
+    /// Verified comments on a post (commenter, body).
+    pub fn comments(&self, author: &str, seq: u64) -> Vec<(String, String)> {
+        self.integrity.comments(&UserId::from(author), seq)
+    }
+
+    /// Fetches (quorum read with envelope verification per copy), verifies,
+    /// and decrypts a post as `reader`.
+    ///
+    /// # Errors
+    ///
+    /// * [`DosnError::ContentUnavailable`] — no live replica / no quorum;
+    /// * [`DosnError::MalformedEnvelope`] — the stored record does not
+    ///   parse;
+    /// * [`DosnError::IntegrityViolation`] — signature/tamper failures;
+    /// * [`DosnError::NotAuthorized`] — reader is not in the author's
+    ///   friends group.
+    pub fn read_post(&mut self, reader: &str, author: &str, seq: u64) -> Result<String, DosnError> {
+        if !self.users.contains_key(&UserId::from(reader)) {
+            return Err(DosnError::UnknownUser(reader.to_owned()));
+        }
+        let author_id = UserId::from(author);
+        let storage_key = wall_key(author, seq);
+
+        // Quorum read: a copy only counts toward the quorum if it decodes
+        // and its envelope verifies under the author's directory key.
+        let group = &self.group;
+        let directory = &self.directory;
+        let verified = self
+            .storage
+            .get_verified(storage_key, &mut self.metrics, |bytes| {
+                SignedEnvelope::decode_wire(&author_id, seq, bytes, group)
+                    .and_then(|(env, _)| env.verify(directory, None, u64::MAX - 1))
+                    .is_ok()
+            });
+        let record = match verified {
+            Ok(record) => record,
+            Err(StorageError::NotFound(_)) => {
+                // Nothing verified. Distinguish "no replica holds the key"
+                // from "replicas hold bytes that fail the check" so callers
+                // see the real defect (malformed record, bad signature).
+                let raw = self
+                    .storage
+                    .get(storage_key, &mut self.metrics)
+                    .map_err(storage_to_dosn)?;
+                let (env, _) = SignedEnvelope::decode_wire(&author_id, seq, &raw, &self.group)?;
+                env.verify(&self.directory, None, u64::MAX - 1)?;
+                return Err(DosnError::ContentUnavailable(format!(
+                    "no verifying quorum for {author}/{seq}"
+                )));
+            }
+            Err(e) => return Err(storage_to_dosn(e)),
+        };
+        let (envelope, epoch) = SignedEnvelope::decode_wire(&author_id, seq, &record, &self.group)?;
+        envelope.verify(&self.directory, None, u64::MAX - 1)?;
+
+        // §III: decrypt as the reader.
+        let author_state = self
+            .users
+            .get(&author_id)
+            .ok_or_else(|| DosnError::UnknownUser(author.to_owned()))?;
+        let plain = author_state.privacy.unseal(
+            &author_state.friends_group,
+            reader,
+            epoch,
+            &envelope.body,
+        )?;
+        let post: Post = serde_json::from_slice(&plain)
+            .map_err(|e| DosnError::IntegrityViolation(format!("bad post encoding: {e}")))?;
+        Ok(post.body)
+    }
+
+    /// Revokes a friendship: graph edge removed and both friends groups
+    /// re-keyed (returns the total membership-change cost, E2-style).
+    ///
+    /// # Errors
+    ///
+    /// [`DosnError::UnknownUser`] for unregistered names.
+    pub fn unfriend(&mut self, a: &str, b: &str) -> Result<u64, DosnError> {
+        let (ida, idb) = (UserId::from(a), UserId::from(b));
+        if !self.graph.unfriend(&ida, &idb) {
+            return Err(DosnError::UnknownUser(format!(
+                "{a} and {b} are not friends"
+            )));
+        }
+        let state_a = self
+            .users
+            .get_mut(&ida)
+            .ok_or_else(|| DosnError::UnknownUser(a.to_owned()))?;
+        let ga = state_a.friends_group.clone();
+        let cost_a = state_a.privacy.revoke_member(&ga, b)?;
+        let state_b = self
+            .users
+            .get_mut(&idb)
+            .ok_or_else(|| DosnError::UnknownUser(b.to_owned()))?;
+        let gb = state_b.friends_group.clone();
+        let cost_b = state_b.privacy.revoke_member(&gb, a)?;
+        Ok(cost_a.rekeyed_members + cost_b.rekeyed_members)
+    }
+}
+
+/// Registers a user backed by an arbitrary boxed scheme (convenience for
+/// experiment harnesses that already hold `Box<dyn AccessScheme>`).
+impl<S: StoragePlane> DosnNetwork<S> {
+    /// See [`DosnNetwork::register_with_scheme`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DosnNetwork::register_with_scheme`].
+    pub fn register_with_boxed_scheme(
+        &mut self,
+        name: &str,
+        scheme: Box<dyn AccessScheme>,
+    ) -> Result<(), DosnError> {
+        self.register_with_scheme(name, PrivacyPlane::new(scheme))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> DosnNetwork {
+        let mut n = DosnNetwork::new(16, 3);
+        for u in ["alice", "bob", "carol"] {
+            n.register(u).unwrap();
+        }
+        n.befriend("alice", "bob", 0.9).unwrap();
+        n
+    }
+
+    #[test]
+    fn friends_read_strangers_do_not() {
+        let mut n = net();
+        let seq = n.post("alice", "friends only").unwrap();
+        assert_eq!(n.read_post("bob", "alice", seq).unwrap(), "friends only");
+        assert!(matches!(
+            n.read_post("carol", "alice", seq),
+            Err(DosnError::NotAuthorized(_))
+        ));
+    }
+
+    #[test]
+    fn double_registration_rejected() {
+        let mut n = net();
+        assert!(n.register("alice").is_err());
+    }
+
+    #[test]
+    fn unknown_users_rejected_everywhere() {
+        let mut n = net();
+        assert!(n.befriend("alice", "ghost", 0.5).is_err());
+        assert!(n.post("ghost", "x").is_err());
+        assert!(n.read_post("ghost", "alice", 0).is_err());
+    }
+
+    #[test]
+    fn missing_post_unavailable() {
+        let mut n = net();
+        assert!(matches!(
+            n.read_post("bob", "alice", 99),
+            Err(DosnError::ContentUnavailable(_))
+        ));
+    }
+
+    #[test]
+    fn unfriending_revokes_future_posts() {
+        let mut n = net();
+        let old = n.post("alice", "while friends").unwrap();
+        assert!(n.read_post("bob", "alice", old).is_ok());
+        let rekeyed = n.unfriend("alice", "bob").unwrap();
+        assert!(rekeyed <= 2);
+        let new = n.post("alice", "after the falling out").unwrap();
+        assert!(n.read_post("bob", "alice", new).is_err());
+        // The fundamental limit: bob still holds the old epoch key.
+        assert!(n.read_post("bob", "alice", old).is_ok());
+    }
+
+    #[test]
+    fn timeline_chains_posts() {
+        let mut n = net();
+        for i in 0..4 {
+            n.post("alice", &format!("post {i}")).unwrap();
+        }
+        let t = n.timeline("alice").unwrap();
+        assert_eq!(t.entries().len(), 4);
+        t.verify(n.directory()).unwrap();
+    }
+
+    #[test]
+    fn friends_comment_strangers_cannot() {
+        let mut n = net();
+        let seq = n.post("alice", "comment away").unwrap();
+        n.comment("bob", "alice", seq, "first!").unwrap();
+        assert_eq!(
+            n.comments("alice", seq),
+            vec![("bob".to_string(), "first!".to_string())]
+        );
+        // Carol is not alice's friend.
+        assert!(matches!(
+            n.comment("carol", "alice", seq, "sneaky"),
+            Err(DosnError::NotAuthorized(_))
+        ));
+        // Nonexistent post.
+        assert!(matches!(
+            n.comment("bob", "alice", 99, "where?"),
+            Err(DosnError::ContentUnavailable(_))
+        ));
+        assert!(n.comments("alice", 99).is_empty());
+    }
+
+    #[test]
+    fn author_comments_own_post() {
+        let mut n = net();
+        let seq = n.post("alice", "self-reply").unwrap();
+        n.comment("alice", "alice", seq, "addendum").unwrap();
+        assert_eq!(n.comments("alice", seq).len(), 1);
+    }
+
+    #[test]
+    fn metrics_accumulate() {
+        let mut n = net();
+        let before = n.metrics().messages;
+        n.post("alice", "x").unwrap();
+        assert!(n.metrics().messages > before);
+    }
+
+    #[test]
+    fn posts_are_replicated_r_ways() {
+        let mut n = net();
+        n.post("alice", "durable").unwrap();
+        assert_eq!(n.metrics().count("store.replicas_written"), 3);
+        assert_eq!(n.storage().accounting().nodes_used(), 3);
+    }
+
+    #[test]
+    fn malformed_stored_blob_is_a_typed_error_not_a_panic() {
+        let mut n = net();
+        let seq = n.post("alice", "will be vandalized").unwrap();
+        // Overwrite every replica with bytes that are not a record.
+        let key = storage_glue::wall_key("alice", seq);
+        let mut m = Metrics::new();
+        n.storage_mut()
+            .put(key, b"not an envelope".to_vec(), &mut m)
+            .unwrap();
+        assert!(matches!(
+            n.read_post("bob", "alice", seq),
+            Err(DosnError::MalformedEnvelope(_))
+        ));
+        // A truncated-header blob is equally survivable.
+        n.storage_mut().put(key, vec![0u8; 5], &mut m).unwrap();
+        assert!(matches!(
+            n.read_post("bob", "alice", seq),
+            Err(DosnError::MalformedEnvelope(_))
+        ));
+    }
+
+    #[test]
+    fn crashed_replica_is_read_repaired() {
+        let mut n = net();
+        let seq = n.post("alice", "survives churn").unwrap();
+        let key = storage_glue::wall_key("alice", seq);
+        let mut m = Metrics::new();
+        let holders = n
+            .storage_mut()
+            .plane_mut()
+            .replica_candidates(key, 3, &mut m)
+            .unwrap();
+        n.storage_mut().plane_mut().set_online(holders[0], false);
+        assert_eq!(n.read_post("bob", "alice", seq).unwrap(), "survives churn");
+        assert!(n.metrics().count("get.repairs") > 0);
+    }
+
+    #[test]
+    fn pke_privacy_plane_composes_with_the_facade() {
+        let mut n = DosnNetwork::new(16, 9);
+        let mut seed_rng = SecureRng::seed_from_u64(77);
+        let pke = crate::privacy::PkeGroupScheme::with_fresh_identities(
+            &["alice", "bob", "carol"],
+            &mut seed_rng,
+        );
+        n.register_with_boxed_scheme("alice", Box::new(pke))
+            .unwrap();
+        n.register("bob").unwrap();
+        n.register("carol").unwrap();
+        n.befriend("alice", "bob", 1.0).unwrap();
+        let seq = n.post("alice", "pke wall post").unwrap();
+        assert_eq!(n.read_post("bob", "alice", seq).unwrap(), "pke wall post");
+        assert!(n.read_post("carol", "alice", seq).is_err());
+    }
+}

@@ -1,0 +1,99 @@
+//! Property tests for the envelope wire codec: encode/decode must round
+//! trip exactly, and the decoder must reject — never panic on — arbitrary
+//! bytes, since records come back from untrusted storage nodes.
+
+use dosn_core::error::DosnError;
+use dosn_core::identity::{Identity, UserId};
+use dosn_core::integrity::envelope::{SignedEnvelope, WIRE_HEADER_LEN};
+use dosn_crypto::chacha::SecureRng;
+use dosn_crypto::group::SchnorrGroup;
+use dosn_crypto::keys::KeyDirectory;
+use proptest::prelude::*;
+
+fn author() -> (Identity, KeyDirectory, SecureRng) {
+    let mut rng = SecureRng::seed_from_u64(0xE12);
+    let dir = KeyDirectory::new();
+    let id = Identity::create("wirebob", SchnorrGroup::toy(), &dir, &mut rng);
+    (id, dir, rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn wire_roundtrip_preserves_envelope(
+        epoch in any::<u64>(),
+        seq in any::<u64>(),
+        issued_at in any::<u64>(),
+        body in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let (identity, dir, mut rng) = author();
+        let group = SchnorrGroup::toy();
+        let envelope = SignedEnvelope::seal(&identity, None, seq, issued_at, None, &body, &mut rng);
+        let wire = envelope.encode_wire(epoch, &group);
+
+        let (decoded, got_epoch) =
+            SignedEnvelope::decode_wire(&UserId::from("wirebob"), seq, &wire, &group).unwrap();
+        prop_assert_eq!(got_epoch, epoch);
+        prop_assert_eq!(decoded.sequence, seq);
+        prop_assert_eq!(decoded.issued_at, issued_at);
+        prop_assert_eq!(&decoded.body, &body);
+        // The decoded envelope still verifies — signature bytes survived.
+        prop_assert!(decoded.verify(&dir, None, u64::MAX - 1).is_ok());
+    }
+
+    #[test]
+    fn decoder_never_panics_on_arbitrary_bytes(
+        seq in any::<u64>(),
+        bytes in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let group = SchnorrGroup::toy();
+        let _ = SignedEnvelope::decode_wire(&UserId::from("anyone"), seq, &bytes, &group);
+    }
+
+    #[test]
+    fn truncations_of_a_valid_record_error_cleanly(
+        cut in 0usize..64,
+        body in proptest::collection::vec(any::<u8>(), 1..64),
+    ) {
+        let (identity, _, mut rng) = author();
+        let group = SchnorrGroup::toy();
+        let wire = SignedEnvelope::seal(&identity, None, 1, 1, None, &body, &mut rng)
+            .encode_wire(0, &group);
+        let cut = cut.min(wire.len());
+        let truncated = &wire[..wire.len() - cut];
+        let result = SignedEnvelope::decode_wire(&UserId::from("wirebob"), 1, truncated, &group);
+        if cut == 0 {
+            prop_assert!(result.is_ok());
+        } else {
+            // Any strict truncation loses body or signature bytes; the body
+            // loss surfaces later at verify, the framing loss here. Either
+            // way: typed, no panic.
+            if truncated.len() < WIRE_HEADER_LEN {
+                prop_assert!(matches!(result, Err(DosnError::MalformedEnvelope(_))));
+            }
+        }
+    }
+}
+
+#[test]
+fn sequence_mismatch_is_an_integrity_violation() {
+    let (identity, _, mut rng) = author();
+    let group = SchnorrGroup::toy();
+    let wire = SignedEnvelope::seal(&identity, None, 7, 7, None, b"slot 7", &mut rng)
+        .encode_wire(3, &group);
+    assert!(matches!(
+        SignedEnvelope::decode_wire(&UserId::from("wirebob"), 8, &wire, &group),
+        Err(DosnError::IntegrityViolation(_))
+    ));
+}
+
+#[test]
+fn oversized_signature_length_is_malformed() {
+    let mut bytes = vec![0u8; WIRE_HEADER_LEN];
+    bytes[24..28].copy_from_slice(&u32::MAX.to_be_bytes());
+    assert!(matches!(
+        SignedEnvelope::decode_wire(&UserId::from("x"), 0, &bytes, &SchnorrGroup::toy()),
+        Err(DosnError::MalformedEnvelope(_))
+    ));
+}

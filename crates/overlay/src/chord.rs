@@ -451,6 +451,62 @@ impl ChordOverlay {
         }
     }
 
+    /// Writes `value` directly into `node`'s local store, bypassing
+    /// routing — replica placement decided by an upper storage layer
+    /// (see [`crate::replication::ReplicatedStore`]).
+    ///
+    /// # Errors
+    ///
+    /// [`DhtError::UnknownNode`] for unknown nodes,
+    /// [`DhtError::Unavailable`] when the node is offline.
+    pub fn store_direct(&mut self, node: NodeId, key: Key, value: Vec<u8>) -> Result<(), DhtError> {
+        let n = self
+            .nodes
+            .get_mut(&node.0)
+            .ok_or(DhtError::UnknownNode(node))?;
+        if !n.online {
+            return Err(DhtError::Unavailable(key));
+        }
+        n.storage.insert(key.0, value);
+        Ok(())
+    }
+
+    /// Reads `key` directly from `node`'s local store (`None` when the node
+    /// is online but never received the key).
+    ///
+    /// # Errors
+    ///
+    /// [`DhtError::UnknownNode`] for unknown nodes,
+    /// [`DhtError::Unavailable`] when the node is offline.
+    pub fn fetch_direct(&self, node: NodeId, key: Key) -> Result<Option<Vec<u8>>, DhtError> {
+        let n = self.nodes.get(&node.0).ok_or(DhtError::UnknownNode(node))?;
+        if !n.online {
+            return Err(DhtError::Unavailable(key));
+        }
+        Ok(n.storage.get(&key.0).cloned())
+    }
+
+    /// The `want` online nodes that should hold `key`'s replicas: its owner
+    /// (clockwise successor) followed by the next online nodes in ring
+    /// order. Empty when every node is offline.
+    pub fn online_replica_candidates(&self, key: Key, want: usize) -> Vec<NodeId> {
+        let online: Vec<u64> = self
+            .nodes
+            .values()
+            .filter(|n| n.online)
+            .map(|n| n.id)
+            .collect();
+        if online.is_empty() || want == 0 {
+            return Vec::new();
+        }
+        // `online` is in ring order (nodes is a BTreeMap); rotate to start at
+        // the owner.
+        let start = online.iter().position(|&id| id >= key.0).unwrap_or(0);
+        (0..online.len().min(want))
+            .map(|i| NodeId(online[(start + i) % online.len()]))
+            .collect()
+    }
+
     /// The replica set for an owner: the owner plus following nodes
     /// (regardless of liveness — liveness is checked on access).
     fn replica_set(&self, owner: u64) -> Vec<u64> {

@@ -122,6 +122,56 @@ impl FederatedNetwork {
         self.servers[server].online = online;
     }
 
+    /// Whether `server` is online (`false` for out-of-range indices).
+    pub fn server_online(&self, server: usize) -> bool {
+        self.servers.get(server).is_some_and(|s| s.online)
+    }
+
+    /// Writes `value` directly onto `server` (replica placement by an upper
+    /// storage layer — a pod mirroring a friend's pod). Returns `false` for
+    /// unknown or offline servers.
+    pub fn store_direct(&mut self, server: usize, key: Key, value: Vec<u8>) -> bool {
+        match self.servers.get_mut(server) {
+            Some(s) if s.online => {
+                s.storage.insert(key.0, value);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Reads `key` directly from `server`'s storage. `None` when the server
+    /// is unknown, offline, or does not hold the key.
+    pub fn fetch_direct(&self, server: usize, key: Key) -> Option<Vec<u8>> {
+        let s = self.servers.get(server)?;
+        if !s.online {
+            return None;
+        }
+        s.storage.get(&key.0).cloned()
+    }
+
+    /// The `want` online servers that should hold `key`'s replicas: a
+    /// deterministic forward scan from the key's hash partition. Empty when
+    /// every server is down.
+    pub fn online_replica_candidates(&self, key: Key, want: usize) -> Vec<usize> {
+        let n = self.servers.len();
+        if n == 0 || want == 0 {
+            return Vec::new();
+        }
+        let start = (key.0 as usize) % n;
+        let mut out = Vec::with_capacity(want);
+        for i in 0..n {
+            let idx = (start + i) % n;
+            if self.servers[idx].online {
+                out.push(idx);
+                if out.len() == want {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
     /// Stores data on the *owner's* home server (client → home, 1 message).
     ///
     /// # Errors

@@ -170,9 +170,51 @@ impl KademliaOverlay {
         self.nodes.get_mut(&node.0).expect("unknown node").online = online;
     }
 
+    /// Whether `node` is online.
+    pub fn is_online(&self, node: NodeId) -> bool {
+        self.nodes.get(&node.0).is_some_and(|n| n.online)
+    }
+
+    /// Writes `value` directly into `node`'s local store, bypassing routing
+    /// (replica placement by an upper storage layer). Returns `false` for
+    /// unknown or offline nodes.
+    pub fn store_direct(&mut self, node: NodeId, key: Key, value: Vec<u8>) -> bool {
+        match self.nodes.get_mut(&node.0) {
+            Some(n) if n.online => {
+                n.storage.insert(key.0, value);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Reads `key` directly from `node`'s local store. `None` when the node
+    /// is unknown, offline, or never received the key.
+    pub fn fetch_direct(&self, node: NodeId, key: Key) -> Option<Vec<u8>> {
+        let n = self.nodes.get(&node.0)?;
+        if !n.online {
+            return None;
+        }
+        n.storage.get(&key.0).cloned()
+    }
+
     /// Iterative XOR-metric lookup: returns the `replicas` closest online
     /// nodes found, recording per-round messages/latency in `metrics`.
     pub fn lookup(&mut self, from: NodeId, key: Key, metrics: &mut Metrics) -> Vec<NodeId> {
+        let want = self.replicas;
+        self.closest(from, key, want, metrics)
+    }
+
+    /// Iterative XOR-metric lookup returning up to `count` closest online
+    /// nodes (capped by the bucket size `k`), with the same per-round
+    /// message/latency accounting as [`KademliaOverlay::lookup`].
+    pub fn closest(
+        &mut self,
+        from: NodeId,
+        key: Key,
+        count: usize,
+        metrics: &mut Metrics,
+    ) -> Vec<NodeId> {
         let target = key.0;
         let start = &self.nodes[&from.0];
         let mut shortlist: Vec<u64> = start.closest_known(target, self.k);
@@ -223,7 +265,7 @@ impl KademliaOverlay {
         shortlist
             .into_iter()
             .filter(|c| self.nodes[c].online)
-            .take(self.replicas)
+            .take(count)
             .map(NodeId)
             .collect()
     }

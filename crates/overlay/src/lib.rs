@@ -53,5 +53,7 @@ pub mod hybrid;
 pub mod id;
 pub mod kademlia;
 pub mod metrics;
+pub mod replication;
 pub mod sim;
+pub mod storage;
 pub mod superpeer;

@@ -56,6 +56,59 @@ impl Metrics {
     pub fn count(&self, kind: &str) -> u64 {
         self.by_type.get(kind).copied().unwrap_or(0)
     }
+
+    /// Increments a named counter by `n` without attributing a message —
+    /// layer-level accounting (quorum sizes, replica writes, read repairs)
+    /// that should not inflate the overlay's message totals.
+    pub fn bump(&mut self, kind: &str, n: u64) {
+        *self.by_type.entry(kind.to_owned()).or_insert(0) += n;
+    }
+}
+
+/// Bytes of replica payload stored per node, maintained by the replication
+/// layer so replication-factor experiments can report *storage* overhead
+/// (R× the logical data, and how evenly it spreads) and not just message
+/// counts.
+#[derive(Debug, Clone, Default)]
+pub struct StorageAccounting {
+    bytes: BTreeMap<u64, u64>,
+}
+
+impl StorageAccounting {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `bytes` of replica payload written onto `node`.
+    pub fn add(&mut self, node: NodeId, bytes: u64) {
+        *self.bytes.entry(node.0).or_insert(0) += bytes;
+    }
+
+    /// Bytes stored on one node (0 if it holds nothing).
+    pub fn bytes_on(&self, node: NodeId) -> u64 {
+        self.bytes.get(&node.0).copied().unwrap_or(0)
+    }
+
+    /// Total replica bytes across every node.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.values().sum()
+    }
+
+    /// The most-loaded node's byte count (0 when nothing is stored).
+    pub fn max_node_bytes(&self) -> u64 {
+        self.bytes.values().copied().max().unwrap_or(0)
+    }
+
+    /// Number of nodes holding at least one replica byte.
+    pub fn nodes_used(&self) -> usize {
+        self.bytes.values().filter(|&&b| b > 0).count()
+    }
+
+    /// Iterates `(node, bytes)` in node-id order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, u64)> + '_ {
+        self.bytes.iter().map(|(&id, &b)| (NodeId(id), b))
+    }
 }
 
 /// Message counters for a single simulated node.
@@ -238,6 +291,32 @@ mod tests {
     #[should_panic(expected = "quantile out of range")]
     fn quantile_rejects_bad_p() {
         Histogram::new().quantile(1.5);
+    }
+
+    #[test]
+    fn bump_counts_without_messages() {
+        let mut m = Metrics::new();
+        m.bump("get.repairs", 2);
+        m.bump("get.repairs", 1);
+        assert_eq!(m.count("get.repairs"), 3);
+        assert_eq!(m.messages, 0);
+        assert_eq!(m.bytes, 0);
+    }
+
+    #[test]
+    fn storage_accounting_totals() {
+        let mut a = StorageAccounting::new();
+        assert_eq!(a.total_bytes(), 0);
+        assert_eq!(a.max_node_bytes(), 0);
+        a.add(NodeId(1), 100);
+        a.add(NodeId(1), 50);
+        a.add(NodeId(2), 20);
+        assert_eq!(a.bytes_on(NodeId(1)), 150);
+        assert_eq!(a.bytes_on(NodeId(9)), 0);
+        assert_eq!(a.total_bytes(), 170);
+        assert_eq!(a.max_node_bytes(), 150);
+        assert_eq!(a.nodes_used(), 2);
+        assert_eq!(a.iter().count(), 2);
     }
 
     #[test]

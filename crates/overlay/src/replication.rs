@@ -1,0 +1,402 @@
+//! R-way replication with quorum reads and read-repair over any
+//! [`StoragePlane`].
+//!
+//! The survey's availability argument (§II-B, §IV) is that a DOSN only
+//! matches a centralized OSN's durability if user data is replicated across
+//! peers that fail independently — PeerSoN, Safebook, and Cachet all layer
+//! replica placement over their DHTs. [`ReplicatedStore`] implements that
+//! layer once, over the [`StoragePlane`] abstraction, so the same
+//! replication/repair logic runs over Chord successor chains, Kademlia
+//! XOR-closest sets, super-peer hosts, and federation pod mirrors:
+//!
+//! * **Put** writes the value to the first `R` online candidates
+//!   ([`StoragePlane::replica_candidates`]) and charges per-node storage to
+//!   a [`StorageAccounting`] ledger (counter `store.replicas_written`).
+//! * **Get** reads *all* `R` current candidates — not stopping at the first
+//!   hit — and accepts the majority value among copies that pass the
+//!   caller's verifier, requiring at least `K` of them (default
+//!   `R/2 + 1`; counter `get.quorum_size`).
+//! * **Read-repair**: candidates that returned nothing, a non-verifying
+//!   copy, or a stale value are rewritten with the winner (counter
+//!   `get.repairs`). This is what heals the replica set after churn:
+//!   when a holder crashes, placement shifts to a substitute node that
+//!   lacks the value, and the next read re-establishes `R` live copies.
+
+use crate::fault::FaultPlan;
+use crate::id::{Key, NodeId};
+use crate::metrics::{Metrics, StorageAccounting};
+use crate::storage::{StorageError, StoragePlane};
+
+/// Applies the crash schedule of a [`FaultPlan`] to a storage plane as of
+/// simulated time `now_ms`: nodes inside a crash window go offline, nodes
+/// past their recovery time come back. Crash events naming nodes the plane
+/// does not have are ignored. Returns how many nodes are down afterwards.
+///
+/// This is the bridge to the fault-injection harness: availability
+/// experiments build one [`FaultPlan`], drive the simulator with it, and
+/// apply the same schedule to the replicated store under test.
+pub fn apply_crash_schedule<P: StoragePlane + ?Sized>(
+    plane: &mut P,
+    plan: &FaultPlan,
+    now_ms: u64,
+) -> usize {
+    let known = plane.node_ids();
+    let mut down = 0;
+    for crash in &plan.crashes {
+        if !known.contains(&crash.node) {
+            continue;
+        }
+        let crashed = crash.at_ms <= now_ms && crash.recover_at_ms.is_none_or(|r| r > now_ms);
+        plane.set_online(crash.node, !crashed);
+        if crashed {
+            down += 1;
+        }
+    }
+    down
+}
+
+/// R-way replicated, quorum-read storage over a [`StoragePlane`].
+///
+/// ```
+/// use dosn_overlay::id::Key;
+/// use dosn_overlay::metrics::Metrics;
+/// use dosn_overlay::replication::ReplicatedStore;
+/// use dosn_overlay::storage::{ChordPlane, StoragePlane};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut store = ReplicatedStore::new(ChordPlane::build(64, 1), 3);
+/// let mut m = Metrics::new();
+/// let key = Key::hash(b"wall/alice/0");
+/// let holders = store.put(key, b"post".to_vec(), &mut m)?;
+/// assert_eq!(holders.len(), 3);
+///
+/// // One replica crashes; a quorum of the survivors still answers, and the
+/// // read repairs the substitute candidate that took the crashed node's
+/// // place in the preference list.
+/// store.plane_mut().set_online(holders[0], false);
+/// let got = store.get(key, &mut m)?;
+/// assert_eq!(got, b"post");
+/// assert!(m.count("get.repairs") > 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ReplicatedStore<P: StoragePlane> {
+    plane: P,
+    replicas: usize,
+    read_quorum: usize,
+    accounting: StorageAccounting,
+}
+
+impl<P: StoragePlane> ReplicatedStore<P> {
+    /// Wraps `plane` with replication factor `replicas` and the default
+    /// majority read quorum (`replicas / 2 + 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas == 0`.
+    pub fn new(plane: P, replicas: usize) -> Self {
+        assert!(replicas >= 1, "replication factor must be at least 1");
+        let read_quorum = replicas / 2 + 1;
+        ReplicatedStore {
+            plane,
+            replicas,
+            read_quorum,
+            accounting: StorageAccounting::new(),
+        }
+    }
+
+    /// Overrides the read quorum (clamped into `1..=replicas`).
+    pub fn with_quorum(mut self, read_quorum: usize) -> Self {
+        self.read_quorum = read_quorum.clamp(1, self.replicas);
+        self
+    }
+
+    /// The replication factor R.
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    /// The read quorum K.
+    pub fn read_quorum(&self) -> usize {
+        self.read_quorum
+    }
+
+    /// The underlying plane.
+    pub fn plane(&self) -> &P {
+        &self.plane
+    }
+
+    /// The underlying plane, mutably (churn injection, overlay access).
+    pub fn plane_mut(&mut self) -> &mut P {
+        &mut self.plane
+    }
+
+    /// Consumes the store, returning the plane.
+    pub fn into_inner(self) -> P {
+        self.plane
+    }
+
+    /// The per-node storage ledger.
+    pub fn accounting(&self) -> &StorageAccounting {
+        &self.accounting
+    }
+
+    /// Writes `value` to the first R online candidates for `key`, returning
+    /// the holders. Partial placement (fewer than R online nodes) succeeds
+    /// with a shorter holder list; a node that refuses the write (raced
+    /// offline) is skipped.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::NoNodes`] when no candidate accepted the write.
+    pub fn put(
+        &mut self,
+        key: Key,
+        value: Vec<u8>,
+        metrics: &mut Metrics,
+    ) -> Result<Vec<NodeId>, StorageError> {
+        let candidates = self.plane.replica_candidates(key, self.replicas, metrics)?;
+        let mut written = Vec::with_capacity(candidates.len());
+        for node in candidates {
+            if self.plane.store_at(node, key, &value, metrics).is_ok() {
+                self.accounting.add(node, value.len() as u64);
+                written.push(node);
+            }
+        }
+        if written.is_empty() {
+            return Err(StorageError::NoNodes);
+        }
+        metrics.bump("store.replicas_written", written.len() as u64);
+        Ok(written)
+    }
+
+    /// Quorum read with every copy trusted: [`ReplicatedStore::get_verified`]
+    /// with a verifier that accepts anything.
+    ///
+    /// # Errors
+    ///
+    /// See [`ReplicatedStore::get_verified`].
+    pub fn get(&mut self, key: Key, metrics: &mut Metrics) -> Result<Vec<u8>, StorageError> {
+        self.get_verified(key, metrics, |_| true)
+    }
+
+    /// Quorum read: fetches `key` from *all* R current candidates, keeps the
+    /// copies that pass `verify`, and requires at least K of them. The
+    /// winner is the most common verifying byte string (ties broken toward
+    /// the copy held by the most-preferred candidate). Candidates missing
+    /// the winner — crash substitutes, nodes holding stale or corrupt
+    /// copies — are repaired in place.
+    ///
+    /// Reading all R rather than stopping at the first verifying copy is
+    /// deliberate: repair opportunities are only visible on the replicas a
+    /// short-circuiting read would skip.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::NotFound`] when no candidate holds a verifying copy;
+    /// [`StorageError::QuorumFailed`] when some do but fewer than K.
+    pub fn get_verified(
+        &mut self,
+        key: Key,
+        metrics: &mut Metrics,
+        verify: impl Fn(&[u8]) -> bool,
+    ) -> Result<Vec<u8>, StorageError> {
+        let candidates = self.plane.replica_candidates(key, self.replicas, metrics)?;
+        metrics.bump("get.quorum_size", candidates.len() as u64);
+
+        // (candidate, copy-if-any); offline races read as holding nothing.
+        let mut copies: Vec<(NodeId, Option<Vec<u8>>)> = Vec::with_capacity(candidates.len());
+        for node in &candidates {
+            let got = self.plane.fetch_from(*node, key, metrics).unwrap_or(None);
+            copies.push((*node, got));
+        }
+
+        // Majority vote among verifying copies, preference order breaking
+        // ties (the earliest-seen value wins at equal counts).
+        let mut tally: Vec<(&[u8], usize)> = Vec::new();
+        for (_, copy) in &copies {
+            if let Some(bytes) = copy {
+                if verify(bytes) {
+                    match tally.iter_mut().find(|(v, _)| *v == bytes.as_slice()) {
+                        Some((_, n)) => *n += 1,
+                        None => tally.push((bytes.as_slice(), 1)),
+                    }
+                }
+            }
+        }
+        let verified: usize = tally.iter().map(|(_, n)| n).sum();
+        if verified == 0 {
+            return Err(StorageError::NotFound(key));
+        }
+        if verified < self.read_quorum {
+            return Err(StorageError::QuorumFailed {
+                key,
+                have: verified,
+                need: self.read_quorum,
+            });
+        }
+        let winner: Vec<u8> = tally
+            .iter()
+            .max_by_key(|(_, n)| *n)
+            .map(|(v, _)| v.to_vec())
+            .expect("verified > 0");
+
+        // Read-repair: rewrite every candidate that lacks the winner.
+        let mut repairs = 0u64;
+        for (node, copy) in &copies {
+            if copy.as_deref() == Some(winner.as_slice()) {
+                continue;
+            }
+            if self.plane.store_at(*node, key, &winner, metrics).is_ok() {
+                self.accounting.add(*node, winner.len() as u64);
+                repairs += 1;
+            }
+        }
+        if repairs > 0 {
+            metrics.bump("get.repairs", repairs);
+        }
+        Ok(winner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::{ChordPlane, FederationPlane, KademliaPlane, SuperPeerPlane};
+
+    fn stores(r: usize) -> Vec<ReplicatedStore<Box<dyn StoragePlane>>> {
+        let planes: Vec<Box<dyn StoragePlane>> = vec![
+            Box::new(ChordPlane::build(48, 11)),
+            Box::new(KademliaPlane::build(48, 20, 11)),
+            Box::new(SuperPeerPlane::build(48, 6, 11)),
+            Box::new(FederationPlane::build(10)),
+        ];
+        planes
+            .into_iter()
+            .map(|p| ReplicatedStore::new(p, r))
+            .collect()
+    }
+
+    #[test]
+    fn put_places_r_copies_and_accounts_bytes() {
+        for mut store in stores(3) {
+            let mut m = Metrics::new();
+            let key = Key::hash(b"r3");
+            let holders = store.put(key, vec![7u8; 100], &mut m).unwrap();
+            assert_eq!(holders.len(), 3, "{}", store.plane().name());
+            assert_eq!(m.count("store.replicas_written"), 3);
+            assert_eq!(store.accounting().total_bytes(), 300);
+            assert_eq!(store.accounting().nodes_used(), 3);
+            for h in &holders {
+                assert_eq!(store.accounting().bytes_on(*h), 100);
+            }
+        }
+    }
+
+    #[test]
+    fn quorum_survives_one_crash_and_repairs() {
+        for mut store in stores(3) {
+            let name = store.plane().name();
+            let mut m = Metrics::new();
+            let key = Key::hash(b"crashy");
+            let holders = store.put(key, b"v".to_vec(), &mut m).unwrap();
+            store.plane_mut().set_online(holders[0], false);
+            assert_eq!(store.get(key, &mut m).unwrap(), b"v", "{name}");
+            assert!(
+                m.count("get.repairs") > 0,
+                "{name}: substitute not repaired"
+            );
+            // The repaired substitute now holds the value directly.
+            let current = store
+                .plane_mut()
+                .replica_candidates(key, 3, &mut m)
+                .unwrap();
+            for node in current {
+                assert_eq!(
+                    store.plane_mut().fetch_from(node, key, &mut m).unwrap(),
+                    Some(b"v".to_vec()),
+                    "{name}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn r1_loses_data_when_owner_crashes() {
+        for mut store in stores(1) {
+            let name = store.plane().name();
+            let mut m = Metrics::new();
+            let key = Key::hash(b"fragile");
+            let holders = store.put(key, b"v".to_vec(), &mut m).unwrap();
+            assert_eq!(holders.len(), 1);
+            store.plane_mut().set_online(holders[0], false);
+            assert!(
+                matches!(store.get(key, &mut m), Err(StorageError::NotFound(_))),
+                "{name}: R=1 must lose the value with its only holder"
+            );
+        }
+    }
+
+    #[test]
+    fn verifier_rejections_fail_quorum() {
+        let mut store = ReplicatedStore::new(ChordPlane::build(32, 3), 3);
+        let mut m = Metrics::new();
+        let key = Key::hash(b"unverifiable");
+        store.put(key, b"garbage".to_vec(), &mut m).unwrap();
+        assert!(matches!(
+            store.get_verified(key, &mut m, |_| false),
+            Err(StorageError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn majority_wins_over_corrupt_minority() {
+        let mut store = ReplicatedStore::new(ChordPlane::build(32, 3), 3);
+        let mut m = Metrics::new();
+        let key = Key::hash(b"majority");
+        let holders = store.put(key, b"good".to_vec(), &mut m).unwrap();
+        // Corrupt one replica in place.
+        store
+            .plane_mut()
+            .store_at(holders[2], key, b"BAD!", &mut m)
+            .unwrap();
+        assert_eq!(store.get(key, &mut m).unwrap(), b"good");
+        assert!(m.count("get.repairs") >= 1);
+        // The corrupt copy was overwritten.
+        assert_eq!(
+            store
+                .plane_mut()
+                .fetch_from(holders[2], key, &mut m)
+                .unwrap(),
+            Some(b"good".to_vec())
+        );
+    }
+
+    #[test]
+    fn strict_quorum_fails_below_k() {
+        // R=3 but demand all three copies verify; knock two offline.
+        let mut store = ReplicatedStore::new(ChordPlane::build(32, 5), 3).with_quorum(3);
+        let mut m = Metrics::new();
+        let key = Key::hash(b"strict");
+        let holders = store.put(key, b"v".to_vec(), &mut m).unwrap();
+        store.plane_mut().set_online(holders[1], false);
+        store.plane_mut().set_online(holders[2], false);
+        match store.get(key, &mut m) {
+            Err(StorageError::QuorumFailed { have, need, .. }) => {
+                assert!(have < need);
+            }
+            other => panic!("expected QuorumFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quorum_size_counter_tracks_candidate_reads() {
+        let mut store = ReplicatedStore::new(ChordPlane::build(32, 9), 3);
+        let mut m = Metrics::new();
+        let key = Key::hash(b"counted");
+        store.put(key, b"v".to_vec(), &mut m).unwrap();
+        store.get(key, &mut m).unwrap();
+        assert_eq!(m.count("get.quorum_size"), 3);
+    }
+}

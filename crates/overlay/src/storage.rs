@@ -1,0 +1,751 @@
+//! The storage plane: one trait over every overlay organization.
+//!
+//! The survey's §II-B treats the overlay (structured DHT, semi-structured
+//! super-peers, server federation…) as an interchangeable substrate under
+//! the same security layers, and LibreSocial's layered framework shows a
+//! production P2P OSN is built exactly that way: a replicated storage plane
+//! beneath pluggable security components. Historically this crate exposed
+//! four parallel-but-incompatible `store`/`get` APIs
+//! ([`crate::chord::ChordOverlay`], [`crate::kademlia::KademliaOverlay`],
+//! [`crate::superpeer::SuperPeerOverlay`],
+//! [`crate::federation::FederatedNetwork`]); [`StoragePlane`] unifies them
+//! so upper layers — notably [`crate::replication::ReplicatedStore`] and
+//! the `dosn-core` network facade — run unchanged over any of them.
+//!
+//! The trait decomposes storage into *placement* and *access*:
+//! [`StoragePlane::replica_candidates`] answers "which online nodes should
+//! hold this key?" (routing/lookup cost is accounted in the metrics), and
+//! [`StoragePlane::store_at`] / [`StoragePlane::fetch_from`] move bytes to
+//! and from one specific holder. The split is what lets a single
+//! replication layer implement R-way placement, quorum reads, and
+//! read-repair over every overlay geometry.
+
+use crate::chord::{ChordOverlay, DhtError};
+use crate::federation::FederatedNetwork;
+use crate::id::{Key, NodeId};
+use crate::kademlia::KademliaOverlay;
+use crate::metrics::Metrics;
+use crate::superpeer::SuperPeerOverlay;
+
+/// Errors from storage-plane operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// The plane has no online nodes.
+    NoNodes,
+    /// The addressed node does not exist.
+    UnknownNode(NodeId),
+    /// The addressed node is offline.
+    NodeOffline(NodeId),
+    /// No live replica holds the key.
+    NotFound(Key),
+    /// Fewer verifying copies than the read quorum requires.
+    QuorumFailed {
+        /// The key being read.
+        key: Key,
+        /// Verifying copies obtained.
+        have: usize,
+        /// Copies the quorum requires.
+        need: usize,
+    },
+    /// A backend-specific failure.
+    Backend(String),
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::NoNodes => f.write_str("storage plane has no online nodes"),
+            StorageError::UnknownNode(n) => write!(f, "unknown storage node {n}"),
+            StorageError::NodeOffline(n) => write!(f, "storage node {n} is offline"),
+            StorageError::NotFound(k) => write!(f, "no live replica holds {k}"),
+            StorageError::QuorumFailed { key, have, need } => {
+                write!(
+                    f,
+                    "read quorum failed for {key}: {have}/{need} verifying copies"
+                )
+            }
+            StorageError::Backend(what) => write!(f, "storage backend failure: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<DhtError> for StorageError {
+    fn from(e: DhtError) -> Self {
+        match e {
+            DhtError::NoNodes => StorageError::NoNodes,
+            DhtError::Unavailable(k) | DhtError::NotFound(k) => StorageError::NotFound(k),
+            DhtError::UnknownNode(n) => StorageError::UnknownNode(n),
+        }
+    }
+}
+
+/// A pluggable overlay storage backend: key-addressed blob placement and
+/// access over one of the survey's §II-B organizations.
+///
+/// Implementations must keep [`StoragePlane::replica_candidates`]
+/// *deterministic for a fixed key and membership*: readers and writers
+/// derive placement independently, so the same key must map to the same
+/// preference-ordered holder list until churn changes the online set.
+pub trait StoragePlane: std::fmt::Debug {
+    /// Short backend name for reports ("chord", "kademlia", "superpeer",
+    /// "federation").
+    fn name(&self) -> &'static str;
+
+    /// Total nodes (online and offline).
+    fn node_count(&self) -> usize;
+
+    /// All node ids, in id order.
+    fn node_ids(&self) -> Vec<NodeId>;
+
+    /// Whether `node` is online.
+    fn is_online(&self, node: NodeId) -> bool;
+
+    /// Marks a node online/offline (churn / crash injection).
+    fn set_online(&mut self, node: NodeId, online: bool);
+
+    /// Up to `want` *online* nodes that should hold `key`'s replicas, in
+    /// preference order, accounting any routing cost in `metrics`.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::NoNodes`] when every node is offline.
+    fn replica_candidates(
+        &mut self,
+        key: Key,
+        want: usize,
+        metrics: &mut Metrics,
+    ) -> Result<Vec<NodeId>, StorageError>;
+
+    /// Stores `value` under `key` on one specific node.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::UnknownNode`] / [`StorageError::NodeOffline`].
+    fn store_at(
+        &mut self,
+        node: NodeId,
+        key: Key,
+        value: &[u8],
+        metrics: &mut Metrics,
+    ) -> Result<(), StorageError>;
+
+    /// Fetches `key` from one specific node; `Ok(None)` when the node is
+    /// reachable but does not hold the key.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::UnknownNode`] / [`StorageError::NodeOffline`].
+    fn fetch_from(
+        &mut self,
+        node: NodeId,
+        key: Key,
+        metrics: &mut Metrics,
+    ) -> Result<Option<Vec<u8>>, StorageError>;
+
+    /// Online node count.
+    fn online_count(&self) -> usize {
+        self.node_ids()
+            .into_iter()
+            .filter(|&n| self.is_online(n))
+            .count()
+    }
+
+    /// Routes and stores a single copy at the preferred holder.
+    ///
+    /// # Errors
+    ///
+    /// Placement and store errors.
+    fn put_one(
+        &mut self,
+        key: Key,
+        value: &[u8],
+        metrics: &mut Metrics,
+    ) -> Result<(), StorageError> {
+        let candidates = self.replica_candidates(key, 1, metrics)?;
+        let node = *candidates.first().ok_or(StorageError::NoNodes)?;
+        self.store_at(node, key, value, metrics)
+    }
+
+    /// Routes and fetches from the preferred holder.
+    ///
+    /// # Errors
+    ///
+    /// Placement errors and [`StorageError::NotFound`].
+    fn get_one(&mut self, key: Key, metrics: &mut Metrics) -> Result<Vec<u8>, StorageError> {
+        let candidates = self.replica_candidates(key, 1, metrics)?;
+        let node = *candidates.first().ok_or(StorageError::NoNodes)?;
+        self.fetch_from(node, key, metrics)?
+            .ok_or(StorageError::NotFound(key))
+    }
+}
+
+impl<T: StoragePlane + ?Sized> StoragePlane for Box<T> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn node_count(&self) -> usize {
+        (**self).node_count()
+    }
+
+    fn node_ids(&self) -> Vec<NodeId> {
+        (**self).node_ids()
+    }
+
+    fn is_online(&self, node: NodeId) -> bool {
+        (**self).is_online(node)
+    }
+
+    fn set_online(&mut self, node: NodeId, online: bool) {
+        (**self).set_online(node, online);
+    }
+
+    fn replica_candidates(
+        &mut self,
+        key: Key,
+        want: usize,
+        metrics: &mut Metrics,
+    ) -> Result<Vec<NodeId>, StorageError> {
+        (**self).replica_candidates(key, want, metrics)
+    }
+
+    fn store_at(
+        &mut self,
+        node: NodeId,
+        key: Key,
+        value: &[u8],
+        metrics: &mut Metrics,
+    ) -> Result<(), StorageError> {
+        (**self).store_at(node, key, value, metrics)
+    }
+
+    fn fetch_from(
+        &mut self,
+        node: NodeId,
+        key: Key,
+        metrics: &mut Metrics,
+    ) -> Result<Option<Vec<u8>>, StorageError> {
+        (**self).fetch_from(node, key, metrics)
+    }
+}
+
+/// [`StoragePlane`] over a Chord ring: replicas at the key's successor
+/// chain, lookups routed through finger tables (hops accounted).
+#[derive(Debug)]
+pub struct ChordPlane {
+    inner: ChordOverlay,
+}
+
+impl ChordPlane {
+    /// Builds a ring of `n` nodes (see [`ChordOverlay::build`]; the
+    /// overlay-internal replication factor is irrelevant here — placement
+    /// is decided by the caller).
+    pub fn build(n: usize, seed: u64) -> Self {
+        ChordPlane {
+            inner: ChordOverlay::build(n, 1, seed),
+        }
+    }
+
+    /// Wraps an existing ring.
+    pub fn from_overlay(inner: ChordOverlay) -> Self {
+        ChordPlane { inner }
+    }
+
+    /// The wrapped ring.
+    pub fn overlay(&self) -> &ChordOverlay {
+        &self.inner
+    }
+
+    /// The wrapped ring, mutably.
+    pub fn overlay_mut(&mut self) -> &mut ChordOverlay {
+        &mut self.inner
+    }
+}
+
+impl StoragePlane for ChordPlane {
+    fn name(&self) -> &'static str {
+        "chord"
+    }
+
+    fn node_count(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn node_ids(&self) -> Vec<NodeId> {
+        self.inner.node_ids()
+    }
+
+    fn is_online(&self, node: NodeId) -> bool {
+        self.inner.is_online(node)
+    }
+
+    fn set_online(&mut self, node: NodeId, online: bool) {
+        self.inner.set_online(node, online);
+    }
+
+    fn replica_candidates(
+        &mut self,
+        key: Key,
+        want: usize,
+        metrics: &mut Metrics,
+    ) -> Result<Vec<NodeId>, StorageError> {
+        let candidates = self.inner.online_replica_candidates(key, want);
+        if candidates.is_empty() {
+            return Err(StorageError::NoNodes);
+        }
+        // Account the routing cost of finding the owner: an iterative
+        // finger-table lookup from a deterministic online start node.
+        let from = self.inner.random_node(key.0);
+        self.inner.lookup(from, key, metrics)?;
+        Ok(candidates)
+    }
+
+    fn store_at(
+        &mut self,
+        node: NodeId,
+        key: Key,
+        value: &[u8],
+        metrics: &mut Metrics,
+    ) -> Result<(), StorageError> {
+        self.inner
+            .store_direct(node, key, value.to_vec())
+            .map_err(|e| match e {
+                DhtError::Unavailable(_) => StorageError::NodeOffline(node),
+                other => other.into(),
+            })?;
+        metrics.record("chord.store", value.len() as u64, 30);
+        Ok(())
+    }
+
+    fn fetch_from(
+        &mut self,
+        node: NodeId,
+        key: Key,
+        metrics: &mut Metrics,
+    ) -> Result<Option<Vec<u8>>, StorageError> {
+        let got = self.inner.fetch_direct(node, key).map_err(|e| match e {
+            DhtError::Unavailable(_) => StorageError::NodeOffline(node),
+            other => other.into(),
+        })?;
+        metrics.record("chord.fetch", 64, 30);
+        Ok(got)
+    }
+}
+
+/// [`StoragePlane`] over Kademlia: replicas at the XOR-closest online
+/// nodes, iterative α-parallel lookups accounted per round.
+#[derive(Debug)]
+pub struct KademliaPlane {
+    inner: KademliaOverlay,
+}
+
+impl KademliaPlane {
+    /// Builds `n` nodes with bucket size `k` (see [`KademliaOverlay::build`]).
+    pub fn build(n: usize, k: usize, seed: u64) -> Self {
+        KademliaPlane {
+            inner: KademliaOverlay::build(n, 1, k, seed),
+        }
+    }
+
+    /// Wraps an existing overlay.
+    pub fn from_overlay(inner: KademliaOverlay) -> Self {
+        KademliaPlane { inner }
+    }
+
+    /// The wrapped overlay.
+    pub fn overlay(&self) -> &KademliaOverlay {
+        &self.inner
+    }
+
+    /// The wrapped overlay, mutably.
+    pub fn overlay_mut(&mut self) -> &mut KademliaOverlay {
+        &mut self.inner
+    }
+}
+
+impl StoragePlane for KademliaPlane {
+    fn name(&self) -> &'static str {
+        "kademlia"
+    }
+
+    fn node_count(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn node_ids(&self) -> Vec<NodeId> {
+        self.inner.node_ids()
+    }
+
+    fn is_online(&self, node: NodeId) -> bool {
+        self.inner.is_online(node)
+    }
+
+    fn set_online(&mut self, node: NodeId, online: bool) {
+        self.inner.set_online(node, online);
+    }
+
+    fn replica_candidates(
+        &mut self,
+        key: Key,
+        want: usize,
+        metrics: &mut Metrics,
+    ) -> Result<Vec<NodeId>, StorageError> {
+        if self.online_count() == 0 {
+            return Err(StorageError::NoNodes);
+        }
+        let from = self.inner.random_node(key.0);
+        let found = self.inner.closest(from, key, want, metrics);
+        if found.is_empty() {
+            return Err(StorageError::NoNodes);
+        }
+        Ok(found)
+    }
+
+    fn store_at(
+        &mut self,
+        node: NodeId,
+        key: Key,
+        value: &[u8],
+        metrics: &mut Metrics,
+    ) -> Result<(), StorageError> {
+        if !self.inner.store_direct(node, key, value.to_vec()) {
+            return Err(StorageError::NodeOffline(node));
+        }
+        metrics.record("kad.store", value.len() as u64, 30);
+        Ok(())
+    }
+
+    fn fetch_from(
+        &mut self,
+        node: NodeId,
+        key: Key,
+        metrics: &mut Metrics,
+    ) -> Result<Option<Vec<u8>>, StorageError> {
+        if !self.inner.is_online(node) {
+            return Err(StorageError::NodeOffline(node));
+        }
+        metrics.record("kad.fetch", 64, 30);
+        Ok(self.inner.fetch_direct(node, key))
+    }
+}
+
+/// [`StoragePlane`] over the super-peer overlay: blobs are hosted on a
+/// deterministic scan of online peers; the super-peer index is kept
+/// up to date so plain [`SuperPeerOverlay::search`] still finds holders.
+#[derive(Debug)]
+pub struct SuperPeerPlane {
+    inner: SuperPeerOverlay,
+}
+
+impl SuperPeerPlane {
+    /// Builds `n` peers with `supers` super-peers (see
+    /// [`SuperPeerOverlay::build`]).
+    pub fn build(n: usize, supers: usize, seed: u64) -> Self {
+        SuperPeerPlane {
+            inner: SuperPeerOverlay::build(n, supers, seed),
+        }
+    }
+
+    /// Wraps an existing overlay.
+    pub fn from_overlay(inner: SuperPeerOverlay) -> Self {
+        SuperPeerPlane { inner }
+    }
+
+    /// The wrapped overlay.
+    pub fn overlay(&self) -> &SuperPeerOverlay {
+        &self.inner
+    }
+
+    /// The wrapped overlay, mutably.
+    pub fn overlay_mut(&mut self) -> &mut SuperPeerOverlay {
+        &mut self.inner
+    }
+}
+
+impl StoragePlane for SuperPeerPlane {
+    fn name(&self) -> &'static str {
+        "superpeer"
+    }
+
+    fn node_count(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn node_ids(&self) -> Vec<NodeId> {
+        (0..self.inner.len() as u64).map(NodeId).collect()
+    }
+
+    fn is_online(&self, node: NodeId) -> bool {
+        self.inner.is_online(node)
+    }
+
+    fn set_online(&mut self, node: NodeId, online: bool) {
+        self.inner.set_online(node, online);
+    }
+
+    fn replica_candidates(
+        &mut self,
+        key: Key,
+        want: usize,
+        metrics: &mut Metrics,
+    ) -> Result<Vec<NodeId>, StorageError> {
+        let candidates = self.inner.online_replica_candidates(key, want);
+        if candidates.is_empty() {
+            return Err(StorageError::NoNodes);
+        }
+        // Leaf → own super → index-home super: the constant-hop index
+        // consultation that precedes any placement decision.
+        metrics.record("super.query", 32, 30);
+        Ok(candidates)
+    }
+
+    fn store_at(
+        &mut self,
+        node: NodeId,
+        key: Key,
+        value: &[u8],
+        metrics: &mut Metrics,
+    ) -> Result<(), StorageError> {
+        if !self.inner.store_direct(node, key, value.to_vec()) {
+            return Err(StorageError::NodeOffline(node));
+        }
+        // Blob transfer to the holder plus the index publish hop.
+        metrics.record("super.store", value.len() as u64, 30);
+        metrics.record_offpath("super.publish", 32);
+        Ok(())
+    }
+
+    fn fetch_from(
+        &mut self,
+        node: NodeId,
+        key: Key,
+        metrics: &mut Metrics,
+    ) -> Result<Option<Vec<u8>>, StorageError> {
+        if !self.inner.is_online(node) {
+            return Err(StorageError::NodeOffline(node));
+        }
+        metrics.record("super.fetch", 64, 30);
+        Ok(self.inner.fetch_direct(node, key))
+    }
+}
+
+/// [`StoragePlane`] over the Diaspora-style server federation: "nodes" are
+/// pods, replicas are pod-to-pod mirrors of a user's data.
+#[derive(Debug)]
+pub struct FederationPlane {
+    inner: FederatedNetwork,
+}
+
+impl FederationPlane {
+    /// Builds a federation of `servers` pods.
+    pub fn build(servers: usize) -> Self {
+        FederationPlane {
+            inner: FederatedNetwork::new(servers),
+        }
+    }
+
+    /// Wraps an existing federation.
+    pub fn from_network(inner: FederatedNetwork) -> Self {
+        FederationPlane { inner }
+    }
+
+    /// The wrapped federation.
+    pub fn network(&self) -> &FederatedNetwork {
+        &self.inner
+    }
+
+    /// The wrapped federation, mutably.
+    pub fn network_mut(&mut self) -> &mut FederatedNetwork {
+        &mut self.inner
+    }
+}
+
+impl StoragePlane for FederationPlane {
+    fn name(&self) -> &'static str {
+        "federation"
+    }
+
+    fn node_count(&self) -> usize {
+        self.inner.server_count()
+    }
+
+    fn node_ids(&self) -> Vec<NodeId> {
+        (0..self.inner.server_count() as u64).map(NodeId).collect()
+    }
+
+    fn is_online(&self, node: NodeId) -> bool {
+        self.inner.server_online(node.0 as usize)
+    }
+
+    fn set_online(&mut self, node: NodeId, online: bool) {
+        if (node.0 as usize) < self.inner.server_count() {
+            self.inner.set_server_online(node.0 as usize, online);
+        }
+    }
+
+    fn replica_candidates(
+        &mut self,
+        key: Key,
+        want: usize,
+        metrics: &mut Metrics,
+    ) -> Result<Vec<NodeId>, StorageError> {
+        let candidates = self.inner.online_replica_candidates(key, want);
+        if candidates.is_empty() {
+            return Err(StorageError::NoNodes);
+        }
+        // Client → home server: federation placement is a table lookup.
+        metrics.record("fed.client_request", 32, 30);
+        Ok(candidates.into_iter().map(|s| NodeId(s as u64)).collect())
+    }
+
+    fn store_at(
+        &mut self,
+        node: NodeId,
+        key: Key,
+        value: &[u8],
+        metrics: &mut Metrics,
+    ) -> Result<(), StorageError> {
+        if !self
+            .inner
+            .store_direct(node.0 as usize, key, value.to_vec())
+        {
+            return Err(StorageError::NodeOffline(node));
+        }
+        metrics.record("fed.store", value.len() as u64, 30);
+        Ok(())
+    }
+
+    fn fetch_from(
+        &mut self,
+        node: NodeId,
+        key: Key,
+        metrics: &mut Metrics,
+    ) -> Result<Option<Vec<u8>>, StorageError> {
+        if !self.inner.server_online(node.0 as usize) {
+            return Err(StorageError::NodeOffline(node));
+        }
+        metrics.record("fed.fetch", 64, 30);
+        Ok(self.inner.fetch_direct(node.0 as usize, key))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn planes() -> Vec<Box<dyn StoragePlane>> {
+        vec![
+            Box::new(ChordPlane::build(32, 7)),
+            Box::new(KademliaPlane::build(32, 20, 7)),
+            Box::new(SuperPeerPlane::build(32, 4, 7)),
+            Box::new(FederationPlane::build(8)),
+        ]
+    }
+
+    #[test]
+    fn every_plane_roundtrips_single_copy() {
+        for mut plane in planes() {
+            let mut m = Metrics::new();
+            let key = Key::hash(b"plane-roundtrip");
+            plane.put_one(key, b"value", &mut m).unwrap();
+            assert_eq!(
+                plane.get_one(key, &mut m).unwrap(),
+                b"value",
+                "{}",
+                plane.name()
+            );
+            assert!(m.messages > 0, "{} accounted no messages", plane.name());
+        }
+    }
+
+    #[test]
+    fn candidates_are_deterministic_and_online() {
+        for mut plane in planes() {
+            let key = Key::hash(b"placement");
+            let mut m = Metrics::new();
+            let a = plane.replica_candidates(key, 3, &mut m).unwrap();
+            let b = plane.replica_candidates(key, 3, &mut m).unwrap();
+            assert_eq!(a, b, "{}: placement must be deterministic", plane.name());
+            assert_eq!(a.len(), 3, "{}", plane.name());
+            for n in &a {
+                assert!(plane.is_online(*n), "{}", plane.name());
+            }
+        }
+    }
+
+    #[test]
+    fn candidates_shift_when_holder_crashes() {
+        for mut plane in planes() {
+            let key = Key::hash(b"crash-shift");
+            let mut m = Metrics::new();
+            let before = plane.replica_candidates(key, 3, &mut m).unwrap();
+            plane.set_online(before[0], false);
+            let after = plane.replica_candidates(key, 3, &mut m).unwrap();
+            assert!(
+                !after.contains(&before[0]),
+                "{}: offline node must leave the candidate set",
+                plane.name()
+            );
+        }
+    }
+
+    #[test]
+    fn fetch_from_offline_node_errors() {
+        for mut plane in planes() {
+            let key = Key::hash(b"offline-fetch");
+            let mut m = Metrics::new();
+            let node = plane.replica_candidates(key, 1, &mut m).unwrap()[0];
+            plane.store_at(node, key, b"v", &mut m).unwrap();
+            plane.set_online(node, false);
+            assert!(
+                matches!(
+                    plane.fetch_from(node, key, &mut m),
+                    Err(StorageError::NodeOffline(_))
+                ),
+                "{}",
+                plane.name()
+            );
+        }
+    }
+
+    #[test]
+    fn missing_key_is_none_not_error() {
+        for mut plane in planes() {
+            let key = Key::hash(b"missing");
+            let mut m = Metrics::new();
+            let node = plane.replica_candidates(key, 1, &mut m).unwrap()[0];
+            assert_eq!(plane.fetch_from(node, key, &mut m).unwrap(), None);
+            assert!(matches!(
+                plane.get_one(key, &mut m),
+                Err(StorageError::NotFound(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn all_offline_is_no_nodes() {
+        for mut plane in planes() {
+            for n in plane.node_ids() {
+                plane.set_online(n, false);
+            }
+            let mut m = Metrics::new();
+            assert!(matches!(
+                plane.replica_candidates(Key::hash(b"x"), 1, &mut m),
+                Err(StorageError::NoNodes)
+            ));
+        }
+    }
+
+    #[test]
+    fn error_display_is_descriptive() {
+        let e = StorageError::QuorumFailed {
+            key: Key::hash(b"k"),
+            have: 1,
+            need: 2,
+        };
+        assert!(e.to_string().contains("1/2"));
+        assert!(StorageError::NoNodes.to_string().contains("no online"));
+    }
+}

@@ -23,6 +23,9 @@ struct Peer {
     online: bool,
     /// `Some(super_id)` for leaves; `None` for super-peers.
     attached_to: Option<NodeId>,
+    /// Content blobs hosted by this peer (the index on the super-peers
+    /// points searchers at holders; the holders keep the bytes).
+    storage: HashMap<u64, Vec<u8>>,
 }
 
 /// The Supernova-style super-peer overlay.
@@ -73,6 +76,7 @@ impl SuperPeerOverlay {
                 uptime: rng.random_range(0.05..1.0),
                 online: true,
                 attached_to: None,
+                storage: HashMap::new(),
             })
             .collect();
         // Election: the highest-uptime peers become super-peers (Supernova's
@@ -143,6 +147,60 @@ impl SuperPeerOverlay {
     /// [`SuperPeerOverlay::reelect`]).
     pub fn set_online(&mut self, node: NodeId, online: bool) {
         self.peers[node.0 as usize].online = online;
+    }
+
+    /// Whether `node` is online (`false` for out-of-range ids).
+    pub fn is_online(&self, node: NodeId) -> bool {
+        self.peers.get(node.0 as usize).is_some_and(|p| p.online)
+    }
+
+    /// Hosts `value` on `node` and publishes the index entry so searches
+    /// can find it. Returns `false` for unknown or offline nodes.
+    pub fn store_direct(&mut self, node: NodeId, key: Key, value: Vec<u8>) -> bool {
+        let stored = match self.peers.get_mut(node.0 as usize) {
+            Some(p) if p.online => {
+                p.storage.insert(key.0, value);
+                true
+            }
+            _ => false,
+        };
+        if stored {
+            self.publish(node, key);
+        }
+        stored
+    }
+
+    /// Reads `key` directly from `node`'s hosted blobs. `None` when the
+    /// peer is unknown, offline, or does not host the key.
+    pub fn fetch_direct(&self, node: NodeId, key: Key) -> Option<Vec<u8>> {
+        let p = self.peers.get(node.0 as usize)?;
+        if !p.online {
+            return None;
+        }
+        p.storage.get(&key.0).cloned()
+    }
+
+    /// The `want` online peers that should host `key`'s replicas: a
+    /// deterministic forward scan from the key's hash position, so readers
+    /// and writers agree on placement without consulting the index. Empty
+    /// when every peer is offline.
+    pub fn online_replica_candidates(&self, key: Key, want: usize) -> Vec<NodeId> {
+        let n = self.peers.len();
+        if n == 0 || want == 0 {
+            return Vec::new();
+        }
+        let start = (key.0 as usize) % n;
+        let mut out = Vec::with_capacity(want);
+        for i in 0..n {
+            let idx = (start + i) % n;
+            if self.peers[idx].online {
+                out.push(NodeId(idx as u64));
+                if out.len() == want {
+                    break;
+                }
+            }
+        }
+        out
     }
 
     /// Searches for `key`: leaf → its super-peer → index-home super-peer →
