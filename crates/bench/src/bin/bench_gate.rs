@@ -1,0 +1,82 @@
+//! CI bench-regression gate over [`RunReport`] JSON files.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_gate CURRENT.json BASELINE.json    # exit 0 iff no regression
+//! bench_gate --self-test BASELINE.json     # prove the gate catches a 2x slowdown
+//! ```
+//!
+//! In normal mode the gate loads both reports, compares every headline the
+//! baseline declares (direction and tolerance come from the baseline), and
+//! exits non-zero on any regression beyond tolerance, any missing headline,
+//! or a schema/workload mismatch.
+//!
+//! `--self-test` guards the guard: it degrades the baseline's headlines by
+//! 2x (the ISSUE's injected-slowdown scenario) and verifies the gate
+//! *fails* that run — if the gate waves a 2x regression through, the CI
+//! step itself fails.
+
+use dosn_bench::gate::{check, degrade};
+use dosn_obs::RunReport;
+use std::path::Path;
+use std::process::ExitCode;
+
+fn load(path: &str) -> Result<RunReport, String> {
+    RunReport::load(Path::new(path)).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [flag, baseline_path] if flag == "--self-test" => {
+            let baseline = match load(baseline_path) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("bench_gate: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let degraded = degrade(&baseline, 2.0);
+            let outcome = check(&degraded, &baseline);
+            println!("{}", outcome.describe());
+            if outcome.passed() {
+                eprintln!(
+                    "bench_gate: SELF-TEST FAILED — a 2x regression on every \
+                     headline of {baseline_path} passed the gate"
+                );
+                ExitCode::FAILURE
+            } else {
+                println!("self-test ok: gate rejects a 2x slowdown against {baseline_path}");
+                ExitCode::SUCCESS
+            }
+        }
+        [current_path, baseline_path] => {
+            let (current, baseline) = match (load(current_path), load(baseline_path)) {
+                (Ok(c), Ok(b)) => (c, b),
+                (c, b) => {
+                    for e in [c.err(), b.err()].into_iter().flatten() {
+                        eprintln!("bench_gate: {e}");
+                    }
+                    return ExitCode::FAILURE;
+                }
+            };
+            let outcome = check(&current, &baseline);
+            println!("gate: {} vs baseline {}", current_path, baseline_path);
+            println!("{}", outcome.describe());
+            if outcome.passed() {
+                println!("gate: no regression beyond tolerance");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("bench_gate: regression detected (see FAIL lines above)");
+                ExitCode::FAILURE
+            }
+        }
+        _ => {
+            eprintln!(
+                "usage: bench_gate CURRENT.json BASELINE.json\n       bench_gate --self-test BASELINE.json"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}

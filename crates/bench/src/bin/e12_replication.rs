@@ -13,9 +13,13 @@
 
 use dosn_bench::{table_header, table_row};
 use dosn_core::network::{
-    ChordPlane, DosnNetwork, FederationPlane, KademliaPlane, StoragePlane, SuperPeerPlane,
+    ChordPlane, DosnNetwork, FederationPlane, KademliaPlane, ReplicatedStore, StoragePlane,
+    SuperPeerPlane,
 };
+use dosn_obs::{Registry, RunReport, Value};
 use dosn_overlay::fault::FaultPlan;
+use std::collections::BTreeMap;
+use std::path::Path;
 use std::time::Instant;
 
 const SEED: u64 = 0xE12;
@@ -42,8 +46,18 @@ fn user(i: usize) -> String {
     format!("user{i}")
 }
 
-fn run_cell<S: StoragePlane>(overlay: &'static str, plane: S, replicas: usize, cfg: &Cfg) -> Row {
-    let mut net = DosnNetwork::with_plane(plane, replicas, SEED);
+fn run_cell<S: StoragePlane>(
+    overlay: &'static str,
+    plane: S,
+    replicas: usize,
+    cfg: &Cfg,
+    obs: &Registry,
+) -> Row {
+    // Every cell records into the one sweep-wide registry: the report's
+    // net.post / net.read_post.quorum / store.get.quorum histograms cover
+    // all overlay x R cells together.
+    let store = ReplicatedStore::new(plane, replicas).with_obs(obs.clone());
+    let mut net = DosnNetwork::with_replication(store, SEED);
     for i in 0..cfg.users {
         net.register(&user(i)).expect("register");
     }
@@ -134,6 +148,7 @@ fn main() {
         }
     };
 
+    let obs = Registry::new();
     let mut rows: Vec<Row> = Vec::new();
     for replicas in [1usize, 3, 5] {
         rows.push(run_cell(
@@ -141,24 +156,28 @@ fn main() {
             ChordPlane::build(cfg.nodes, SEED),
             replicas,
             &cfg,
+            &obs,
         ));
         rows.push(run_cell(
             "kademlia",
             KademliaPlane::build(cfg.nodes, 20, SEED),
             replicas,
             &cfg,
+            &obs,
         ));
         rows.push(run_cell(
             "superpeer",
             SuperPeerPlane::build(cfg.nodes, cfg.nodes / 8, SEED),
             replicas,
             &cfg,
+            &obs,
         ));
         rows.push(run_cell(
             "federation",
             FederationPlane::build(cfg.fed_servers),
             replicas,
             &cfg,
+            &obs,
         ));
     }
 
@@ -213,31 +232,34 @@ fn main() {
         }
     }
 
-    let mut json = String::from("{\n");
-    json.push_str("  \"experiment\": \"E12 replication sweep over storage planes\",\n");
-    json.push_str(&format!("  \"fast_mode\": {fast},\n"));
-    json.push_str(&format!(
-        "  \"headline_min_availability_r3\": {min_r3_avail:.3},\n"
-    ));
-    json.push_str("  \"rows\": [\n");
-    for (i, r) in rows.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{\"overlay\": \"{}\", \"replicas\": {}, \"posts_per_sec\": {:.1}, \
-             \"reads_per_sec\": {:.1}, \"bytes_per_post\": {:.1}, \"crashed_nodes\": {}, \
-             \"availability\": {:.3}, \"repairs\": {}}}{}\n",
-            r.overlay,
-            r.replicas,
-            r.posts_per_sec,
-            r.reads_per_sec,
-            r.bytes_per_post,
-            r.crashed,
-            r.availability,
-            r.repairs,
-            if i + 1 == rows.len() { "" } else { "," }
-        ));
+    // --- BENCH_3.json: schema-versioned RunReport --------------------------
+    // Two gated headlines: the R=3 availability floor under the 25% crash
+    // (the survey's replication payoff — a >30% drop fails CI) and the mean
+    // R=3 post throughput (same tolerance; wall-clock, so the band absorbs
+    // shared-runner noise).
+    let r3_cells: Vec<&Row> = rows.iter().filter(|r| r.replicas == 3).collect();
+    let mean_r3_posts =
+        r3_cells.iter().map(|r| r.posts_per_sec).sum::<f64>() / r3_cells.len().max(1) as f64;
+
+    let mut report = RunReport::new("E12 replication sweep over storage planes", fast);
+    report.set_headline("min_availability_r3", min_r3_avail, true, 0.30);
+    report.set_headline("mean_posts_per_sec_r3", mean_r3_posts, true, 0.30);
+    report.record_registry(&obs);
+    for r in &rows {
+        let mut row = BTreeMap::new();
+        row.insert("overlay".to_string(), Value::from(r.overlay));
+        row.insert("replicas".to_string(), Value::from(r.replicas));
+        row.insert("posts_per_sec".to_string(), Value::from(r.posts_per_sec));
+        row.insert("reads_per_sec".to_string(), Value::from(r.reads_per_sec));
+        row.insert("bytes_per_post".to_string(), Value::from(r.bytes_per_post));
+        row.insert("crashed_nodes".to_string(), Value::from(r.crashed));
+        row.insert("availability".to_string(), Value::from(r.availability));
+        row.insert("repairs".to_string(), Value::from(r.repairs));
+        report.add_row(row);
     }
-    json.push_str("  ]\n}\n");
-    std::fs::write(&out_path, &json).expect("write bench json");
+    report
+        .save(Path::new(&out_path))
+        .expect("write bench report");
     println!("wrote {out_path}");
 
     if regression {

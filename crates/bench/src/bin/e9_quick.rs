@@ -13,7 +13,10 @@ use dosn_bench::{table_header, table_row};
 use dosn_bigint::{BarrettReducer, BigUint, ModContext};
 use dosn_crypto::chacha::SecureRng;
 use dosn_crypto::group::{GroupSize, SchnorrGroup};
+use dosn_obs::{Registry, RunReport, Value};
+use std::collections::BTreeMap;
 use std::hint::black_box;
+use std::path::Path;
 use std::time::Instant;
 
 /// Median-of-runs wall time per op in nanoseconds.
@@ -141,6 +144,7 @@ fn main() {
     // --- End-to-end pow_g through SchnorrGroup ----------------------------
     // The acceptance headline: repeated same-group g^x at each size, cached
     // engine (group context + fixed-base table) vs the old per-call Barrett.
+    let obs = Registry::new();
     let mut powg_rows: Vec<Row> = Vec::new();
     for (size, bits) in [
         (GroupSize::Demo, 512u64),
@@ -172,6 +176,10 @@ fn main() {
                 black_box(group.pow_g(&x));
             }),
         });
+        // Publish the group's pow-cache hit/miss counters; each size
+        // re-registers, so the report carries the last (2048-bit) group's
+        // tallies as representative cache behaviour.
+        group.register_obs(&obs);
     }
 
     // --- Report -----------------------------------------------------------
@@ -221,26 +229,23 @@ fn main() {
     };
     println!("\nheadline: pow_g@1024 cached-engine speedup = {speedup_1024:.2}x (target >= 2x)");
 
-    // --- BENCH_2.json ------------------------------------------------------
-    let mut json = String::from("{\n");
-    json.push_str("  \"experiment\": \"E9-quick exponentiation engine ablation\",\n");
-    json.push_str(&format!("  \"fast_mode\": {fast},\n"));
-    json.push_str(&format!(
-        "  \"headline_powg_1024_speedup\": {speedup_1024:.3},\n"
-    ));
-    json.push_str("  \"rows\": [\n");
-    let all: Vec<&Row> = rows.iter().chain(powg_rows.iter()).collect();
-    for (i, r) in all.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{\"bits\": {}, \"path\": \"{}\", \"ns_per_op\": {:.1}}}{}\n",
-            r.bits,
-            r.path,
-            r.ns_per_op,
-            if i + 1 == all.len() { "" } else { "," }
-        ));
+    // --- BENCH_2.json: schema-versioned RunReport --------------------------
+    // The gate (bench_gate) compares the headline against the committed
+    // baseline using the tolerance declared here: a >30% drop in the cached
+    // engine's speedup fails CI.
+    let mut report = RunReport::new("E9-quick exponentiation engine ablation", fast);
+    report.set_headline("powg_1024_speedup", speedup_1024, true, 0.30);
+    report.record_registry(&obs);
+    for r in rows.iter().chain(powg_rows.iter()) {
+        let mut row = BTreeMap::new();
+        row.insert("bits".to_string(), Value::from(r.bits));
+        row.insert("path".to_string(), Value::from(r.path));
+        row.insert("ns_per_op".to_string(), Value::from(r.ns_per_op));
+        report.add_row(row);
     }
-    json.push_str("  ]\n}\n");
-    std::fs::write(&out_path, &json).expect("write bench json");
+    report
+        .save(Path::new(&out_path))
+        .expect("write bench report");
     println!("wrote {out_path}");
 
     if speedup_1024 < 2.0 {

@@ -1,0 +1,238 @@
+//! The CI bench-regression gate: compares a fresh [`RunReport`] against a
+//! committed baseline and fails on regressions beyond each headline's own
+//! tolerance band.
+//!
+//! The gate logic is deliberately generic: a report's headlines carry their
+//! own direction (`higher_is_better`) and tolerance, so adding a new gated
+//! metric to a bench binary needs no gate change — commit a baseline that
+//! declares it and the gate picks it up. Every headline declared by the
+//! *baseline* must be present in the current run; a bench that silently
+//! stops reporting a metric fails the gate rather than passing by omission.
+
+use dosn_obs::RunReport;
+
+/// One headline comparison.
+#[derive(Debug, Clone)]
+pub struct Check {
+    /// Headline name.
+    pub name: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value (`None` when the current run omitted the headline).
+    pub current: Option<f64>,
+    /// `true` if larger is better (from the baseline's declaration).
+    pub higher_is_better: bool,
+    /// Allowed relative regression (0.30 = 30%), from the baseline.
+    pub tolerance: f64,
+    /// Whether this headline passed.
+    pub passed: bool,
+}
+
+impl Check {
+    /// Human-readable one-line verdict.
+    pub fn describe(&self) -> String {
+        let verdict = if self.passed { "ok  " } else { "FAIL" };
+        let dir = if self.higher_is_better { ">=" } else { "<=" };
+        match self.current {
+            Some(cur) => format!(
+                "{verdict} {name}: {cur:.4} {dir} {limit:.4} (baseline {base:.4}, tol {tol:.0}%)",
+                name = self.name,
+                limit = self.limit(),
+                base = self.baseline,
+                tol = self.tolerance * 100.0,
+            ),
+            None => format!("{verdict} {}: missing from current run", self.name),
+        }
+    }
+
+    /// The pass/fail threshold implied by baseline, direction, and
+    /// tolerance.
+    pub fn limit(&self) -> f64 {
+        if self.higher_is_better {
+            self.baseline * (1.0 - self.tolerance)
+        } else {
+            self.baseline * (1.0 + self.tolerance)
+        }
+    }
+}
+
+/// The gate's verdict over every baseline headline.
+#[derive(Debug, Clone, Default)]
+pub struct GateOutcome {
+    /// One entry per baseline headline, in name order.
+    pub checks: Vec<Check>,
+    /// Non-headline problems (schema/workload mismatches).
+    pub errors: Vec<String>,
+}
+
+impl GateOutcome {
+    /// `true` when every check passed and no structural error occurred.
+    pub fn passed(&self) -> bool {
+        self.errors.is_empty() && self.checks.iter().all(|c| c.passed)
+    }
+
+    /// Multi-line human summary (one line per check, then errors).
+    pub fn describe(&self) -> String {
+        let mut lines: Vec<String> = self.checks.iter().map(Check::describe).collect();
+        for e in &self.errors {
+            lines.push(format!("FAIL {e}"));
+        }
+        lines.join("\n")
+    }
+}
+
+/// Compares `current` against `baseline`. Direction and tolerance come from
+/// the baseline's headline declarations; a headline missing from `current`
+/// fails. Headlines `current` adds beyond the baseline are ignored (they
+/// gate once a baseline declaring them is committed).
+#[must_use]
+pub fn check(current: &RunReport, baseline: &RunReport) -> GateOutcome {
+    let mut out = GateOutcome::default();
+    if current.experiment != baseline.experiment {
+        out.errors.push(format!(
+            "experiment mismatch: current \"{}\" vs baseline \"{}\"",
+            current.experiment, baseline.experiment
+        ));
+    }
+    if current.fast_mode != baseline.fast_mode {
+        out.errors.push(format!(
+            "workload mismatch: current fast_mode={} vs baseline fast_mode={} \
+             (fast and full runs are not comparable)",
+            current.fast_mode, baseline.fast_mode
+        ));
+    }
+    for (name, base) in &baseline.headlines {
+        let current_value = current.headlines.get(name).map(|h| h.value);
+        let passed = match current_value {
+            None => false,
+            Some(cur) => {
+                if base.higher_is_better {
+                    cur >= base.value * (1.0 - base.tolerance)
+                } else {
+                    cur <= base.value * (1.0 + base.tolerance)
+                }
+            }
+        };
+        out.checks.push(Check {
+            name: name.clone(),
+            baseline: base.value,
+            current: current_value,
+            higher_is_better: base.higher_is_better,
+            tolerance: base.tolerance,
+            passed,
+        });
+    }
+    out
+}
+
+/// Returns a copy of `report` with every headline worsened by `factor`
+/// (divided when higher is better, multiplied when lower is): the injected
+/// regression used by `bench_gate --self-test` and the gate's own tests.
+#[must_use]
+pub fn degrade(report: &RunReport, factor: f64) -> RunReport {
+    let mut worse = report.clone();
+    for h in worse.headlines.values_mut() {
+        if h.higher_is_better {
+            h.value /= factor;
+        } else {
+            h.value *= factor;
+        }
+    }
+    worse
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn baseline() -> RunReport {
+        let mut r = RunReport::new("gate-test", true);
+        r.set_headline("throughput", 1000.0, true, 0.30);
+        r.set_headline("latency_us", 50.0, false, 0.30);
+        r
+    }
+
+    #[test]
+    fn identical_run_passes() {
+        let b = baseline();
+        let out = check(&b.clone(), &b);
+        assert!(out.passed(), "{}", out.describe());
+        assert_eq!(out.checks.len(), 2);
+    }
+
+    #[test]
+    fn two_x_slowdown_fails_both_directions() {
+        let b = baseline();
+        let out = check(&degrade(&b, 2.0), &b);
+        assert!(!out.passed());
+        assert!(out.checks.iter().all(|c| !c.passed), "{}", out.describe());
+    }
+
+    #[test]
+    fn regression_within_tolerance_passes() {
+        let b = baseline();
+        let mut cur = b.clone();
+        cur.set_headline("throughput", 750.0, true, 0.30); // -25% < 30%
+        cur.set_headline("latency_us", 60.0, false, 0.30); // +20% < 30%
+        assert!(check(&cur, &b).passed());
+    }
+
+    #[test]
+    fn regression_beyond_tolerance_fails() {
+        let b = baseline();
+        let mut cur = b.clone();
+        cur.set_headline("throughput", 650.0, true, 0.30); // -35% > 30%
+        let out = check(&cur, &b);
+        assert!(!out.passed());
+        let failed: Vec<_> = out.checks.iter().filter(|c| !c.passed).collect();
+        assert_eq!(failed.len(), 1);
+        assert_eq!(failed[0].name, "throughput");
+    }
+
+    #[test]
+    fn improvement_always_passes() {
+        let b = baseline();
+        let mut cur = b.clone();
+        cur.set_headline("throughput", 5000.0, true, 0.30);
+        cur.set_headline("latency_us", 1.0, false, 0.30);
+        assert!(check(&cur, &b).passed());
+    }
+
+    #[test]
+    fn missing_headline_fails() {
+        let b = baseline();
+        let mut cur = RunReport::new("gate-test", true);
+        cur.set_headline("throughput", 1000.0, true, 0.30);
+        // latency_us omitted.
+        let out = check(&cur, &b);
+        assert!(!out.passed());
+        assert!(out.describe().contains("missing from current run"));
+    }
+
+    #[test]
+    fn extra_current_headline_is_ignored() {
+        let b = baseline();
+        let mut cur = b.clone();
+        cur.set_headline("brand_new_metric", 1.0, true, 0.1);
+        let out = check(&cur, &b);
+        assert!(out.passed());
+        assert_eq!(out.checks.len(), 2);
+    }
+
+    #[test]
+    fn workload_mismatch_is_an_error() {
+        let b = baseline();
+        let mut cur = b.clone();
+        cur.fast_mode = false;
+        let out = check(&cur, &b);
+        assert!(!out.passed());
+        assert!(out.describe().contains("workload mismatch"));
+    }
+
+    #[test]
+    fn degrade_moves_every_headline_the_bad_way() {
+        let worse = degrade(&baseline(), 2.0);
+        assert_eq!(worse.headlines["throughput"].value, 500.0);
+        assert_eq!(worse.headlines["latency_us"].value, 100.0);
+    }
+}

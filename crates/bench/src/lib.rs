@@ -6,6 +6,8 @@
 //! experiment's table(s) to stdout (captured into EXPERIMENTS.md) and
 //! registers Criterion timings for the operations the table summarizes.
 
+pub mod gate;
+
 use dosn_core::privacy::{
     AbeGroupScheme, AccessScheme, IbbeGroupScheme, PkeGroupScheme, SymmetricGroupScheme,
 };

@@ -86,7 +86,7 @@ impl BarrettReducer {
     }
 
     /// Modular exponentiation using Barrett reduction throughout
-    /// (sliding-window; see [`crate::window`]).
+    /// (sliding-window; see `crate::window`).
     pub fn pow(&self, base: &BigUint, exponent: &BigUint) -> BigUint {
         if self.modulus.is_one() {
             return BigUint::zero();

@@ -46,6 +46,6 @@ mod window;
 
 pub use barrett::BarrettReducer;
 pub use fixed_base::FixedBaseTable;
-pub use modular::ModContext;
+pub use modular::{ExpStats, ModContext};
 pub use prime::{gen_prime, gen_safe_prime, random_below, SMALL_PRIMES};
 pub use uint::{BigUint, ParseBigUintError};

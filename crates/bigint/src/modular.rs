@@ -4,6 +4,8 @@
 use crate::barrett::BarrettReducer;
 use crate::BigUint;
 use std::cmp::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::Arc;
 
 /// Per-modulus exponentiation context.
 ///
@@ -15,7 +17,7 @@ use std::cmp::Ordering;
 ///
 /// The reduction backend follows the measured E9 crossover: Barrett for
 /// 2–16 limb (128–1024-bit) moduli, Knuth division elsewhere. All
-/// exponentiation is sliding-window (see [`crate::window`]), and
+/// exponentiation is sliding-window (see `crate::window`), and
 /// [`ModContext::pow_multi`] evaluates products `∏ bᵢ^eᵢ` with Shamir's
 /// trick so the squaring chain is shared.
 ///
@@ -34,6 +36,34 @@ pub struct ModContext {
     /// `Some` when the modulus sits in Barrett's winning range (2–16 limbs);
     /// `None` means division-based reduction.
     barrett: Option<BarrettReducer>,
+    /// Exponentiation counters, shared across clones so the per-group
+    /// contexts cached in `dosn-crypto` aggregate into one tally. Plain
+    /// atomics rather than `dosn-obs` instruments: this crate stays at the
+    /// bottom of the dependency graph, and callers bridge [`ExpStats`]
+    /// snapshots into their registries.
+    stats: Arc<ExpCounters>,
+}
+
+#[derive(Debug, Default)]
+struct ExpCounters {
+    barrett_pows: AtomicU64,
+    division_pows: AtomicU64,
+}
+
+/// Snapshot of a context's exponentiation activity, by reduction backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExpStats {
+    /// `pow`/`pow_multi` calls served by the precomputed Barrett reducer.
+    pub barrett_pows: u64,
+    /// `pow`/`pow_multi` calls that fell back to division-based reduction.
+    pub division_pows: u64,
+}
+
+impl ExpStats {
+    /// Total exponentiations on either path.
+    pub fn total(&self) -> u64 {
+        self.barrett_pows + self.division_pows
+    }
 }
 
 impl ModContext {
@@ -54,12 +84,31 @@ impl ModContext {
         ModContext {
             modulus: modulus.clone(),
             barrett,
+            stats: Arc::new(ExpCounters::default()),
         }
     }
 
     /// The modulus this context serves.
     pub fn modulus(&self) -> &BigUint {
         &self.modulus
+    }
+
+    /// Snapshot of how many exponentiations this context (and its clones)
+    /// have run on each reduction backend.
+    pub fn stats(&self) -> ExpStats {
+        ExpStats {
+            barrett_pows: self.stats.barrett_pows.load(AtomicOrdering::Relaxed),
+            division_pows: self.stats.division_pows.load(AtomicOrdering::Relaxed),
+        }
+    }
+
+    fn count_pow(&self) {
+        let c = if self.barrett.is_some() {
+            &self.stats.barrett_pows
+        } else {
+            &self.stats.division_pows
+        };
+        c.fetch_add(1, AtomicOrdering::Relaxed);
     }
 
     /// Reduces `x` modulo the context's modulus.
@@ -77,6 +126,7 @@ impl ModContext {
 
     /// Sliding-window modular exponentiation: `base^exp mod m`.
     pub fn pow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        self.count_pow();
         if self.modulus.is_one() {
             return BigUint::zero();
         }
@@ -97,6 +147,7 @@ impl ModContext {
     /// Panics if more than 6 pairs are supplied (the subset table grows as
     /// `2^n`; split larger products).
     pub fn pow_multi(&self, pairs: &[(&BigUint, &BigUint)]) -> BigUint {
+        self.count_pow();
         if self.modulus.is_one() {
             return BigUint::zero();
         }
@@ -335,6 +386,26 @@ mod tests {
 
     fn b(v: u128) -> BigUint {
         BigUint::from(v)
+    }
+
+    #[test]
+    fn exp_stats_count_by_backend_and_share_across_clones() {
+        use crate::ModContext;
+        // 497 is single-limb: division path.
+        let small = ModContext::new(&b(497));
+        small.pow(&b(4), &b(13));
+        assert_eq!(small.stats().division_pows, 1);
+        assert_eq!(small.stats().barrett_pows, 0);
+
+        // 2^128+1 is 3 limbs: Barrett path; clones share the tally.
+        let m = (BigUint::one() << 128) + BigUint::one();
+        let big = ModContext::new(&m);
+        let clone = big.clone();
+        big.pow(&b(4), &b(13));
+        clone.pow_multi(&[(&b(3), &b(5))]);
+        assert_eq!(big.stats().barrett_pows, 2);
+        assert_eq!(clone.stats(), big.stats());
+        assert_eq!(big.stats().total(), 2);
     }
 
     #[test]

@@ -54,6 +54,7 @@ use crate::privacy::AccessScheme;
 use dosn_crypto::chacha::SecureRng;
 use dosn_crypto::group::SchnorrGroup;
 use dosn_crypto::keys::KeyDirectory;
+use dosn_obs::{names, Registry, Snapshot};
 use dosn_overlay::fault::FaultPlan;
 use dosn_overlay::metrics::Metrics;
 use std::collections::BTreeMap;
@@ -107,6 +108,7 @@ pub struct DosnNetwork<S: StoragePlane = ChordPlane> {
     integrity: IntegrityPlane,
     graph: SocialGraph,
     metrics: Metrics,
+    obs: Registry,
     rng: SecureRng,
 }
 
@@ -139,15 +141,24 @@ impl<S: StoragePlane> DosnNetwork<S> {
 
     /// Assembles a network over a pre-configured replicated store (custom
     /// read quorum, pre-seeded plane).
+    ///
+    /// The network adopts the store's observability [`Registry`], so a
+    /// store built with [`ReplicatedStore::with_obs`] shares one registry
+    /// across the storage layer, the facade's end-to-end timings, and the
+    /// crypto cache counters.
     pub fn with_replication(storage: ReplicatedStore<S>, seed: u64) -> Self {
+        let obs = storage.obs().clone();
+        let group = SchnorrGroup::toy();
+        group.register_obs(&obs);
         DosnNetwork {
-            group: SchnorrGroup::toy(),
+            group,
             directory: KeyDirectory::new(),
             storage,
             users: BTreeMap::new(),
             integrity: IntegrityPlane::new(),
             graph: SocialGraph::new(),
             metrics: Metrics::new(),
+            obs,
             rng: SecureRng::seed_from_u64(seed ^ 0xD05A),
         }
     }
@@ -183,6 +194,7 @@ impl<S: StoragePlane> DosnNetwork<S> {
         if self.users.contains_key(&id) {
             return Err(DosnError::UnknownUser(format!("{name} already registered")));
         }
+        let _timer = self.obs.timer(names::NET_REGISTER);
         let identity = crate::identity::Identity::create(
             name,
             self.group.clone(),
@@ -216,6 +228,30 @@ impl<S: StoragePlane> DosnNetwork<S> {
     /// Accumulated overlay + plane metrics.
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
+    }
+
+    /// The network's observability registry (shared with the replicated
+    /// store and the crypto layer's cache counters). End-to-end operation
+    /// latencies land here: `net.post`, `net.read_post.quorum`,
+    /// `net.register`, `net.key_dissemination`, `crypto.schnorr.verify`.
+    pub fn obs(&self) -> &Registry {
+        &self.obs
+    }
+
+    /// Refreshes derived gauges (overlay traffic totals, big-integer
+    /// exponentiation tallies) and returns a point-in-time [`Snapshot`] of
+    /// every instrument. Call this right before exporting — the gauges are
+    /// snapshots, not live counters.
+    pub fn publish_obs(&self) -> Snapshot {
+        self.group.register_obs(&self.obs);
+        self.obs
+            .set_gauge(names::OVERLAY_MESSAGES, self.metrics.messages as f64);
+        self.obs
+            .set_gauge(names::OVERLAY_BYTES, self.metrics.bytes as f64);
+        self.obs
+            .histogram(names::OVERLAY_MSG_LATENCY)
+            .replace(self.metrics.latency.clone());
+        self.obs.snapshot()
     }
 
     /// A user's timeline (verifier view).
@@ -255,6 +291,9 @@ impl<S: StoragePlane> DosnNetwork<S> {
         if !self.users.contains_key(&idb) {
             return Err(DosnError::UnknownUser(b.to_owned()));
         }
+        // Key dissemination (§III): both friends-group memberships change,
+        // which is where group keys are (re)distributed.
+        let _timer = self.obs.timer(names::NET_KEY_DISSEMINATION);
         self.graph.befriend(&ida, &idb, trust);
         let state_a = self
             .users
@@ -280,6 +319,7 @@ impl<S: StoragePlane> DosnNetwork<S> {
     /// [`DosnError::UnknownUser`], privacy-plane sealing failures, and
     /// [`DosnError::ContentUnavailable`] for storage failures.
     pub fn post(&mut self, author: &str, body: &str) -> Result<u64, DosnError> {
+        let _timer = self.obs.timer(names::NET_POST);
         let id = UserId::from(author);
         let state = self
             .users
@@ -367,6 +407,7 @@ impl<S: StoragePlane> DosnNetwork<S> {
     /// * [`DosnError::NotAuthorized`] — reader is not in the author's
     ///   friends group.
     pub fn read_post(&mut self, reader: &str, author: &str, seq: u64) -> Result<String, DosnError> {
+        let _timer = self.obs.timer(names::NET_READ_POST_QUORUM);
         if !self.users.contains_key(&UserId::from(reader)) {
             return Err(DosnError::UnknownUser(reader.to_owned()));
         }
@@ -374,15 +415,21 @@ impl<S: StoragePlane> DosnNetwork<S> {
         let storage_key = wall_key(author, seq);
 
         // Quorum read: a copy only counts toward the quorum if it decodes
-        // and its envelope verifies under the author's directory key.
+        // and its envelope verifies under the author's directory key. Each
+        // per-copy check is timed into `crypto.schnorr.verify`.
         let group = &self.group;
         let directory = &self.directory;
+        let verify_hist = self.obs.histogram(names::CRYPTO_SCHNORR_VERIFY);
         let verified = self
             .storage
             .get_verified(storage_key, &mut self.metrics, |bytes| {
-                SignedEnvelope::decode_wire(&author_id, seq, bytes, group)
+                let started = std::time::Instant::now();
+                let ok = SignedEnvelope::decode_wire(&author_id, seq, bytes, group)
                     .and_then(|(env, _)| env.verify(directory, None, u64::MAX - 1))
-                    .is_ok()
+                    .is_ok();
+                verify_hist
+                    .record(u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX));
+                ok
             });
         let record = match verified {
             Ok(record) => record,
@@ -620,6 +667,33 @@ mod tests {
         n.storage_mut().plane_mut().set_online(holders[0], false);
         assert_eq!(n.read_post("bob", "alice", seq).unwrap(), "survives churn");
         assert!(n.metrics().count("get.repairs") > 0);
+    }
+
+    #[test]
+    fn obs_times_post_read_and_key_dissemination_end_to_end() {
+        let mut n = net(); // 3 registrations + 1 befriend already timed
+        let seq = n.post("alice", "timed post").unwrap();
+        n.read_post("bob", "alice", seq).unwrap();
+
+        let snap = n.publish_obs();
+        assert_eq!(snap.histograms["net.post"].count(), 1);
+        assert_eq!(snap.histograms["net.read_post.quorum"].count(), 1);
+        assert_eq!(snap.histograms["net.register"].count(), 3);
+        assert_eq!(snap.histograms["net.key_dissemination"].count(), 1);
+        // Quorum read checks every replica's envelope: R = 3 copies.
+        assert_eq!(snap.histograms["crypto.schnorr.verify"].count(), 3);
+        // Storage-layer timings rode along on the shared registry.
+        assert!(snap.histograms["store.put"].count() >= 1);
+        assert!(snap.histograms["store.get.quorum"].count() >= 1);
+        // Derived gauges reflect the overlay traffic totals.
+        assert!(snap.gauges["overlay.messages"] > 0.0);
+        assert!(snap.gauges["overlay.bytes"] > 0.0);
+        // And the crypto cache counters were registered live by the group.
+        let (hits, misses) = (
+            snap.counters["crypto.group.pow.table_hit"],
+            snap.counters["crypto.group.pow.table_miss"],
+        );
+        assert!(hits + misses > 0, "group exponentiations should be counted");
     }
 
     #[test]

@@ -1,0 +1,199 @@
+//! The single declaration point for every metric-name string in the
+//! workspace.
+//!
+//! All instruments are addressed by hierarchical dotted labels
+//! (`plane.component.operation`). Declaring the strings here — and only
+//! here — means a typo'd name fails the workspace `metric_names` test
+//! instead of silently creating a dead counter that no dashboard or gate
+//! ever reads. Overlay message kinds recorded through
+//! `Metrics::record(kind, ..)` use the same constants.
+
+// ---- overlay: chord DHT ----
+
+/// Per-hop routing step in a Chord lookup.
+pub const CHORD_HOP: &str = "chord.hop";
+/// Retried Chord RPC after a link fault.
+pub const CHORD_RETRY: &str = "chord.retry";
+/// Lookup rerouted around a failed successor.
+pub const CHORD_REROUTE: &str = "chord.reroute";
+/// Successor-list repair action.
+pub const CHORD_REPAIR: &str = "chord.repair";
+/// Store request placed on the responsible node.
+pub const CHORD_STORE: &str = "chord.store";
+/// Replica copy pushed to a successor.
+pub const CHORD_REPLICATE: &str = "chord.replicate";
+/// Fetch served from the responsible node.
+pub const CHORD_FETCH: &str = "chord.fetch";
+/// Fetch that found no value.
+pub const CHORD_FETCH_FAIL: &str = "chord.fetch_fail";
+
+// ---- overlay: kademlia ----
+
+/// FIND_NODE iteration step.
+pub const KAD_FIND_NODE: &str = "kad.find_node";
+/// Retried Kademlia RPC after a link fault.
+pub const KAD_RETRY: &str = "kad.retry";
+/// STORE on a k-closest node.
+pub const KAD_STORE: &str = "kad.store";
+/// Value fetch from a k-closest node.
+pub const KAD_FETCH: &str = "kad.fetch";
+
+// ---- overlay: flooding / gossip ----
+
+/// Flood query forwarded one hop.
+pub const FLOOD_QUERY: &str = "flood.query";
+/// Retried flood edge after a link fault.
+pub const FLOOD_RETRY: &str = "flood.retry";
+
+// ---- overlay: super-peer ----
+
+/// Query submitted to a super-peer.
+pub const SUPER_QUERY: &str = "super.query";
+/// Query forwarded between super-peers.
+pub const SUPER_FORWARD: &str = "super.forward";
+/// Answer returned by a super-peer.
+pub const SUPER_ANSWER: &str = "super.answer";
+/// Retried super-peer RPC after a link fault.
+pub const SUPER_RETRY: &str = "super.retry";
+/// Object stored at a super-peer.
+pub const SUPER_STORE: &str = "super.store";
+/// Index publish to a super-peer.
+pub const SUPER_PUBLISH: &str = "super.publish";
+/// Object fetched from a super-peer.
+pub const SUPER_FETCH: &str = "super.fetch";
+
+// ---- overlay: federation ----
+
+/// Client request to its home server.
+pub const FED_CLIENT_REQUEST: &str = "fed.client_request";
+/// Server-to-server relay.
+pub const FED_SERVER_RELAY: &str = "fed.server_relay";
+/// Object stored on a federation server.
+pub const FED_STORE: &str = "fed.store";
+/// Object fetched from a federation server.
+pub const FED_FETCH: &str = "fed.fetch";
+
+// ---- overlay: hybrid ----
+
+/// Contact-list fetch in the hybrid organization.
+pub const HYBRID_CONTACT_FETCH: &str = "hybrid.contact_fetch";
+
+// ---- replicated storage ----
+
+/// Replica copies written by a `put` (counter).
+pub const STORE_REPLICAS_WRITTEN: &str = "store.replicas_written";
+/// Responders reached by a quorum read (counter).
+pub const GET_QUORUM_SIZE: &str = "get.quorum_size";
+/// Read-repair writes issued after a divergent quorum (counter).
+pub const GET_REPAIRS: &str = "get.repairs";
+/// End-to-end replicated `put` latency, µs (histogram).
+pub const STORE_PUT: &str = "store.put";
+/// Quorum-read latency including verification, µs (histogram).
+pub const STORE_GET_QUORUM: &str = "store.get.quorum";
+/// Read-repair pass latency, µs (histogram).
+pub const STORE_GET_REPAIR: &str = "store.get.repair";
+
+// ---- network facade (DosnNetwork planes) ----
+
+/// End-to-end `post` latency: encrypt, seal, replicated put, µs (histogram).
+pub const NET_POST: &str = "net.post";
+/// End-to-end `read_post` latency: quorum read, verify, decrypt, µs (histogram).
+pub const NET_READ_POST_QUORUM: &str = "net.read_post.quorum";
+/// User registration latency: keygen and directory publish, µs (histogram).
+pub const NET_REGISTER: &str = "net.register";
+/// Key-dissemination (befriend) latency, µs (histogram).
+pub const NET_KEY_DISSEMINATION: &str = "net.key_dissemination";
+
+// ---- crypto ----
+
+/// Schnorr envelope-signature verification latency, µs (histogram).
+pub const CRYPTO_SCHNORR_VERIFY: &str = "crypto.schnorr.verify";
+/// Group exponentiations served from a fixed-base table (counter).
+pub const CRYPTO_GROUP_TABLE_HIT: &str = "crypto.group.pow.table_hit";
+/// Group exponentiations that fell through to windowed pow (counter).
+pub const CRYPTO_GROUP_TABLE_MISS: &str = "crypto.group.pow.table_miss";
+
+// ---- bigint ----
+
+/// `ModContext` pows taken on the Barrett path (counter).
+pub const BIGINT_POW_BARRETT: &str = "bigint.modctx.pow.barrett";
+/// `ModContext` pows taken on the division path (counter).
+pub const BIGINT_POW_DIVISION: &str = "bigint.modctx.pow.division";
+
+// ---- aggregate overlay roll-ups ----
+
+/// Total overlay messages across a run (gauge/counter in reports).
+pub const OVERLAY_MESSAGES: &str = "overlay.messages";
+/// Total overlay payload bytes across a run.
+pub const OVERLAY_BYTES: &str = "overlay.bytes";
+/// Per-message overlay latency distribution, sim ms (histogram).
+pub const OVERLAY_MSG_LATENCY: &str = "overlay.msg.latency_ms";
+
+/// Every declared metric name, for the registry-names test and for
+/// exhaustive registration in smoke benches.
+pub const ALL: &[&str] = &[
+    CHORD_HOP,
+    CHORD_RETRY,
+    CHORD_REROUTE,
+    CHORD_REPAIR,
+    CHORD_STORE,
+    CHORD_REPLICATE,
+    CHORD_FETCH,
+    CHORD_FETCH_FAIL,
+    KAD_FIND_NODE,
+    KAD_RETRY,
+    KAD_STORE,
+    KAD_FETCH,
+    FLOOD_QUERY,
+    FLOOD_RETRY,
+    SUPER_QUERY,
+    SUPER_FORWARD,
+    SUPER_ANSWER,
+    SUPER_RETRY,
+    SUPER_STORE,
+    SUPER_PUBLISH,
+    SUPER_FETCH,
+    FED_CLIENT_REQUEST,
+    FED_SERVER_RELAY,
+    FED_STORE,
+    FED_FETCH,
+    HYBRID_CONTACT_FETCH,
+    STORE_REPLICAS_WRITTEN,
+    GET_QUORUM_SIZE,
+    GET_REPAIRS,
+    STORE_PUT,
+    STORE_GET_QUORUM,
+    STORE_GET_REPAIR,
+    NET_POST,
+    NET_READ_POST_QUORUM,
+    NET_REGISTER,
+    NET_KEY_DISSEMINATION,
+    CRYPTO_SCHNORR_VERIFY,
+    CRYPTO_GROUP_TABLE_HIT,
+    CRYPTO_GROUP_TABLE_MISS,
+    BIGINT_POW_BARRETT,
+    BIGINT_POW_DIVISION,
+    OVERLAY_MESSAGES,
+    OVERLAY_BYTES,
+    OVERLAY_MSG_LATENCY,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::ALL;
+
+    #[test]
+    fn names_are_unique_and_well_formed() {
+        let mut seen = std::collections::BTreeSet::new();
+        for name in ALL {
+            assert!(seen.insert(*name), "duplicate metric name {name}");
+            assert!(!name.is_empty());
+            assert!(
+                name.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.' || c == '_'),
+                "metric name {name} must be lowercase dotted_snake"
+            );
+            assert!(!name.starts_with('.') && !name.ends_with('.'));
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Property tests for the fixed-bucket histogram: recorded quantiles must
+//! track the exact sample quantiles within the documented power-of-two
+//! error bound `e <= r <= 2e + 1`, across randomized samples,
+//! bucket-boundary values, and the empty/single-sample edges; merging two
+//! histograms must equal recording the union, and a merged p50 must lie
+//! between (or at) the inputs' p50s.
+
+use dosn_obs::Histogram;
+use proptest::prelude::*;
+
+/// Exact nearest-rank quantile of a sample, matching the histogram's rank
+/// rule so only bucket rounding separates the two.
+fn exact_quantile(sorted: &[u64], p: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let rank = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[rank]
+}
+
+fn hist_of(sample: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in sample {
+        h.record(v);
+    }
+    h
+}
+
+/// Values that sit exactly on bucket edges: 2^k - 1, 2^k, 2^k + 1.
+fn boundary_values() -> Vec<u64> {
+    let mut vals = vec![0, 1, 2];
+    for k in 1..64u32 {
+        let edge = 1u64 << k;
+        vals.push(edge - 1);
+        vals.push(edge);
+        vals.push(edge.saturating_add(1));
+    }
+    vals.push(u64::MAX);
+    vals
+}
+
+proptest! {
+    #[test]
+    fn quantiles_within_power_of_two_bound(
+        mut sample in proptest::collection::vec(any::<u64>(), 1..200),
+        p_mille in 0u64..=1000,
+    ) {
+        let p = p_mille as f64 / 1000.0;
+        let h = hist_of(&sample);
+        sample.sort_unstable();
+        let e = exact_quantile(&sample, p);
+        let r = h.quantile(p);
+        prop_assert!(r >= e, "reported {r} below exact {e} at p={p}");
+        prop_assert!(
+            r <= e.saturating_mul(2).saturating_add(1),
+            "reported {r} above 2*{e}+1 at p={p}"
+        );
+    }
+
+    #[test]
+    fn exact_stats_match_sample(sample in proptest::collection::vec(any::<u64>(), 1..200)) {
+        let h = hist_of(&sample);
+        prop_assert_eq!(h.count(), sample.len() as u64);
+        prop_assert_eq!(h.min(), *sample.iter().min().unwrap());
+        prop_assert_eq!(h.max(), *sample.iter().max().unwrap());
+        let sum = sample.iter().fold(0u64, |a, &v| a.saturating_add(v));
+        prop_assert_eq!(h.sum(), sum);
+    }
+
+    #[test]
+    fn min_and_max_quantiles_are_exact(
+        sample in proptest::collection::vec(any::<u64>(), 1..100),
+    ) {
+        let h = hist_of(&sample);
+        prop_assert_eq!(h.quantile(0.0), *sample.iter().min().unwrap());
+        prop_assert_eq!(h.quantile(1.0), *sample.iter().max().unwrap());
+    }
+
+    #[test]
+    fn merge_equals_union(
+        a in proptest::collection::vec(any::<u64>(), 0..100),
+        b in proptest::collection::vec(any::<u64>(), 0..100),
+    ) {
+        let mut merged = hist_of(&a);
+        merged.merge(&hist_of(&b));
+        let mut union: Vec<u64> = a.clone();
+        union.extend(&b);
+        prop_assert_eq!(merged, hist_of(&union));
+    }
+
+    // The exact upper-median of a union lies between the parts' medians;
+    // with bucket rounding the lower side survives exactly, while the
+    // upper side can overshoot by at most the power-of-two bucket error
+    // (each input's p50 is clamped to its own [min, max], the merged one
+    // to the looser union range — merge([1,1,1,100], [2,2]) reports 3
+    // against input p50s of 1 and 2).
+    #[test]
+    fn merged_p50_bounded_by_input_p50s(
+        a in proptest::collection::vec(any::<u64>(), 1..100),
+        b in proptest::collection::vec(any::<u64>(), 1..100),
+    ) {
+        let ha = hist_of(&a);
+        let hb = hist_of(&b);
+        let mut merged = ha.clone();
+        merged.merge(&hb);
+        let lo = ha.p50().min(hb.p50());
+        let hi = ha.p50().max(hb.p50());
+        let m = merged.p50();
+        prop_assert!(
+            lo <= m && m <= hi.saturating_mul(2).saturating_add(1),
+            "merged p50 {m} outside [{lo}, 2*{hi}+1]"
+        );
+    }
+
+    // Without cross-input clamp skew — same sample recorded into both
+    // inputs — merging must leave the p50 exactly in place.
+    #[test]
+    fn merging_identical_histograms_fixes_p50(
+        a in proptest::collection::vec(any::<u64>(), 1..100),
+    ) {
+        let ha = hist_of(&a);
+        let mut merged = ha.clone();
+        merged.merge(&ha);
+        prop_assert_eq!(merged.p50(), ha.p50());
+    }
+
+    #[test]
+    fn single_sample_reports_itself(v in any::<u64>(), p_mille in 0u64..=1000) {
+        let mut h = Histogram::new();
+        h.record(v);
+        // With one sample, min==max clamps every quantile to the sample.
+        prop_assert_eq!(h.quantile(p_mille as f64 / 1000.0), v);
+        prop_assert_eq!(h.mean(), v as f64);
+    }
+}
+
+#[test]
+fn bucket_boundary_values_obey_bound() {
+    for &v in &boundary_values() {
+        let mut h = Histogram::new();
+        h.record(v);
+        assert_eq!(h.p50(), v, "single boundary value {v} must be exact");
+        // Pairs straddling a boundary still satisfy the bound.
+        let mut h2 = Histogram::new();
+        h2.record(v);
+        h2.record(v.saturating_add(1));
+        let r = h2.p50();
+        assert!(r >= v && r <= v.saturating_mul(2).saturating_add(1));
+    }
+}
+
+#[test]
+fn empty_histogram_is_all_zero() {
+    let h = Histogram::new();
+    assert!(h.is_empty());
+    for p in [0.0, 0.5, 0.95, 1.0] {
+        assert_eq!(h.quantile(p), 0);
+    }
+}

@@ -12,6 +12,7 @@
 use crate::fault::LinkFaults;
 use crate::id::{in_interval_open_closed, ring_distance, Key, NodeId};
 use crate::metrics::Metrics;
+use dosn_obs::names;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
@@ -277,7 +278,7 @@ impl ChordOverlay {
             if in_interval_open_closed(key.0, node.id, successor) {
                 if successor != current {
                     let lat = self.draw_latency();
-                    metrics.record("chord.hop", 64, lat);
+                    metrics.record(names::CHORD_HOP, 64, lat);
                 }
                 return Ok(NodeId(successor));
             }
@@ -287,14 +288,14 @@ impl ChordOverlay {
                 return Ok(NodeId(current));
             }
             let lat = self.draw_latency();
-            metrics.record("chord.hop", 64, lat);
+            metrics.record(names::CHORD_HOP, 64, lat);
             current = next;
             hops += 1;
             if hops > cap {
                 // Routing loop under churn: fall back to the true owner and
                 // account one stabilization's worth of repair traffic.
                 let owner = self.owner_of(key.0).ok_or(DhtError::NoNodes)?;
-                metrics.record("chord.repair", 64, self.draw_latency());
+                metrics.record(names::CHORD_REPAIR, 64, self.draw_latency());
                 return Ok(NodeId(owner));
             }
         }
@@ -337,13 +338,13 @@ impl ChordOverlay {
                     let (ok, used) =
                         faults.delivers_with_retries(NodeId(current), NodeId(successor), retries);
                     for _ in 1..used {
-                        metrics.record_offpath("chord.retry", 64);
+                        metrics.record_offpath(names::CHORD_RETRY, 64);
                     }
                     if !ok {
                         return Err(DhtError::Unavailable(key));
                     }
                     let lat = self.draw_latency();
-                    metrics.record("chord.hop", 64, lat);
+                    metrics.record(names::CHORD_HOP, 64, lat);
                 }
                 return Ok(NodeId(successor));
             }
@@ -353,18 +354,18 @@ impl ChordOverlay {
             }
             let (ok, used) = faults.delivers_with_retries(NodeId(current), NodeId(next), retries);
             for _ in 1..used {
-                metrics.record_offpath("chord.retry", 64);
+                metrics.record_offpath(names::CHORD_RETRY, 64);
             }
             if !ok {
                 // Finger link is dead: fall back to the successor route.
                 if next == successor {
                     return Err(DhtError::Unavailable(key));
                 }
-                metrics.record_offpath("chord.reroute", 64);
+                metrics.record_offpath(names::CHORD_REROUTE, 64);
                 let (ok2, used2) =
                     faults.delivers_with_retries(NodeId(current), NodeId(successor), retries);
                 for _ in 1..used2 {
-                    metrics.record_offpath("chord.retry", 64);
+                    metrics.record_offpath(names::CHORD_RETRY, 64);
                 }
                 if !ok2 {
                     return Err(DhtError::Unavailable(key));
@@ -372,12 +373,12 @@ impl ChordOverlay {
                 next = successor;
             }
             let lat = self.draw_latency();
-            metrics.record("chord.hop", 64, lat);
+            metrics.record(names::CHORD_HOP, 64, lat);
             current = next;
             hops += 1;
             if hops > cap {
                 let owner = self.owner_of(key.0).ok_or(DhtError::NoNodes)?;
-                metrics.record("chord.repair", 64, self.draw_latency());
+                metrics.record(names::CHORD_REPAIR, 64, self.draw_latency());
                 return Ok(NodeId(owner));
             }
         }
@@ -401,9 +402,9 @@ impl ChordOverlay {
         for (i, rid) in replica_ids.iter().enumerate() {
             let lat = self.draw_latency();
             if i == 0 {
-                metrics.record("chord.store", size, lat);
+                metrics.record(names::CHORD_STORE, size, lat);
             } else {
-                metrics.record_offpath("chord.replicate", size);
+                metrics.record_offpath(names::CHORD_REPLICATE, size);
             }
             self.nodes
                 .get_mut(rid)
@@ -436,10 +437,10 @@ impl ChordOverlay {
                 if node.storage.contains_key(&key.0) {
                     any_holder_offline = true;
                 }
-                metrics.record("chord.fetch_fail", 16, lat);
+                metrics.record(names::CHORD_FETCH_FAIL, 16, lat);
                 continue;
             }
-            metrics.record("chord.fetch", 64, lat);
+            metrics.record(names::CHORD_FETCH, 64, lat);
             if let Some(v) = node.storage.get(&key.0) {
                 return Ok(v.clone());
             }

@@ -10,6 +10,7 @@
 
 use crate::id::Key;
 use crate::metrics::Metrics;
+use dosn_obs::names;
 use std::collections::HashMap;
 
 /// Errors from federated operations.
@@ -190,7 +191,7 @@ impl FederatedNetwork {
         if !self.servers[home].online {
             return Err(FederationError::HomeServerDown(owner.to_owned()));
         }
-        metrics.record("fed.store", value.len() as u64, 30);
+        metrics.record(names::FED_STORE, value.len() as u64, 30);
         self.servers[home].storage.insert(key.0, value);
         Ok(())
     }
@@ -216,7 +217,7 @@ impl FederatedNetwork {
         if !self.servers[req_home].online {
             return Err(FederationError::HomeServerDown(requester.to_owned()));
         }
-        metrics.record("fed.client_request", 32, 30);
+        metrics.record(names::FED_CLIENT_REQUEST, 32, 30);
         let owner_home = self
             .home_server(owner)
             .ok_or_else(|| FederationError::UnknownUser(owner.to_owned()))?;
@@ -224,7 +225,7 @@ impl FederatedNetwork {
             if !self.servers[owner_home].online {
                 return Err(FederationError::HomeServerDown(owner.to_owned()));
             }
-            metrics.record("fed.server_relay", 32, 40);
+            metrics.record(names::FED_SERVER_RELAY, 32, 40);
         }
         self.servers[owner_home]
             .storage

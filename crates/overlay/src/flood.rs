@@ -15,6 +15,7 @@ use crate::fault::LinkFaults;
 use crate::id::{Key, NodeId};
 use crate::metrics::Metrics;
 use crate::sim::{Actor, Context};
+use dosn_obs::names;
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -146,7 +147,7 @@ impl UnstructuredOverlay {
                     continue;
                 }
                 // A query copy is sent regardless of target liveness.
-                metrics.record_offpath("flood.query", 32);
+                metrics.record_offpath(names::FLOOD_QUERY, 32);
                 if !self.online[nb.0 as usize] {
                     continue;
                 }
@@ -163,11 +164,11 @@ impl UnstructuredOverlay {
         }
         if let Some((_, hops)) = found {
             for l in latency_per_hop.iter().take(hops as usize) {
-                metrics.latency_ms += l;
+                metrics.add_latency(*l);
             }
         } else {
             for l in &latency_per_hop {
-                metrics.latency_ms += l;
+                metrics.add_latency(*l);
             }
         }
         found
@@ -209,10 +210,10 @@ impl UnstructuredOverlay {
                 if !visited.insert(nb) {
                     continue;
                 }
-                metrics.record_offpath("flood.query", 32);
+                metrics.record_offpath(names::FLOOD_QUERY, 32);
                 let (ok, used) = faults.delivers_with_retries(node, nb, retries);
                 for _ in 1..used {
-                    metrics.record_offpath("flood.retry", 32);
+                    metrics.record_offpath(names::FLOOD_RETRY, 32);
                 }
                 if !ok || !self.online[nb.0 as usize] {
                     // The copy never arrived (or arrived at a dead peer):
@@ -232,11 +233,11 @@ impl UnstructuredOverlay {
         }
         if let Some((_, hops)) = found {
             for l in latency_per_hop.iter().take(hops as usize) {
-                metrics.latency_ms += l;
+                metrics.add_latency(*l);
             }
         } else {
             for l in &latency_per_hop {
-                metrics.latency_ms += l;
+                metrics.add_latency(*l);
             }
         }
         found

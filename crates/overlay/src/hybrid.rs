@@ -11,6 +11,7 @@
 use crate::chord::{ChordOverlay, DhtError};
 use crate::id::{Key, NodeId};
 use crate::metrics::Metrics;
+use dosn_obs::names;
 use std::collections::{HashMap, VecDeque};
 
 /// Where a hybrid `get` was satisfied.
@@ -178,7 +179,7 @@ impl HybridOverlay {
                 .cloned()
         });
         if let Some(v) = contact_hit {
-            metrics.record("hybrid.contact_fetch", v.len() as u64, 40);
+            metrics.record(names::HYBRID_CONTACT_FETCH, v.len() as u64, 40);
             self.cache_insert(from, key, v.clone());
             return Ok((v, HitSource::ContactCache));
         }

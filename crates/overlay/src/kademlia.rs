@@ -13,6 +13,7 @@
 use crate::fault::LinkFaults;
 use crate::id::{Key, NodeId};
 use crate::metrics::Metrics;
+use dosn_obs::names;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{BTreeSet, HashMap};
@@ -236,7 +237,7 @@ impl KademliaOverlay {
             for candidate in batch {
                 queried.insert(candidate);
                 // α queries go out in parallel: one latency per round.
-                metrics.record_offpath("kad.find_node", 64);
+                metrics.record_offpath(names::KAD_FIND_NODE, 64);
                 let Some(node) = self.nodes.get(&candidate) else {
                     continue;
                 };
@@ -249,7 +250,7 @@ impl KademliaOverlay {
                     }
                 }
             }
-            metrics.latency_ms += lat;
+            metrics.add_latency(lat);
             shortlist.sort_by_key(|&c| c ^ target);
             shortlist.truncate(self.k);
             if let Some(&best) = shortlist.first() {
@@ -304,10 +305,10 @@ impl KademliaOverlay {
             let mut improved = false;
             for candidate in batch {
                 queried.insert(candidate);
-                metrics.record_offpath("kad.find_node", 64);
+                metrics.record_offpath(names::KAD_FIND_NODE, 64);
                 let (ok, used) = faults.delivers_with_retries(from, NodeId(candidate), retries);
                 for _ in 1..used {
-                    metrics.record_offpath("kad.retry", 64);
+                    metrics.record_offpath(names::KAD_RETRY, 64);
                 }
                 if !ok {
                     continue;
@@ -325,7 +326,7 @@ impl KademliaOverlay {
                     }
                 }
             }
-            metrics.latency_ms += lat;
+            metrics.add_latency(lat);
             shortlist.sort_by_key(|&c| c ^ target);
             shortlist.truncate(self.k);
             if let Some(&best) = shortlist.first() {
@@ -365,7 +366,7 @@ impl KademliaOverlay {
             return Err("no online storage targets".into());
         }
         for t in targets {
-            metrics.record_offpath("kad.store", value.len() as u64);
+            metrics.record_offpath(names::KAD_STORE, value.len() as u64);
             self.nodes
                 .get_mut(&t.0)
                 .expect("lookup returns known nodes")
@@ -388,7 +389,7 @@ impl KademliaOverlay {
     ) -> Result<Vec<u8>, String> {
         let targets = self.lookup(from, key, metrics);
         for t in targets {
-            metrics.record("kad.fetch", 64, self.rng.random_range(10u64..=120));
+            metrics.record(names::KAD_FETCH, 64, self.rng.random_range(10u64..=120));
             if let Some(v) = self.nodes[&t.0].storage.get(&key.0) {
                 return Ok(v.clone());
             }

@@ -5,7 +5,9 @@ use std::collections::BTreeMap;
 
 /// Counters accumulated by overlay operations. Every lookup/store/search
 /// API returns or updates one of these so experiments can report the same
-/// quantities DOSN papers do: messages, hops, and simulated latency.
+/// quantities DOSN papers do: messages, hops, and simulated latency — the
+/// latter both as a critical-path accumulator ([`Metrics::latency_ms`])
+/// and as a mergeable distribution ([`Metrics::latency`]).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Metrics {
     /// Total messages sent.
@@ -15,7 +17,14 @@ pub struct Metrics {
     /// Per-message-type counts.
     pub by_type: BTreeMap<String, u64>,
     /// Simulated wall-clock accumulated along the *critical path*, ms.
+    /// Meaningful within one sequential operation; across bundles use
+    /// [`Metrics::latency`], which merges correctly.
     pub latency_ms: u64,
+    /// Distribution of every latency contribution recorded into this
+    /// bundle (`dosn-obs` bucket histogram): p50/p95/p99 survive
+    /// [`Metrics::merge`], and [`dosn_obs::Histogram::sum`] is the total
+    /// across sequential phases.
+    pub latency: dosn_obs::Histogram,
 }
 
 impl Metrics {
@@ -29,7 +38,7 @@ impl Metrics {
     pub fn record(&mut self, kind: &str, bytes: u64, latency_ms: u64) {
         self.messages += 1;
         self.bytes += bytes;
-        self.latency_ms += latency_ms;
+        self.add_latency(latency_ms);
         *self.by_type.entry(kind.to_owned()).or_insert(0) += 1;
     }
 
@@ -41,12 +50,27 @@ impl Metrics {
         *self.by_type.entry(kind.to_owned()).or_insert(0) += 1;
     }
 
-    /// Merges another metrics bundle into this one (latency adds: use for
-    /// sequential phases).
+    /// Adds `latency_ms` of critical-path latency without attributing a
+    /// message (e.g. a wait already counted elsewhere). Feeds both the
+    /// scalar accumulator and the distribution.
+    pub fn add_latency(&mut self, latency_ms: u64) {
+        self.latency_ms += latency_ms;
+        self.latency.record(latency_ms);
+    }
+
+    /// Merges another metrics bundle into this one. Counts and bytes add;
+    /// the latency *distribution* merges (quantiles of the union); the
+    /// critical-path scalar takes the max, modelling parallel branches.
+    ///
+    /// This replaces the old behaviour of summing `latency_ms`, which made
+    /// a merge of two nodes' bundles report a latency no request ever
+    /// experienced. For a sequential total across merged bundles, read
+    /// `latency.sum()`.
     pub fn merge(&mut self, other: &Metrics) {
         self.messages += other.messages;
         self.bytes += other.bytes;
-        self.latency_ms += other.latency_ms;
+        self.latency_ms = self.latency_ms.max(other.latency_ms);
+        self.latency.merge(&other.latency);
         for (k, v) in &other.by_type {
             *self.by_type.entry(k.clone()).or_insert(0) += v;
         }
@@ -257,7 +281,7 @@ mod tests {
     }
 
     #[test]
-    fn merge_adds_everything() {
+    fn merge_adds_counts_and_takes_critical_path_max() {
         let mut a = Metrics::new();
         a.record("x", 1, 2);
         let mut b = Metrics::new();
@@ -266,8 +290,50 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.messages, 3);
         assert_eq!(a.bytes, 16);
-        assert_eq!(a.latency_ms, 23);
+        // Critical path: the slower branch (20 + 1 sequential in b).
+        assert_eq!(a.latency_ms, 21);
+        // Sequential total across both bundles survives in the histogram.
+        assert_eq!(a.latency.sum(), 23);
+        assert_eq!(a.latency.count(), 3);
         assert_eq!(a.count("x"), 2);
+    }
+
+    // Regression for the old `merge` that summed `latency_ms`: merging two
+    // nodes' bundles must yield a median between the inputs' medians, not a
+    // sum no request ever experienced.
+    #[test]
+    fn merged_p50_lies_between_input_p50s() {
+        let mut a = Metrics::new();
+        for l in [10u64, 12, 14, 16] {
+            a.record("lookup", 100, l);
+        }
+        let mut b = Metrics::new();
+        for l in [40u64, 44, 48, 52] {
+            b.record("lookup", 100, l);
+        }
+        let (p_a, p_b) = (a.latency.p50(), b.latency.p50());
+        let mut merged = a.clone();
+        merged.merge(&b);
+        let p_m = merged.latency.p50();
+        assert!(
+            p_a.min(p_b) <= p_m && p_m <= p_a.max(p_b),
+            "merged p50 {p_m} outside [{}, {}]",
+            p_a.min(p_b),
+            p_a.max(p_b)
+        );
+        // The old bug would have reported the sum on the scalar too.
+        assert!(merged.latency_ms < a.latency_ms + b.latency_ms);
+    }
+
+    #[test]
+    fn add_latency_feeds_scalar_and_distribution() {
+        let mut m = Metrics::new();
+        m.add_latency(7);
+        m.add_latency(9);
+        assert_eq!(m.latency_ms, 16);
+        assert_eq!(m.latency.count(), 2);
+        assert_eq!(m.latency.sum(), 16);
+        assert_eq!(m.messages, 0, "add_latency must not count a message");
     }
 
     #[test]

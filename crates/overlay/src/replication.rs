@@ -26,6 +26,7 @@ use crate::fault::FaultPlan;
 use crate::id::{Key, NodeId};
 use crate::metrics::{Metrics, StorageAccounting};
 use crate::storage::{StorageError, StoragePlane};
+use dosn_obs::{names, Registry};
 
 /// Applies the crash schedule of a [`FaultPlan`] to a storage plane as of
 /// simulated time `now_ms`: nodes inside a crash window go offline, nodes
@@ -86,6 +87,7 @@ pub struct ReplicatedStore<P: StoragePlane> {
     replicas: usize,
     read_quorum: usize,
     accounting: StorageAccounting,
+    obs: Registry,
 }
 
 impl<P: StoragePlane> ReplicatedStore<P> {
@@ -103,6 +105,7 @@ impl<P: StoragePlane> ReplicatedStore<P> {
             replicas,
             read_quorum,
             accounting: StorageAccounting::new(),
+            obs: Registry::new(),
         }
     }
 
@@ -110,6 +113,20 @@ impl<P: StoragePlane> ReplicatedStore<P> {
     pub fn with_quorum(mut self, read_quorum: usize) -> Self {
         self.read_quorum = read_quorum.clamp(1, self.replicas);
         self
+    }
+
+    /// Shares an observability registry with the store: `put` latency lands
+    /// in the `store.put` histogram, quorum reads in `store.get.quorum`, and
+    /// the read-repair pass in `store.get.repair` (all wall-clock µs).
+    /// Callers that aggregate across stores pass one [`Registry`] to each.
+    pub fn with_obs(mut self, obs: Registry) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// The store's observability registry.
+    pub fn obs(&self) -> &Registry {
+        &self.obs
     }
 
     /// The replication factor R.
@@ -156,6 +173,7 @@ impl<P: StoragePlane> ReplicatedStore<P> {
         value: Vec<u8>,
         metrics: &mut Metrics,
     ) -> Result<Vec<NodeId>, StorageError> {
+        let _put_timer = self.obs.timer(names::STORE_PUT);
         let candidates = self.plane.replica_candidates(key, self.replicas, metrics)?;
         let mut written = Vec::with_capacity(candidates.len());
         for node in candidates {
@@ -167,7 +185,7 @@ impl<P: StoragePlane> ReplicatedStore<P> {
         if written.is_empty() {
             return Err(StorageError::NoNodes);
         }
-        metrics.bump("store.replicas_written", written.len() as u64);
+        metrics.bump(names::STORE_REPLICAS_WRITTEN, written.len() as u64);
         Ok(written)
     }
 
@@ -202,8 +220,9 @@ impl<P: StoragePlane> ReplicatedStore<P> {
         metrics: &mut Metrics,
         verify: impl Fn(&[u8]) -> bool,
     ) -> Result<Vec<u8>, StorageError> {
+        let quorum_timer = self.obs.timer(names::STORE_GET_QUORUM);
         let candidates = self.plane.replica_candidates(key, self.replicas, metrics)?;
-        metrics.bump("get.quorum_size", candidates.len() as u64);
+        metrics.bump(names::GET_QUORUM_SIZE, candidates.len() as u64);
 
         // (candidate, copy-if-any); offline races read as holding nothing.
         let mut copies: Vec<(NodeId, Option<Vec<u8>>)> = Vec::with_capacity(candidates.len());
@@ -241,8 +260,10 @@ impl<P: StoragePlane> ReplicatedStore<P> {
             .max_by_key(|(_, n)| *n)
             .map(|(v, _)| v.to_vec())
             .expect("verified > 0");
+        quorum_timer.observe();
 
         // Read-repair: rewrite every candidate that lacks the winner.
+        let repair_timer = self.obs.timer(names::STORE_GET_REPAIR);
         let mut repairs = 0u64;
         for (node, copy) in &copies {
             if copy.as_deref() == Some(winner.as_slice()) {
@@ -254,8 +275,9 @@ impl<P: StoragePlane> ReplicatedStore<P> {
             }
         }
         if repairs > 0 {
-            metrics.bump("get.repairs", repairs);
+            metrics.bump(names::GET_REPAIRS, repairs);
         }
+        repair_timer.observe();
         Ok(winner)
     }
 }
@@ -388,6 +410,25 @@ mod tests {
             }
             other => panic!("expected QuorumFailed, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn obs_histograms_time_put_quorum_and_repair() {
+        let reg = Registry::new();
+        let mut store = ReplicatedStore::new(ChordPlane::build(32, 9), 3).with_obs(reg.clone());
+        let mut m = Metrics::new();
+        let key = Key::hash(b"timed");
+        let holders = store.put(key, b"v".to_vec(), &mut m).unwrap();
+        store.plane_mut().set_online(holders[0], false);
+        store.get(key, &mut m).unwrap();
+
+        let snap = reg.snapshot();
+        assert_eq!(snap.histograms["store.put"].count(), 1);
+        assert_eq!(snap.histograms["store.get.quorum"].count(), 1);
+        // The crashed holder's substitute was repaired, so the repair pass
+        // was timed too.
+        assert_eq!(snap.histograms["store.get.repair"].count(), 1);
+        assert!(m.count("get.repairs") > 0);
     }
 
     #[test]

@@ -26,6 +26,7 @@ use crate::id::{Key, NodeId};
 use crate::kademlia::KademliaOverlay;
 use crate::metrics::Metrics;
 use crate::superpeer::SuperPeerOverlay;
+use dosn_obs::names;
 
 /// Errors from storage-plane operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -315,7 +316,7 @@ impl StoragePlane for ChordPlane {
                 DhtError::Unavailable(_) => StorageError::NodeOffline(node),
                 other => other.into(),
             })?;
-        metrics.record("chord.store", value.len() as u64, 30);
+        metrics.record(names::CHORD_STORE, value.len() as u64, 30);
         Ok(())
     }
 
@@ -329,7 +330,7 @@ impl StoragePlane for ChordPlane {
             DhtError::Unavailable(_) => StorageError::NodeOffline(node),
             other => other.into(),
         })?;
-        metrics.record("chord.fetch", 64, 30);
+        metrics.record(names::CHORD_FETCH, 64, 30);
         Ok(got)
     }
 }
@@ -413,7 +414,7 @@ impl StoragePlane for KademliaPlane {
         if !self.inner.store_direct(node, key, value.to_vec()) {
             return Err(StorageError::NodeOffline(node));
         }
-        metrics.record("kad.store", value.len() as u64, 30);
+        metrics.record(names::KAD_STORE, value.len() as u64, 30);
         Ok(())
     }
 
@@ -426,7 +427,7 @@ impl StoragePlane for KademliaPlane {
         if !self.inner.is_online(node) {
             return Err(StorageError::NodeOffline(node));
         }
-        metrics.record("kad.fetch", 64, 30);
+        metrics.record(names::KAD_FETCH, 64, 30);
         Ok(self.inner.fetch_direct(node, key))
     }
 }
@@ -497,7 +498,7 @@ impl StoragePlane for SuperPeerPlane {
         }
         // Leaf → own super → index-home super: the constant-hop index
         // consultation that precedes any placement decision.
-        metrics.record("super.query", 32, 30);
+        metrics.record(names::SUPER_QUERY, 32, 30);
         Ok(candidates)
     }
 
@@ -512,8 +513,8 @@ impl StoragePlane for SuperPeerPlane {
             return Err(StorageError::NodeOffline(node));
         }
         // Blob transfer to the holder plus the index publish hop.
-        metrics.record("super.store", value.len() as u64, 30);
-        metrics.record_offpath("super.publish", 32);
+        metrics.record(names::SUPER_STORE, value.len() as u64, 30);
+        metrics.record_offpath(names::SUPER_PUBLISH, 32);
         Ok(())
     }
 
@@ -526,7 +527,7 @@ impl StoragePlane for SuperPeerPlane {
         if !self.inner.is_online(node) {
             return Err(StorageError::NodeOffline(node));
         }
-        metrics.record("super.fetch", 64, 30);
+        metrics.record(names::SUPER_FETCH, 64, 30);
         Ok(self.inner.fetch_direct(node, key))
     }
 }
@@ -596,7 +597,7 @@ impl StoragePlane for FederationPlane {
             return Err(StorageError::NoNodes);
         }
         // Client → home server: federation placement is a table lookup.
-        metrics.record("fed.client_request", 32, 30);
+        metrics.record(names::FED_CLIENT_REQUEST, 32, 30);
         Ok(candidates.into_iter().map(|s| NodeId(s as u64)).collect())
     }
 
@@ -613,7 +614,7 @@ impl StoragePlane for FederationPlane {
         {
             return Err(StorageError::NodeOffline(node));
         }
-        metrics.record("fed.store", value.len() as u64, 30);
+        metrics.record(names::FED_STORE, value.len() as u64, 30);
         Ok(())
     }
 
@@ -626,7 +627,7 @@ impl StoragePlane for FederationPlane {
         if !self.inner.server_online(node.0 as usize) {
             return Err(StorageError::NodeOffline(node));
         }
-        metrics.record("fed.fetch", 64, 30);
+        metrics.record(names::FED_FETCH, 64, 30);
         Ok(self.inner.fetch_direct(node.0 as usize, key))
     }
 }

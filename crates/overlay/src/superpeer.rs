@@ -11,6 +11,7 @@
 use crate::fault::LinkFaults;
 use crate::id::{Key, NodeId};
 use crate::metrics::Metrics;
+use dosn_obs::names;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
@@ -211,19 +212,19 @@ impl SuperPeerOverlay {
         }
         let own_super = self.super_of(from);
         if own_super != from {
-            metrics.record("super.query", 32, self.latency());
+            metrics.record(names::SUPER_QUERY, 32, self.latency());
         }
         if !self.peers[own_super.0 as usize].online {
             return None; // orphaned leaf until re-election
         }
         let home = self.index_home(key);
         if home != own_super {
-            metrics.record("super.forward", 32, self.latency());
+            metrics.record(names::SUPER_FORWARD, 32, self.latency());
         }
         if !self.peers[home.0 as usize].online {
             return None;
         }
-        metrics.record("super.answer", 32, self.latency());
+        metrics.record(names::SUPER_ANSWER, 32, self.latency());
         self.index[&home].get(&key.0).and_then(|holders| {
             holders
                 .iter()
@@ -254,12 +255,12 @@ impl SuperPeerOverlay {
         if own_super != from {
             let (ok, used) = faults.delivers_with_retries(from, own_super, retries);
             for _ in 1..used {
-                metrics.record_offpath("super.retry", 32);
+                metrics.record_offpath(names::SUPER_RETRY, 32);
             }
             if !ok {
                 return None;
             }
-            metrics.record("super.query", 32, self.latency());
+            metrics.record(names::SUPER_QUERY, 32, self.latency());
         }
         if !self.peers[own_super.0 as usize].online {
             return None;
@@ -268,24 +269,24 @@ impl SuperPeerOverlay {
         if home != own_super {
             let (ok, used) = faults.delivers_with_retries(own_super, home, retries);
             for _ in 1..used {
-                metrics.record_offpath("super.retry", 32);
+                metrics.record_offpath(names::SUPER_RETRY, 32);
             }
             if !ok {
                 return None;
             }
-            metrics.record("super.forward", 32, self.latency());
+            metrics.record(names::SUPER_FORWARD, 32, self.latency());
         }
         if !self.peers[home.0 as usize].online {
             return None;
         }
         let (ok, used) = faults.delivers_with_retries(home, from, retries);
         for _ in 1..used {
-            metrics.record_offpath("super.retry", 32);
+            metrics.record_offpath(names::SUPER_RETRY, 32);
         }
         if !ok {
             return None;
         }
-        metrics.record("super.answer", 32, self.latency());
+        metrics.record(names::SUPER_ANSWER, 32, self.latency());
         self.index[&home].get(&key.0).and_then(|holders| {
             holders
                 .iter()

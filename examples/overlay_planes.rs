@@ -5,18 +5,26 @@
 //! friends-only scenario over all four backends, crashes one replica
 //! holder, and shows the quorum read surviving with a read repair.
 //!
+//! All four networks share one observability `Registry`, so the final
+//! instrument table aggregates end-to-end post/read timings, quorum-read
+//! and repair latencies, and crypto cache counters across every plane.
+//!
 //! Run with: `cargo run --example overlay_planes`
 
 use dosn::core::network::{
-    ChordPlane, DosnNetwork, FederationPlane, KademliaPlane, StoragePlane, SuperPeerPlane,
+    ChordPlane, DosnNetwork, FederationPlane, KademliaPlane, ReplicatedStore, StoragePlane,
+    SuperPeerPlane,
 };
+use dosn::obs::Registry;
 use dosn::overlay::fault::FaultPlan;
 
 const SEED: u64 = 7;
 
-fn scenario<S: StoragePlane>(name: &str, plane: S) {
-    // R = 3 replicas, majority read quorum (2 of 3).
-    let mut net = DosnNetwork::with_plane(plane, 3, SEED);
+fn scenario<S: StoragePlane>(name: &str, plane: S, obs: &Registry) {
+    // R = 3 replicas, majority read quorum (2 of 3); the store adopts the
+    // shared registry and the network facade inherits it.
+    let store = ReplicatedStore::new(plane, 3).with_obs(obs.clone());
+    let mut net = DosnNetwork::with_replication(store, SEED);
     net.register("alice").unwrap();
     net.register("bob").unwrap();
     net.register("eve").unwrap();
@@ -52,8 +60,12 @@ fn scenario<S: StoragePlane>(name: &str, plane: S) {
 
 fn main() {
     println!("same social API, four storage planes (R=3, quorum 2):\n");
-    scenario("chord", ChordPlane::build(64, SEED));
-    scenario("kademlia", KademliaPlane::build(64, 20, SEED));
-    scenario("superpeer", SuperPeerPlane::build(64, 8, SEED));
-    scenario("federation", FederationPlane::build(12));
+    let obs = Registry::new();
+    scenario("chord", ChordPlane::build(64, SEED), &obs);
+    scenario("kademlia", KademliaPlane::build(64, 20, SEED), &obs);
+    scenario("superpeer", SuperPeerPlane::build(64, 8, SEED), &obs);
+    scenario("federation", FederationPlane::build(12), &obs);
+
+    println!("\ninstruments across all four planes:\n");
+    print!("{}", obs.snapshot().fmt_table());
 }

@@ -4,6 +4,8 @@
 //! Privacy of Distributed Online Social Networks"* (ICDCS 2015). It
 //! re-exports the four layers of the stack:
 //!
+//! * [`obs`] — zero-dependency observability: typed metric instruments,
+//!   scoped timers, and schema-versioned machine-readable run reports.
 //! * [`bigint`] — arbitrary-precision arithmetic substrate.
 //! * [`crypto`] — from-scratch cryptography: hashing, symmetric and
 //!   public-key encryption, signatures (plain and blind), OPRF, ZK proofs,
@@ -37,4 +39,5 @@
 pub use dosn_bigint as bigint;
 pub use dosn_core as core;
 pub use dosn_crypto as crypto;
+pub use dosn_obs as obs;
 pub use dosn_overlay as overlay;
