@@ -17,11 +17,14 @@
 //! * [`identity`], [`graph`], [`content`] — users, the social graph (with
 //!   trust weights and synthetic generators), and content types.
 //! * [`taxonomy`] — the paper's Table I as a queryable registry.
+//! * [`engine`] — the batched parallel request engine: prepare / commit /
+//!   finish execution of op batches over sharded per-user state.
 //! * [`network`] — a facade assembling a complete DOSN (overlay + privacy +
-//!   integrity) as the examples use it.
+//!   integrity) as the examples use it; single ops are batches of one.
 
 pub mod anonymize;
 pub mod content;
+pub mod engine;
 pub mod error;
 pub mod graph;
 pub mod identity;

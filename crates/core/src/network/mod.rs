@@ -6,12 +6,15 @@
 //!                 ┌────────────────────────────────────────────┐
 //!                 │            DosnNetwork<S> facade           │
 //!                 │  register · befriend · post · read · …     │
+//!                 ├────────────────────────────────────────────┤
+//!                 │        Engine (batched requests:           │
+//!                 │        prepare / commit / finish)          │
 //!                 └──────┬───────────────┬──────────────┬──────┘
 //!                        │               │              │
 //!          ┌─────────────▼───┐   ┌───────▼────────┐  ┌──▼──────────────┐
 //!          │  PrivacyPlane   │   │ IntegrityPlane │  │ ReplicatedStore │
-//!          │  (§III, per     │   │ (§IV, network- │  │ R-way placement │
-//!          │   user)         │   │  wide)         │  │ quorum reads    │
+//!          │  (§III, per     │   │ (§IV, sharded  │  │ R-way placement │
+//!          │   user)         │   │  per user)     │  │ quorum reads    │
 //!          │ any AccessScheme│   │ envelopes      │  │ read-repair     │
 //!          │ as trait object │   │ timelines      │  └──┬──────────────┘
 //!          │ + body codec    │   │ relation keys  │     │ StoragePlane
@@ -25,12 +28,17 @@
 //! Posts are encrypted by the author's privacy plane, signed and chained by
 //! the integrity plane, and written R-way by the replicated store; reads
 //! run a quorum fetch whose per-copy verifier is the envelope check itself,
-//! then decrypt. The default composition (`DosnNetwork::new`) is the
-//! survey's §II-B structured-overlay baseline — Chord with replication 3
-//! and the symmetric friends-group scheme — but any [`StoragePlane`]
-//! slots in via [`DosnNetwork::with_plane`], and any
-//! [`crate::privacy::AccessScheme`] via
-//! [`DosnNetwork::register_with_scheme`].
+//! then decrypt. Since the engine refactor every facade call executes as a
+//! batch of one through [`crate::engine::Engine`] — callers that want
+//! throughput submit an [`OpBatch`] to [`DosnNetwork::execute`] instead and
+//! get the prepare/finish phases parallelized across worker threads
+//! ([`DosnNetwork::set_workers`]) with byte-identical results.
+//!
+//! The default composition (`DosnNetwork::new`) is the survey's §II-B
+//! structured-overlay baseline — Chord with replication 3 and the symmetric
+//! friends-group scheme — but any [`StoragePlane`] slots in via
+//! [`DosnNetwork::with_plane`], and any [`crate::privacy::AccessScheme`]
+//! via [`DosnNetwork::register_with_scheme`].
 
 pub(crate) mod integrity_plane;
 pub(crate) mod privacy_plane;
@@ -45,21 +53,14 @@ pub use dosn_overlay::storage::{
     ChordPlane, FederationPlane, KademliaPlane, StorageError, StoragePlane, SuperPeerPlane,
 };
 
-use crate::content::Post;
+use crate::engine::{BatchReport, Engine, OpBatch, OpOutput};
 use crate::error::DosnError;
 use crate::graph::SocialGraph;
-use crate::identity::UserId;
-use crate::integrity::envelope::SignedEnvelope;
 use crate::privacy::AccessScheme;
-use dosn_crypto::chacha::SecureRng;
-use dosn_crypto::group::SchnorrGroup;
 use dosn_crypto::keys::KeyDirectory;
-use dosn_obs::{names, Registry, Snapshot};
+use dosn_obs::{Registry, Snapshot};
 use dosn_overlay::fault::FaultPlan;
 use dosn_overlay::metrics::Metrics;
-use std::collections::BTreeMap;
-use storage_glue::{storage_to_dosn, wall_key};
-use user::UserState;
 
 /// An assembled distributed online social network over a pluggable
 /// storage plane (Chord by default).
@@ -100,16 +101,28 @@ use user::UserState;
 /// # Ok(())
 /// # }
 /// ```
+///
+/// The batch path runs the same operations through the engine's
+/// prepare/commit/finish phases (see [`crate::engine`]):
+///
+/// ```
+/// use dosn_core::engine::{OpBatch, OpOutput};
+/// use dosn_core::network::DosnNetwork;
+///
+/// let mut net = DosnNetwork::new(32, 42);
+/// net.set_workers(4); // parallel prepare/finish; results unchanged
+/// let report = net.execute(
+///     OpBatch::new()
+///         .register("alice")
+///         .register("bob")
+///         .befriend("alice", "bob", 0.9)
+///         .post("alice", "batched hello")
+///         .read_post("bob", "alice", 0),
+/// );
+/// assert!(matches!(report.results[4], Ok(OpOutput::Read { .. })));
+/// ```
 pub struct DosnNetwork<S: StoragePlane = ChordPlane> {
-    group: SchnorrGroup,
-    directory: KeyDirectory,
-    storage: ReplicatedStore<S>,
-    users: BTreeMap<UserId, UserState>,
-    integrity: IntegrityPlane,
-    graph: SocialGraph,
-    metrics: Metrics,
-    obs: Registry,
-    rng: SecureRng,
+    engine: Engine<S>,
 }
 
 impl<S: StoragePlane> std::fmt::Debug for DosnNetwork<S> {
@@ -117,9 +130,9 @@ impl<S: StoragePlane> std::fmt::Debug for DosnNetwork<S> {
         write!(
             f,
             "DosnNetwork({} users over {} x{})",
-            self.users.len(),
-            self.storage.plane().name(),
-            self.storage.replicas(),
+            self.engine.user_count(),
+            self.engine.storage().plane().name(),
+            self.engine.storage().replicas(),
         )
     }
 }
@@ -147,32 +160,51 @@ impl<S: StoragePlane> DosnNetwork<S> {
     /// across the storage layer, the facade's end-to-end timings, and the
     /// crypto cache counters.
     pub fn with_replication(storage: ReplicatedStore<S>, seed: u64) -> Self {
-        let obs = storage.obs().clone();
-        let group = SchnorrGroup::toy();
-        group.register_obs(&obs);
         DosnNetwork {
-            group,
-            directory: KeyDirectory::new(),
-            storage,
-            users: BTreeMap::new(),
-            integrity: IntegrityPlane::new(),
-            graph: SocialGraph::new(),
-            metrics: Metrics::new(),
-            obs,
-            rng: SecureRng::seed_from_u64(seed ^ 0xD05A),
+            engine: Engine::new(storage, seed),
         }
     }
 
-    /// Registers a user with the default symmetric friends-group scheme.
+    /// Executes a batch of operations through the engine's
+    /// prepare / commit / finish phases. See [`crate::engine::Engine`] for
+    /// staging, determinism, and error semantics.
+    pub fn execute(&mut self, batch: OpBatch) -> BatchReport {
+        self.engine.execute(batch)
+    }
+
+    /// Sets the engine's worker-thread count for the parallel phases.
+    /// Results are byte-identical for any value; only wall-clock changes.
+    pub fn set_workers(&mut self, workers: usize) {
+        self.engine.set_workers(workers);
+    }
+
+    /// The engine's configured worker count.
+    pub fn workers(&self) -> usize {
+        self.engine.workers()
+    }
+
+    /// The underlying request engine.
+    pub fn engine(&self) -> &Engine<S> {
+        &self.engine
+    }
+
+    /// The underlying request engine, mutably.
+    pub fn engine_mut(&mut self) -> &mut Engine<S> {
+        &mut self.engine
+    }
+
+    /// Registers a user with the default symmetric friends-group scheme
+    /// (a batch of one through the engine).
     ///
     /// # Errors
     ///
     /// [`DosnError::UnknownUser`] if the name is already taken (reported
     /// against the name).
     pub fn register(&mut self, name: &str) -> Result<(), DosnError> {
-        let mut master = [0u8; 32];
-        rand::RngCore::fill_bytes(&mut self.rng, &mut master);
-        self.register_with_scheme(name, PrivacyPlane::symmetric(master))
+        match single(self.engine.execute(OpBatch::new().register(name)))? {
+            OpOutput::Registered => Ok(()),
+            other => Err(unexpected_output("register", &other)),
+        }
     }
 
     /// Registers a user whose posts are protected by an arbitrary §III
@@ -188,54 +220,34 @@ impl<S: StoragePlane> DosnNetwork<S> {
     pub fn register_with_scheme(
         &mut self,
         name: &str,
-        mut privacy: PrivacyPlane,
+        privacy: PrivacyPlane,
     ) -> Result<(), DosnError> {
-        let id = UserId::from(name);
-        if self.users.contains_key(&id) {
-            return Err(DosnError::UnknownUser(format!("{name} already registered")));
-        }
-        let _timer = self.obs.timer(names::NET_REGISTER);
-        let identity = crate::identity::Identity::create(
-            name,
-            self.group.clone(),
-            &self.directory,
-            &mut self.rng,
-        );
-        let friends_group = privacy.create_group(&[name.to_owned()])?;
-        self.graph.add_user(&id);
-        self.integrity.register(id.clone(), &mut self.rng);
-        self.users.insert(
-            id,
-            UserState {
-                identity,
-                privacy,
-                friends_group,
-            },
-        );
-        Ok(())
+        self.engine.register_with_plane(name, privacy)
     }
 
     /// The social graph.
     pub fn graph(&self) -> &SocialGraph {
-        &self.graph
+        self.engine.graph()
     }
 
     /// The key directory.
     pub fn directory(&self) -> &KeyDirectory {
-        &self.directory
+        self.engine.directory()
     }
 
     /// Accumulated overlay + plane metrics.
     pub fn metrics(&self) -> &Metrics {
-        &self.metrics
+        self.engine.metrics()
     }
 
     /// The network's observability registry (shared with the replicated
     /// store and the crypto layer's cache counters). End-to-end operation
     /// latencies land here: `net.post`, `net.read_post.quorum`,
-    /// `net.register`, `net.key_dissemination`, `crypto.schnorr.verify`.
+    /// `net.register`, `net.key_dissemination`, plus the engine phase
+    /// timings `engine.plan` / `engine.prepare` / `engine.commit` /
+    /// `engine.finish`.
     pub fn obs(&self) -> &Registry {
-        &self.obs
+        self.engine.obs()
     }
 
     /// Refreshes derived gauges (overlay traffic totals, big-integer
@@ -243,38 +255,30 @@ impl<S: StoragePlane> DosnNetwork<S> {
     /// every instrument. Call this right before exporting — the gauges are
     /// snapshots, not live counters.
     pub fn publish_obs(&self) -> Snapshot {
-        self.group.register_obs(&self.obs);
-        self.obs
-            .set_gauge(names::OVERLAY_MESSAGES, self.metrics.messages as f64);
-        self.obs
-            .set_gauge(names::OVERLAY_BYTES, self.metrics.bytes as f64);
-        self.obs
-            .histogram(names::OVERLAY_MSG_LATENCY)
-            .replace(self.metrics.latency.clone());
-        self.obs.snapshot()
+        self.engine.publish_obs()
     }
 
     /// A user's timeline (verifier view).
     pub fn timeline(&self, user: &str) -> Option<&crate::integrity::Timeline> {
-        self.integrity.timeline(&UserId::from(user))
+        self.engine.timeline(user)
     }
 
     /// The replicated storage layer (placement, accounting).
     pub fn storage(&self) -> &ReplicatedStore<S> {
-        &self.storage
+        self.engine.storage()
     }
 
     /// The replicated storage layer, mutably (churn injection, direct
     /// plane access).
     pub fn storage_mut(&mut self) -> &mut ReplicatedStore<S> {
-        &mut self.storage
+        self.engine.storage_mut()
     }
 
     /// Applies a fault plan's crash schedule to the storage plane as of
     /// `now_ms` (see [`apply_crash_schedule`]). Returns how many storage
     /// nodes are down afterwards.
     pub fn apply_crashes(&mut self, plan: &FaultPlan, now_ms: u64) -> usize {
-        apply_crash_schedule(self.storage.plane_mut(), plan, now_ms)
+        self.engine.apply_crashes(plan, now_ms)
     }
 
     /// Makes two users friends: graph edge + mutual friends-group
@@ -284,30 +288,10 @@ impl<S: StoragePlane> DosnNetwork<S> {
     ///
     /// [`DosnError::UnknownUser`] for unregistered names.
     pub fn befriend(&mut self, a: &str, b: &str, trust: f64) -> Result<(), DosnError> {
-        let (ida, idb) = (UserId::from(a), UserId::from(b));
-        if !self.users.contains_key(&ida) {
-            return Err(DosnError::UnknownUser(a.to_owned()));
+        match single(self.engine.execute(OpBatch::new().befriend(a, b, trust)))? {
+            OpOutput::Befriended => Ok(()),
+            other => Err(unexpected_output("befriend", &other)),
         }
-        if !self.users.contains_key(&idb) {
-            return Err(DosnError::UnknownUser(b.to_owned()));
-        }
-        // Key dissemination (§III): both friends-group memberships change,
-        // which is where group keys are (re)distributed.
-        let _timer = self.obs.timer(names::NET_KEY_DISSEMINATION);
-        self.graph.befriend(&ida, &idb, trust);
-        let state_a = self
-            .users
-            .get_mut(&ida)
-            .ok_or_else(|| DosnError::UnknownUser(a.to_owned()))?;
-        let ga = state_a.friends_group.clone();
-        state_a.privacy.add_member(&ga, b)?;
-        let state_b = self
-            .users
-            .get_mut(&idb)
-            .ok_or_else(|| DosnError::UnknownUser(b.to_owned()))?;
-        let gb = state_b.friends_group.clone();
-        state_b.privacy.add_member(&gb, a)?;
-        Ok(())
     }
 
     /// Publishes a friends-only post: encrypt (privacy plane) → sign +
@@ -319,32 +303,10 @@ impl<S: StoragePlane> DosnNetwork<S> {
     /// [`DosnError::UnknownUser`], privacy-plane sealing failures, and
     /// [`DosnError::ContentUnavailable`] for storage failures.
     pub fn post(&mut self, author: &str, body: &str) -> Result<u64, DosnError> {
-        let _timer = self.obs.timer(names::NET_POST);
-        let id = UserId::from(author);
-        let state = self
-            .users
-            .get_mut(&id)
-            .ok_or_else(|| DosnError::UnknownUser(author.to_owned()))?;
-        let seq = self.integrity.next_sequence(&id)?;
-        let post = Post::new(author, seq, seq, body);
-
-        // §III: encrypt for the friends group, wire-encoded for storage.
-        let friends_group = state.friends_group.clone();
-        let (ciphertext, epoch) = state.privacy.seal(&friends_group, &post.to_bytes())?;
-        // §IV: sign the ciphertext, chain it, and mint commenter keys.
-        let envelope = self.integrity.seal_post(
-            &state.identity,
-            seq,
-            self.group.clone(),
-            &ciphertext,
-            &mut self.rng,
-        )?;
-
-        let record = envelope.encode_wire(epoch, &self.group);
-        self.storage
-            .put(wall_key(author, seq), record, &mut self.metrics)
-            .map_err(storage_to_dosn)?;
-        Ok(seq)
+        match single(self.engine.execute(OpBatch::new().post(author, body)))? {
+            OpOutput::Posted { seq } => Ok(seq),
+            other => Err(unexpected_output("post", &other)),
+        }
     }
 
     /// Attaches a comment to `author`'s post `seq` as `commenter` — only
@@ -363,36 +325,16 @@ impl<S: StoragePlane> DosnNetwork<S> {
         seq: u64,
         body: &str,
     ) -> Result<(), DosnError> {
-        let commenter_id = UserId::from(commenter);
-        if !self.users.contains_key(&commenter_id) {
-            return Err(DosnError::UnknownUser(commenter.to_owned()));
+        let batch = OpBatch::new().comment(commenter, author, seq, body);
+        match single(self.engine.execute(batch))? {
+            OpOutput::Commented => Ok(()),
+            other => Err(unexpected_output("comment", &other)),
         }
-        let author_id = UserId::from(author);
-        let author_state = self
-            .users
-            .get(&author_id)
-            .ok_or_else(|| DosnError::UnknownUser(author.to_owned()))?;
-        // The friends-group check: only members may use the commenters key.
-        if !author_state
-            .privacy
-            .is_member(&author_state.friends_group, commenter)
-        {
-            return Err(DosnError::NotAuthorized(format!(
-                "{commenter} is not in {author}'s friends group"
-            )));
-        }
-        self.integrity.attach_comment(
-            &author_id,
-            seq,
-            commenter_id,
-            body.as_bytes(),
-            &mut self.rng,
-        )
     }
 
     /// Verified comments on a post (commenter, body).
     pub fn comments(&self, author: &str, seq: u64) -> Vec<(String, String)> {
-        self.integrity.comments(&UserId::from(author), seq)
+        self.engine.comments(author, seq)
     }
 
     /// Fetches (quorum read with envelope verification per copy), verifies,
@@ -407,65 +349,11 @@ impl<S: StoragePlane> DosnNetwork<S> {
     /// * [`DosnError::NotAuthorized`] — reader is not in the author's
     ///   friends group.
     pub fn read_post(&mut self, reader: &str, author: &str, seq: u64) -> Result<String, DosnError> {
-        let _timer = self.obs.timer(names::NET_READ_POST_QUORUM);
-        if !self.users.contains_key(&UserId::from(reader)) {
-            return Err(DosnError::UnknownUser(reader.to_owned()));
+        let batch = OpBatch::new().read_post(reader, author, seq);
+        match single(self.engine.execute(batch))? {
+            OpOutput::Read { body } => Ok(body),
+            other => Err(unexpected_output("read_post", &other)),
         }
-        let author_id = UserId::from(author);
-        let storage_key = wall_key(author, seq);
-
-        // Quorum read: a copy only counts toward the quorum if it decodes
-        // and its envelope verifies under the author's directory key. Each
-        // per-copy check is timed into `crypto.schnorr.verify`.
-        let group = &self.group;
-        let directory = &self.directory;
-        let verify_hist = self.obs.histogram(names::CRYPTO_SCHNORR_VERIFY);
-        let verified = self
-            .storage
-            .get_verified(storage_key, &mut self.metrics, |bytes| {
-                let started = std::time::Instant::now();
-                let ok = SignedEnvelope::decode_wire(&author_id, seq, bytes, group)
-                    .and_then(|(env, _)| env.verify(directory, None, u64::MAX - 1))
-                    .is_ok();
-                verify_hist
-                    .record(u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX));
-                ok
-            });
-        let record = match verified {
-            Ok(record) => record,
-            Err(StorageError::NotFound(_)) => {
-                // Nothing verified. Distinguish "no replica holds the key"
-                // from "replicas hold bytes that fail the check" so callers
-                // see the real defect (malformed record, bad signature).
-                let raw = self
-                    .storage
-                    .get(storage_key, &mut self.metrics)
-                    .map_err(storage_to_dosn)?;
-                let (env, _) = SignedEnvelope::decode_wire(&author_id, seq, &raw, &self.group)?;
-                env.verify(&self.directory, None, u64::MAX - 1)?;
-                return Err(DosnError::ContentUnavailable(format!(
-                    "no verifying quorum for {author}/{seq}"
-                )));
-            }
-            Err(e) => return Err(storage_to_dosn(e)),
-        };
-        let (envelope, epoch) = SignedEnvelope::decode_wire(&author_id, seq, &record, &self.group)?;
-        envelope.verify(&self.directory, None, u64::MAX - 1)?;
-
-        // §III: decrypt as the reader.
-        let author_state = self
-            .users
-            .get(&author_id)
-            .ok_or_else(|| DosnError::UnknownUser(author.to_owned()))?;
-        let plain = author_state.privacy.unseal(
-            &author_state.friends_group,
-            reader,
-            epoch,
-            &envelope.body,
-        )?;
-        let post: Post = serde_json::from_slice(&plain)
-            .map_err(|e| DosnError::IntegrityViolation(format!("bad post encoding: {e}")))?;
-        Ok(post.body)
     }
 
     /// Revokes a friendship: graph edge removed and both friends groups
@@ -475,25 +363,7 @@ impl<S: StoragePlane> DosnNetwork<S> {
     ///
     /// [`DosnError::UnknownUser`] for unregistered names.
     pub fn unfriend(&mut self, a: &str, b: &str) -> Result<u64, DosnError> {
-        let (ida, idb) = (UserId::from(a), UserId::from(b));
-        if !self.graph.unfriend(&ida, &idb) {
-            return Err(DosnError::UnknownUser(format!(
-                "{a} and {b} are not friends"
-            )));
-        }
-        let state_a = self
-            .users
-            .get_mut(&ida)
-            .ok_or_else(|| DosnError::UnknownUser(a.to_owned()))?;
-        let ga = state_a.friends_group.clone();
-        let cost_a = state_a.privacy.revoke_member(&ga, b)?;
-        let state_b = self
-            .users
-            .get_mut(&idb)
-            .ok_or_else(|| DosnError::UnknownUser(b.to_owned()))?;
-        let gb = state_b.friends_group.clone();
-        let cost_b = state_b.privacy.revoke_member(&gb, a)?;
-        Ok(cost_a.rekeyed_members + cost_b.rekeyed_members)
+        self.engine.unfriend(a, b)
     }
 }
 
@@ -514,9 +384,25 @@ impl<S: StoragePlane> DosnNetwork<S> {
     }
 }
 
+/// Unwraps a batch-of-one report into its only result. The engine
+/// guarantees one result per op, so the empty case is a typed defect
+/// report, never a panic.
+fn single(mut report: BatchReport) -> Result<OpOutput, DosnError> {
+    report.results.pop().unwrap_or_else(|| {
+        Err(DosnError::IntegrityViolation(
+            "engine returned an empty report for a batch of one".into(),
+        ))
+    })
+}
+
+fn unexpected_output(call: &str, output: &OpOutput) -> DosnError {
+    DosnError::IntegrityViolation(format!("engine returned {output:?} for a {call} op"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dosn_crypto::chacha::SecureRng;
 
     fn net() -> DosnNetwork {
         let mut n = DosnNetwork::new(16, 3);
@@ -685,6 +571,9 @@ mod tests {
         // Storage-layer timings rode along on the shared registry.
         assert!(snap.histograms["store.put"].count() >= 1);
         assert!(snap.histograms["store.get.quorum"].count() >= 1);
+        // Every facade call was a batch of one through the engine phases.
+        assert!(snap.histograms["engine.prepare"].count() >= 5);
+        assert!(snap.counters["engine.ops"] >= 6);
         // Derived gauges reflect the overlay traffic totals.
         assert!(snap.gauges["overlay.messages"] > 0.0);
         assert!(snap.gauges["overlay.bytes"] > 0.0);
@@ -712,5 +601,31 @@ mod tests {
         let seq = n.post("alice", "pke wall post").unwrap();
         assert_eq!(n.read_post("bob", "alice", seq).unwrap(), "pke wall post");
         assert!(n.read_post("carol", "alice", seq).is_err());
+    }
+
+    #[test]
+    fn facade_and_batch_paths_agree() {
+        // The same workload through single calls and through one batch
+        // must produce the same readable state.
+        let mut a = DosnNetwork::new(16, 44);
+        a.register("alice").unwrap();
+        a.register("bob").unwrap();
+        a.befriend("alice", "bob", 1.0).unwrap();
+        let seq = a.post("alice", "one way").unwrap();
+        let single_body = a.read_post("bob", "alice", seq).unwrap();
+
+        let mut b = DosnNetwork::new(16, 44);
+        let report = b.execute(
+            OpBatch::new()
+                .register("alice")
+                .register("bob")
+                .befriend("alice", "bob", 1.0)
+                .post("alice", "one way")
+                .read_post("bob", "alice", 0),
+        );
+        match &report.results[4] {
+            Ok(OpOutput::Read { body }) => assert_eq!(*body, single_body),
+            other => panic!("batched read failed: {other:?}"),
+        }
     }
 }

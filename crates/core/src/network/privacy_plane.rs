@@ -185,37 +185,34 @@ pub(crate) fn decode_sealed_body(bytes: &[u8]) -> Result<SealedBody, DosnError> 
     match tag {
         TAG_SYMMETRIC => Ok(SealedBody::Symmetric(rest.to_vec())),
         TAG_PER_RECIPIENT => {
-            if rest.len() < 4 {
-                return Err(malformed("truncated recipient count"));
-            }
-            let count =
-                u32::from_be_bytes(rest[0..4].try_into().expect("4 bytes checked")) as usize;
-            let mut cursor = &rest[4..];
+            // `split_first_chunk` carries the length check into the type, so
+            // a truncated record is an `Err`, never an indexing panic.
+            let (count_bytes, mut cursor) = rest
+                .split_first_chunk::<4>()
+                .ok_or_else(|| malformed("truncated recipient count"))?;
+            let count = u32::from_be_bytes(*count_bytes) as usize;
             let mut wrapped = Vec::new();
             for _ in 0..count {
-                if cursor.len() < 2 {
-                    return Err(malformed("truncated recipient id length"));
-                }
-                let id_len =
-                    u16::from_be_bytes(cursor[0..2].try_into().expect("2 bytes checked")) as usize;
-                cursor = &cursor[2..];
-                if cursor.len() < id_len {
+                let (id_len_bytes, rest) = cursor
+                    .split_first_chunk::<2>()
+                    .ok_or_else(|| malformed("truncated recipient id length"))?;
+                let id_len = u16::from_be_bytes(*id_len_bytes) as usize;
+                if rest.len() < id_len {
                     return Err(malformed("recipient id exceeds record"));
                 }
-                let id = String::from_utf8(cursor[..id_len].to_vec())
+                let (id_bytes, rest) = rest.split_at(id_len);
+                let id = String::from_utf8(id_bytes.to_vec())
                     .map_err(|_| malformed("recipient id is not utf-8"))?;
-                cursor = &cursor[id_len..];
-                if cursor.len() < 4 {
-                    return Err(malformed("truncated wrap length"));
-                }
-                let wrap_len =
-                    u32::from_be_bytes(cursor[0..4].try_into().expect("4 bytes checked")) as usize;
-                cursor = &cursor[4..];
-                if cursor.len() < wrap_len {
+                let (wrap_len_bytes, rest) = rest
+                    .split_first_chunk::<4>()
+                    .ok_or_else(|| malformed("truncated wrap length"))?;
+                let wrap_len = u32::from_be_bytes(*wrap_len_bytes) as usize;
+                if rest.len() < wrap_len {
                     return Err(malformed("wrapped key exceeds record"));
                 }
-                wrapped.push((id, cursor[..wrap_len].to_vec()));
-                cursor = &cursor[wrap_len..];
+                let (wrap, rest) = rest.split_at(wrap_len);
+                wrapped.push((id, wrap.to_vec()));
+                cursor = rest;
             }
             Ok(SealedBody::PerRecipient {
                 wrapped,
@@ -281,6 +278,13 @@ mod tests {
             &[TAG_PER_RECIPIENT][..],
             &[TAG_PER_RECIPIENT, 0, 0, 0, 9][..], // 9 recipients, no data
             &[TAG_PER_RECIPIENT, 0, 0, 0, 1, 0, 200][..], // id overruns
+            // A hostile count claiming u32::MAX recipients must fail on the
+            // first truncated record, not loop or allocate.
+            &[TAG_PER_RECIPIENT, 0xFF, 0xFF, 0xFF, 0xFF][..],
+            // Truncation exactly at the wrap-length field.
+            &[TAG_PER_RECIPIENT, 0, 0, 0, 1, 0, 1, b'a', 0, 0][..],
+            // Wrap length overruns the record.
+            &[TAG_PER_RECIPIENT, 0, 0, 0, 1, 0, 1, b'a', 0, 0, 0, 9][..],
         ] {
             assert!(matches!(
                 decode_sealed_body(bad),

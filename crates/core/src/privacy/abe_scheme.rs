@@ -103,7 +103,10 @@ impl AccessScheme for AbeGroupScheme {
             .authority
             .encrypt(&state.policy, plaintext, &mut self.rng)?;
         let epoch = state.epoch;
-        let state = self.groups.get_mut(group).expect("checked");
+        let state = self
+            .groups
+            .get_mut(group)
+            .ok_or_else(|| DosnError::UnknownGroup(group.to_string()))?;
         state.posts_encrypted += 1;
         Ok(SealedPost {
             scheme: self.name(),
@@ -153,7 +156,10 @@ impl AccessScheme for AbeGroupScheme {
         let key = self
             .authority
             .issue_key(&Self::qualified_member(group, member), &[attribute]);
-        let state = self.groups.get_mut(group).expect("checked");
+        let state = self
+            .groups
+            .get_mut(group)
+            .ok_or_else(|| DosnError::UnknownGroup(group.to_string()))?;
         state.revoked.remove(member);
         state
             .member_keys
@@ -185,7 +191,10 @@ impl AccessScheme for AbeGroupScheme {
         debug_assert!(report.attributes_rotated.contains(&attribute));
         // Re-key every remaining member at the new epoch.
         let remaining: Vec<String> = {
-            let state = self.groups.get(group).expect("checked");
+            let state = self
+                .groups
+                .get(group)
+                .ok_or_else(|| DosnError::UnknownGroup(group.to_string()))?;
             state
                 .member_keys
                 .keys()
@@ -198,15 +207,19 @@ impl AccessScheme for AbeGroupScheme {
                 &Self::qualified_member(group, m),
                 std::slice::from_ref(&attribute),
             );
-            self.groups
+            let keys = self
+                .groups
                 .get_mut(group)
-                .expect("checked")
+                .ok_or_else(|| DosnError::UnknownGroup(group.to_string()))?
                 .member_keys
                 .get_mut(m)
-                .expect("iterating members")
-                .push(key);
+                .ok_or_else(|| DosnError::UnknownUser(m.clone()))?;
+            keys.push(key);
         }
-        let state = self.groups.get_mut(group).expect("checked");
+        let state = self
+            .groups
+            .get_mut(group)
+            .ok_or_else(|| DosnError::UnknownGroup(group.to_string()))?;
         state.epoch += 1;
         Ok(MembershipCost {
             key_messages: remaining.len() as u64,

@@ -167,7 +167,10 @@ impl AccessScheme for IbbeGroupScheme {
             state.epoch
         };
         let _ = self.identity_key(member); // PKG extraction: one interaction
-        let state = self.groups.get_mut(group).expect("checked");
+        let state = self
+            .groups
+            .get_mut(group)
+            .ok_or_else(|| DosnError::UnknownGroup(group.to_string()))?;
         state.members.insert(member.to_owned(), (epoch, None));
         // The member's "key" is their identity key from the PKG; the group
         // owner sends nothing.

@@ -127,7 +127,10 @@ pub struct MembershipCost {
 /// A group-oriented access-control scheme (survey §III-B/C/D/E).
 ///
 /// Object-safe: experiment harnesses iterate `Vec<Box<dyn AccessScheme>>`.
-pub trait AccessScheme {
+/// `Send` is a supertrait so `Box<dyn AccessScheme>` (and the per-user
+/// state that owns one) can move into the request engine's prepare/finish
+/// worker threads; every scheme in this crate is plain owned data.
+pub trait AccessScheme: Send {
     /// Short scheme name for reports ("symmetric", "pke", "cp-abe", "ibbe").
     fn name(&self) -> &'static str;
 

@@ -190,7 +190,10 @@ impl AccessScheme for PkeGroupScheme {
             return Err(DosnError::UnknownUser(member.to_owned()));
         }
         let epoch = self.state(group)?.epoch;
-        let state = self.groups.get_mut(group).expect("checked");
+        let state = self
+            .groups
+            .get_mut(group)
+            .ok_or_else(|| DosnError::UnknownGroup(group.to_string()))?;
         state.members.insert(member.to_owned(), (epoch, None));
         // Adding a public key to the list costs nothing cryptographic.
         Ok(MembershipCost::default())

@@ -109,7 +109,10 @@ impl AccessScheme for SymmetricGroupScheme {
         let epoch = self.state(group)?.epoch;
         let key = self.epoch_key(group, epoch);
         let sealed = key.seal(plaintext, group.0.as_bytes(), &mut self.rng);
-        let state = self.groups.get_mut(group).expect("checked above");
+        let state = self
+            .groups
+            .get_mut(group)
+            .ok_or_else(|| DosnError::UnknownGroup(group.to_string()))?;
         state.posts_encrypted += 1;
         Ok(SealedPost {
             scheme: self.name(),
@@ -143,7 +146,10 @@ impl AccessScheme for SymmetricGroupScheme {
 
     fn add_member(&mut self, group: &GroupId, member: &str) -> Result<MembershipCost, DosnError> {
         let epoch = self.state(group)?.epoch;
-        let state = self.groups.get_mut(group).expect("checked");
+        let state = self
+            .groups
+            .get_mut(group)
+            .ok_or_else(|| DosnError::UnknownGroup(group.to_string()))?;
         state.members.insert(member.to_owned(), (epoch, None));
         // Share the current key: one message, no re-keying.
         Ok(MembershipCost {

@@ -104,6 +104,19 @@ pub const NET_REGISTER: &str = "net.register";
 /// Key-dissemination (befriend) latency, µs (histogram).
 pub const NET_KEY_DISSEMINATION: &str = "net.key_dissemination";
 
+// ---- request engine (batched prepare/commit/finish) ----
+
+/// Batch plan phase: validation and shard routing, µs (histogram).
+pub const ENGINE_PLAN: &str = "engine.plan";
+/// Batch prepare phase: parallel keygen + encrypt + sign, µs (histogram).
+pub const ENGINE_PREPARE: &str = "engine.prepare";
+/// Batch commit phase: sequential replicated writes, µs (histogram).
+pub const ENGINE_COMMIT: &str = "engine.commit";
+/// Batch finish phase: quorum reads, verify, decrypt, µs (histogram).
+pub const ENGINE_FINISH: &str = "engine.finish";
+/// Operations accepted by the engine (counter).
+pub const ENGINE_OPS: &str = "engine.ops";
+
 // ---- crypto ----
 
 /// Schnorr envelope-signature verification latency, µs (histogram).
@@ -168,6 +181,11 @@ pub const ALL: &[&str] = &[
     NET_READ_POST_QUORUM,
     NET_REGISTER,
     NET_KEY_DISSEMINATION,
+    ENGINE_PLAN,
+    ENGINE_PREPARE,
+    ENGINE_COMMIT,
+    ENGINE_FINISH,
+    ENGINE_OPS,
     CRYPTO_SCHNORR_VERIFY,
     CRYPTO_GROUP_TABLE_HIT,
     CRYPTO_GROUP_TABLE_MISS,

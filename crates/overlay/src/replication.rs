@@ -189,6 +189,48 @@ impl<P: StoragePlane> ReplicatedStore<P> {
         Ok(written)
     }
 
+    /// Writes a batch of `(key, value)` records, each to its first R online
+    /// candidates, in input order. One `store.put` timing covers the whole
+    /// batch, and replica selection runs once per key inside a single pass —
+    /// this is the commit-phase path of the batched request engine, which
+    /// amortizes the per-call placement and timing overhead of
+    /// [`ReplicatedStore::put`] across the batch.
+    ///
+    /// Returns the holder list per record, in input order.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::NoNodes`] as soon as any record finds no candidate
+    /// that accepts the write (records before it stay written — the caller
+    /// sequences batches, so partial progress is observable and
+    /// deterministic).
+    pub fn put_many(
+        &mut self,
+        items: &[(Key, Vec<u8>)],
+        metrics: &mut Metrics,
+    ) -> Result<Vec<Vec<NodeId>>, StorageError> {
+        let _put_timer = self.obs.timer(names::STORE_PUT);
+        let mut placed = Vec::with_capacity(items.len());
+        for (key, value) in items {
+            let candidates = self
+                .plane
+                .replica_candidates(*key, self.replicas, metrics)?;
+            let mut written = Vec::with_capacity(candidates.len());
+            for node in candidates {
+                if self.plane.store_at(node, *key, value, metrics).is_ok() {
+                    self.accounting.add(node, value.len() as u64);
+                    written.push(node);
+                }
+            }
+            if written.is_empty() {
+                return Err(StorageError::NoNodes);
+            }
+            metrics.bump(names::STORE_REPLICAS_WRITTEN, written.len() as u64);
+            placed.push(written);
+        }
+        Ok(placed)
+    }
+
     /// Quorum read with every copy trusted: [`ReplicatedStore::get_verified`]
     /// with a verifier that accepts anything.
     ///
@@ -197,6 +239,79 @@ impl<P: StoragePlane> ReplicatedStore<P> {
     /// See [`ReplicatedStore::get_verified`].
     pub fn get(&mut self, key: Key, metrics: &mut Metrics) -> Result<Vec<u8>, StorageError> {
         self.get_verified(key, metrics, |_| true)
+    }
+
+    /// Fetches the raw per-candidate copies of `key` without verifying or
+    /// repairing: the fetch half of a quorum read, split out so a batch
+    /// engine can collect copies for many keys under `&mut self`, then run
+    /// the expensive verification ([`quorum_vote`]) on worker threads, and
+    /// finally apply repairs ([`ReplicatedStore::repair_copies`]) back under
+    /// `&mut self`.
+    ///
+    /// Bumps `get.quorum_size` exactly as [`ReplicatedStore::get_verified`]
+    /// does.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::NoNodes`] when every node is offline.
+    pub fn fetch_copies(
+        &mut self,
+        key: Key,
+        metrics: &mut Metrics,
+    ) -> Result<FetchedCopies, StorageError> {
+        let candidates = self.plane.replica_candidates(key, self.replicas, metrics)?;
+        metrics.bump(names::GET_QUORUM_SIZE, candidates.len() as u64);
+        let mut copies: Vec<(NodeId, Option<Vec<u8>>)> = Vec::with_capacity(candidates.len());
+        for node in &candidates {
+            let got = self.plane.fetch_from(*node, key, metrics).unwrap_or(None);
+            copies.push((*node, got));
+        }
+        Ok(FetchedCopies { key, copies })
+    }
+
+    /// Fetches copies for a batch of keys in input order ([`ReplicatedStore::fetch_copies`]
+    /// per key under one pass): the finish-phase counterpart of
+    /// [`ReplicatedStore::put_many`]. A key whose plane has no online nodes
+    /// yields an `Err` entry; the rest of the batch still resolves.
+    pub fn fetch_many(
+        &mut self,
+        keys: &[Key],
+        metrics: &mut Metrics,
+    ) -> Vec<Result<FetchedCopies, StorageError>> {
+        keys.iter()
+            .map(|k| self.fetch_copies(*k, metrics))
+            .collect()
+    }
+
+    /// Read-repair pass over fetched copies: rewrites every candidate whose
+    /// copy differs from `winner`, charging storage accounting and bumping
+    /// `get.repairs`. Returns the number of repairs written.
+    pub fn repair_copies(
+        &mut self,
+        fetched: &FetchedCopies,
+        winner: &[u8],
+        metrics: &mut Metrics,
+    ) -> u64 {
+        let repair_timer = self.obs.timer(names::STORE_GET_REPAIR);
+        let mut repairs = 0u64;
+        for (node, copy) in &fetched.copies {
+            if copy.as_deref() == Some(winner) {
+                continue;
+            }
+            if self
+                .plane
+                .store_at(*node, fetched.key, winner, metrics)
+                .is_ok()
+            {
+                self.accounting.add(*node, winner.len() as u64);
+                repairs += 1;
+            }
+        }
+        if repairs > 0 {
+            metrics.bump(names::GET_REPAIRS, repairs);
+        }
+        repair_timer.observe();
+        repairs
     }
 
     /// Quorum read: fetches `key` from *all* R current candidates, keeps the
@@ -221,65 +336,70 @@ impl<P: StoragePlane> ReplicatedStore<P> {
         verify: impl Fn(&[u8]) -> bool,
     ) -> Result<Vec<u8>, StorageError> {
         let quorum_timer = self.obs.timer(names::STORE_GET_QUORUM);
-        let candidates = self.plane.replica_candidates(key, self.replicas, metrics)?;
-        metrics.bump(names::GET_QUORUM_SIZE, candidates.len() as u64);
+        let fetched = self.fetch_copies(key, metrics)?;
+        let winner = quorum_vote(&fetched, self.read_quorum, verify)?;
+        quorum_timer.observe();
+        self.repair_copies(&fetched, &winner, metrics);
+        Ok(winner)
+    }
+}
 
-        // (candidate, copy-if-any); offline races read as holding nothing.
-        let mut copies: Vec<(NodeId, Option<Vec<u8>>)> = Vec::with_capacity(candidates.len());
-        for node in &candidates {
-            let got = self.plane.fetch_from(*node, key, metrics).unwrap_or(None);
-            copies.push((*node, got));
-        }
+/// The raw per-candidate copies fetched for one key: the intermediate state
+/// of a quorum read between the fetch pass and the repair pass. Offline
+/// races read as the candidate holding nothing.
+#[derive(Debug, Clone)]
+pub struct FetchedCopies {
+    /// The key the copies were fetched for.
+    pub key: Key,
+    /// `(candidate, copy-if-any)` in placement preference order.
+    pub copies: Vec<(NodeId, Option<Vec<u8>>)>,
+}
 
-        // Majority vote among verifying copies, preference order breaking
-        // ties (the earliest-seen value wins at equal counts).
-        let mut tally: Vec<(&[u8], usize)> = Vec::new();
-        for (_, copy) in &copies {
-            if let Some(bytes) = copy {
-                if verify(bytes) {
-                    match tally.iter_mut().find(|(v, _)| *v == bytes.as_slice()) {
-                        Some((_, n)) => *n += 1,
-                        None => tally.push((bytes.as_slice(), 1)),
-                    }
+/// Majority vote among verifying copies: the pure (no storage access)
+/// middle of a quorum read, split out so worker threads can run the
+/// expensive `verify` closure concurrently over many [`FetchedCopies`].
+/// Ties break toward the copy held by the most-preferred candidate (the
+/// earliest-seen value wins at equal counts).
+///
+/// # Errors
+///
+/// [`StorageError::NotFound`] when no candidate holds a verifying copy;
+/// [`StorageError::QuorumFailed`] when some do but fewer than `read_quorum`.
+pub fn quorum_vote(
+    fetched: &FetchedCopies,
+    read_quorum: usize,
+    verify: impl Fn(&[u8]) -> bool,
+) -> Result<Vec<u8>, StorageError> {
+    let mut tally: Vec<(&[u8], usize)> = Vec::new();
+    for (_, copy) in &fetched.copies {
+        if let Some(bytes) = copy {
+            if verify(bytes) {
+                match tally.iter_mut().find(|(v, _)| *v == bytes.as_slice()) {
+                    Some((_, n)) => *n += 1,
+                    None => tally.push((bytes.as_slice(), 1)),
                 }
             }
         }
-        let verified: usize = tally.iter().map(|(_, n)| n).sum();
-        if verified == 0 {
-            return Err(StorageError::NotFound(key));
-        }
-        if verified < self.read_quorum {
-            return Err(StorageError::QuorumFailed {
-                key,
-                have: verified,
-                need: self.read_quorum,
-            });
-        }
-        let winner: Vec<u8> = tally
-            .iter()
-            .max_by_key(|(_, n)| *n)
-            .map(|(v, _)| v.to_vec())
-            .expect("verified > 0");
-        quorum_timer.observe();
-
-        // Read-repair: rewrite every candidate that lacks the winner.
-        let repair_timer = self.obs.timer(names::STORE_GET_REPAIR);
-        let mut repairs = 0u64;
-        for (node, copy) in &copies {
-            if copy.as_deref() == Some(winner.as_slice()) {
-                continue;
-            }
-            if self.plane.store_at(*node, key, &winner, metrics).is_ok() {
-                self.accounting.add(*node, winner.len() as u64);
-                repairs += 1;
-            }
-        }
-        if repairs > 0 {
-            metrics.bump(names::GET_REPAIRS, repairs);
-        }
-        repair_timer.observe();
-        Ok(winner)
     }
+    let verified: usize = tally.iter().map(|(_, n)| n).sum();
+    if verified == 0 {
+        return Err(StorageError::NotFound(fetched.key));
+    }
+    if verified < read_quorum {
+        return Err(StorageError::QuorumFailed {
+            key: fetched.key,
+            have: verified,
+            need: read_quorum,
+        });
+    }
+    // `reduce` keeps the incumbent on ties, so the earliest-seen (most
+    // preferred candidate's) value wins at equal counts.
+    Ok(tally
+        .iter()
+        .copied()
+        .reduce(|best, cand| if cand.1 > best.1 { cand } else { best })
+        .map(|(v, _)| v.to_vec())
+        .expect("verified > 0"))
 }
 
 #[cfg(test)]
@@ -429,6 +549,120 @@ mod tests {
         // was timed too.
         assert_eq!(snap.histograms["store.get.repair"].count(), 1);
         assert!(m.count("get.repairs") > 0);
+    }
+
+    #[test]
+    fn put_many_matches_sequential_puts() {
+        let items: Vec<(Key, Vec<u8>)> = (0u8..8)
+            .map(|i| (Key::hash(&[b'k', i]), vec![i; 64]))
+            .collect();
+
+        let mut batched = ReplicatedStore::new(ChordPlane::build(48, 11), 3);
+        let mut mb = Metrics::new();
+        let placed = batched.put_many(&items, &mut mb).unwrap();
+
+        let mut sequential = ReplicatedStore::new(ChordPlane::build(48, 11), 3);
+        let mut ms = Metrics::new();
+        for (i, (key, value)) in items.iter().enumerate() {
+            let holders = sequential.put(*key, value.clone(), &mut ms).unwrap();
+            assert_eq!(placed[i], holders, "placement diverged at item {i}");
+        }
+        assert_eq!(
+            mb.count("store.replicas_written"),
+            ms.count("store.replicas_written")
+        );
+        assert_eq!(
+            batched.accounting().total_bytes(),
+            sequential.accounting().total_bytes()
+        );
+        // Every batched write reads back through the normal quorum path.
+        for (key, value) in &items {
+            assert_eq!(batched.get(*key, &mut mb).unwrap(), *value);
+        }
+    }
+
+    #[test]
+    fn split_fetch_vote_repair_matches_get_verified() {
+        let mut whole = ReplicatedStore::new(ChordPlane::build(32, 9), 3);
+        let mut split = ReplicatedStore::new(ChordPlane::build(32, 9), 3);
+        let mut m = Metrics::new();
+        let key = Key::hash(b"split-path");
+        let holders = whole.put(key, b"good".to_vec(), &mut m).unwrap();
+        split.put(key, b"good".to_vec(), &mut m).unwrap();
+        // Corrupt the same replica in both stores.
+        whole
+            .plane_mut()
+            .store_at(holders[2], key, b"BAD!", &mut m)
+            .unwrap();
+        split
+            .plane_mut()
+            .store_at(holders[2], key, b"BAD!", &mut m)
+            .unwrap();
+
+        let via_whole = whole.get(key, &mut m).unwrap();
+
+        let mut ms = Metrics::new();
+        let fetched = split.fetch_copies(key, &mut ms).unwrap();
+        let winner = quorum_vote(&fetched, split.read_quorum(), |b| b != b"BAD!").unwrap();
+        let repairs = split.repair_copies(&fetched, &winner, &mut ms);
+        assert_eq!(winner, via_whole);
+        assert_eq!(repairs, 1);
+        assert_eq!(ms.count("get.repairs"), 1);
+        assert_eq!(ms.count("get.quorum_size"), 3);
+        assert_eq!(
+            split
+                .plane_mut()
+                .fetch_from(holders[2], key, &mut ms)
+                .unwrap(),
+            Some(b"good".to_vec())
+        );
+    }
+
+    #[test]
+    fn quorum_vote_is_pure_and_reports_shortfall() {
+        let key = Key::hash(b"pure-vote");
+        let nodes: Vec<NodeId> = (0..3).map(NodeId).collect();
+        let fetched = FetchedCopies {
+            key,
+            copies: vec![
+                (nodes[0], Some(b"v".to_vec())),
+                (nodes[1], None),
+                (nodes[2], Some(b"w".to_vec())),
+            ],
+        };
+        // Tie at one vote each: preference order (earliest seen) wins.
+        assert_eq!(quorum_vote(&fetched, 1, |_| true).unwrap(), b"v");
+        // Below quorum with some verifying copies reports the shortfall.
+        match quorum_vote(&fetched, 3, |_| true) {
+            Err(StorageError::QuorumFailed { have, need, .. }) => {
+                assert_eq!((have, need), (2, 3));
+            }
+            other => panic!("expected QuorumFailed, got {other:?}"),
+        }
+        // No verifying copies at all reads as missing.
+        assert!(matches!(
+            quorum_vote(&fetched, 1, |_| false),
+            Err(StorageError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn fetch_many_preserves_per_key_results() {
+        let mut store = ReplicatedStore::new(ChordPlane::build(32, 9), 3);
+        let mut m = Metrics::new();
+        let stored = Key::hash(b"present");
+        let missing = Key::hash(b"absent");
+        store.put(stored, b"v".to_vec(), &mut m).unwrap();
+        let fetched = store.fetch_many(&[stored, missing], &mut m);
+        assert_eq!(fetched.len(), 2);
+        let hit = fetched[0].as_ref().unwrap();
+        assert_eq!(quorum_vote(hit, 1, |_| true).unwrap(), b"v");
+        // An unknown key still yields candidates; the vote reports it missing.
+        let miss = fetched[1].as_ref().unwrap();
+        assert!(matches!(
+            quorum_vote(miss, 1, |_| true),
+            Err(StorageError::NotFound(_))
+        ));
     }
 
     #[test]

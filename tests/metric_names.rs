@@ -69,6 +69,7 @@ fn every_metric_name_literal_is_declared_in_names() {
     let mut files = Vec::new();
     for dir in [
         "crates/overlay/src",
+        "crates/core/src/engine",
         "crates/core/src/network",
         "crates/bench/src",
         "crates/bench/benches",

@@ -175,3 +175,39 @@ fn epochs_recorded_on_posts() {
         assert_eq!(p0.scheme, scheme.name());
     }
 }
+
+/// Regression: operations on a group id that was never created must come
+/// back as typed errors for every scheme. These paths used to sit behind
+/// `expect("checked")` double-lookups in the scheme internals; a refactor
+/// that reorders the lookup and the check must fail this test, not panic.
+#[test]
+fn unknown_group_is_a_typed_error_not_a_panic() {
+    use dosn::core::DosnError;
+    let ghost = GroupId("no-such-group".to_string());
+    for mut scheme in schemes() {
+        // Create a real group so internal state is non-empty.
+        scheme.create_group(&["u0".to_string()]).unwrap();
+        let name = scheme.name();
+        assert!(
+            matches!(
+                scheme.encrypt(&ghost, b"x"),
+                Err(DosnError::UnknownGroup(_))
+            ),
+            "{name}: encrypt on unknown group"
+        );
+        assert!(
+            matches!(
+                scheme.add_member(&ghost, "u1"),
+                Err(DosnError::UnknownGroup(_))
+            ),
+            "{name}: add_member on unknown group"
+        );
+        assert!(
+            matches!(
+                scheme.revoke_member(&ghost, "u0"),
+                Err(DosnError::UnknownGroup(_))
+            ),
+            "{name}: revoke_member on unknown group"
+        );
+    }
+}
