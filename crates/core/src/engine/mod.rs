@@ -13,25 +13,37 @@
 //!    plan       │  sequential: validate ops, route each to its author's
 //!                ▼  shard, derive one RNG per op via HKDF(seed, op_index)
 //!  ┌─────────────────────────────────────────────────────────┐
-//!  │ prepare    parallel over shards (std::thread::scope):   │
+//!  │ prepare    parallel over shards (std::thread::scope,    │   stage A
+//!  │            round-robin shard→worker binning):           │
 //!  │            register keygen · post/comment encrypt+sign  │
 //!  │            (befriend links run in the sequential seam — │
 //!  │            they touch two users' shards at once)        │
 //!  └─────────────────────────────────────────────────────────┘
-//!                │ prepared wire records, in op order
-//!                ▼
-//!    commit      sequential: replicated `put_many` in op order, so
-//!                placement, replication, and metrics are deterministic
+//!                │ prepared records → CommitPlan (conflict waves
+//!                ▼ of per-shard queues; see `engine::commit`)
+//!    commit      wave-ordered per-shard queue drains: a commit    stage B
+//!                barrier only between ops whose key sets
+//!                intersect — disjoint queues commute, so drain
+//!                order is free (and audited under permutation)
 //!                │
 //!                ▼
 //!  ┌─────────────────────────────────────────────────────────┐
-//!  │ finish     fetch copies sequentially (storage is &mut), │
-//!  │            then parallel per-shard quorum votes +       │
-//!  │            envelope verification + decryption           │
+//!  │ finish     fetch copies sequentially (storage is &mut), │   stage B
+//!  │            then parallel quorum votes + envelope        │
+//!  │            verification + decryption over a read-only   │
+//!  │            snapshot of the read authors' states         │
 //!  └─────────────────────────────────────────────────────────┘
 //!                │
 //!                ▼  sequential: read-repairs, fallbacks, results
 //! ```
+//!
+//! [`Engine::execute_all`] pipelines consecutive batches two-stage deep:
+//! while batch k runs its commit/finish (stage B, which only touches
+//! storage, metrics, and the moved-out author snapshot), batch k+1's plan
+//! and prepare (stage A, which only touches shards, graph, and directory)
+//! run concurrently — but only when batch k+1 mentions none of the users
+//! in batch k's snapshot, so overlapped execution is observationally
+//! identical to sequential execution.
 //!
 //! # Determinism contract
 //!
@@ -50,13 +62,16 @@
 //! `Befriend`s, then `Post`/`Comment` crypto and commits, then
 //! `ReadPost`s. Results are reported in submission order. A `ReadPost`
 //! in the same batch as its `Post` reads the committed record; a
-//! `Comment` after its `Post` attaches to it. If the storage plane
-//! rejects the batched commit outright (no online nodes), every post in
-//! the batch reports that storage error.
+//! `Comment` after its `Post` attaches to it. Commit failures are
+//! isolated per op: a post whose replicas cannot be placed (its plane has
+//! no online nodes) reports its own storage error while sibling shard
+//! queues still commit.
 
 mod batch;
+pub mod commit;
 
 pub use batch::{BatchReport, Op, OpBatch, OpOutput, OpTiming};
+pub use commit::{CommitEntry, CommitPlan};
 
 use crate::content::Post;
 use crate::error::DosnError;
@@ -111,8 +126,10 @@ impl Shard {
 
 /// Stable user→shard routing: first eight big-endian bytes of
 /// `SHA-256(name)` mod [`NUM_SHARDS`]. Must never depend on registration
-/// order or worker count.
-fn shard_of(name: &str) -> usize {
+/// order or worker count. Public because [`OpTiming::shard`] consumers
+/// (the E14 throughput model) reproduce the engine's shard→worker
+/// binning, and workload shapers use it to spread authors evenly.
+pub fn shard_of(name: &str) -> usize {
     let digest = sha256(name.as_bytes());
     let mut eight = [0u8; 8];
     eight.copy_from_slice(&digest[..8]);
@@ -217,6 +234,7 @@ pub struct Engine<S: StoragePlane> {
     seed: [u8; 32],
     next_op_index: u64,
     workers: usize,
+    drain_seed: Option<u64>,
 }
 
 impl<S: StoragePlane> std::fmt::Debug for Engine<S> {
@@ -252,7 +270,23 @@ impl<S: StoragePlane> Engine<S> {
             seed: sha256(&seed.to_be_bytes()),
             next_op_index: 0,
             workers: 1,
+            drain_seed: None,
         }
+    }
+
+    /// Sets the adversarial-scheduler seed: with `Some(seed)`, the commit
+    /// phase drains each conflict wave's shard queues in a seeded
+    /// permutation instead of ascending shard order. Because same-wave
+    /// queues never share storage keys, **any** seed must produce the
+    /// same final stored state and digests — this hook exists so the
+    /// determinism suites can prove that, not to change behavior.
+    pub fn set_commit_drain_seed(&mut self, seed: Option<u64>) {
+        self.drain_seed = seed;
+    }
+
+    /// The configured commit drain-order seed, if any.
+    pub fn commit_drain_seed(&self) -> Option<u64> {
+        self.drain_seed
     }
 
     /// Sets the worker-thread count for the parallel phases (clamped to
@@ -414,497 +448,813 @@ impl<S: StoragePlane> Engine<S> {
         Ok(cost_a.rekeyed_members + cost_b.rekeyed_members)
     }
 
-    /// Executes a batch through the prepare / commit / finish pipeline.
-    /// See the module docs for staging and determinism semantics.
+    /// Executes a batch through the plan / prepare / commit / finish
+    /// pipeline. See the module docs for staging and determinism
+    /// semantics. Equivalent to `execute_all(vec![batch])` but available
+    /// for non-`Send` storage planes (no cross-thread pipelining).
     pub fn execute(&mut self, batch: OpBatch) -> BatchReport {
+        let staged = self.stage(batch);
+        self.exec(staged)
+    }
+
+    /// Stage A of one batch: claim op indices, plan, prepare. Mutates
+    /// shards / graph / directory but never storage or metrics.
+    fn stage(&mut self, batch: OpBatch) -> StagedBatch {
         let ops = batch.into_ops();
-        let n = ops.len();
+        self.obs.counter(names::ENGINE_OPS).add(ops.len() as u64);
         let base = self.next_op_index;
-        self.next_op_index += n as u64;
-        self.obs.counter(names::ENGINE_OPS).add(n as u64);
-
-        let mut results: Vec<Option<Result<OpOutput, DosnError>>> = (0..n).map(|_| None).collect();
-        let mut timings = vec![OpTiming::default(); n];
-
-        // ---- plan: route, validate registers, stamp shards ----
-        let plan_timer = self.obs.timer(names::ENGINE_PLAN);
-        let mut register_jobs: Vec<Vec<RegisterJob>> =
-            (0..NUM_SHARDS).map(|_| Vec::new()).collect();
-        let mut befriend_ops: Vec<usize> = Vec::new();
-        let mut pending_names: std::collections::BTreeSet<String> =
-            std::collections::BTreeSet::new();
-        for (i, op) in ops.iter().enumerate() {
-            match op {
-                Op::Register { name } => {
-                    timings[i].shard = shard_of(name);
-                    if self.user_exists(name) || !pending_names.insert(name.clone()) {
-                        results[i] = Some(Err(DosnError::UnknownUser(format!(
-                            "{name} already registered"
-                        ))));
-                        continue;
-                    }
-                    register_jobs[shard_of(name)].push(RegisterJob {
-                        op_idx: i,
-                        global: base + i as u64,
-                        name: name.clone(),
-                    });
-                }
-                Op::Befriend { a, .. } => {
-                    timings[i].shard = shard_of(a);
-                    befriend_ops.push(i);
-                }
-                Op::Post { author, .. } | Op::Comment { author, .. } => {
-                    timings[i].shard = shard_of(author);
-                }
-                Op::ReadPost { author, .. } => {
-                    timings[i].shard = shard_of(author);
-                }
-            }
-        }
-        plan_timer.observe();
-
-        let prepare_timer = self.obs.timer(names::ENGINE_PREPARE);
-
-        // ---- prepare, part 1: register keygen (parallel over shards) ----
-        let reg_outs = self.run_sharded(register_jobs, |shard, jobs, ctx| {
-            let mut outs = Vec::with_capacity(jobs.len());
-            for job in jobs {
-                let started = Instant::now();
-                let mut rng = op_rng(&ctx.seed, job.global);
-                let mut master = [0u8; 32];
-                rand::RngCore::fill_bytes(&mut rng, &mut master);
-                let mut privacy = PrivacyPlane::symmetric(master);
-                let result = match privacy.create_group(std::slice::from_ref(&job.name)) {
-                    Err(e) => Err(e),
-                    Ok(friends_group) => {
-                        let identity = Identity::create(
-                            job.name.as_str(),
-                            ctx.group.clone(),
-                            &ctx.directory,
-                            &mut rng,
-                        );
-                        let id = identity.id().clone();
-                        shard.integrity.register(id.clone(), &mut rng);
-                        shard.users.insert(
-                            id,
-                            UserState {
-                                identity,
-                                privacy,
-                                friends_group,
-                            },
-                        );
-                        Ok(())
-                    }
-                };
-                let micros = elapsed_micros(started);
-                ctx.obs.histogram(names::NET_REGISTER).record(micros);
-                outs.push(RegisterOut {
-                    op_idx: job.op_idx,
-                    result,
-                    micros,
-                });
-            }
-            outs
-        });
-        for out in reg_outs {
-            timings[out.op_idx].prepare_micros = out.micros;
-            results[out.op_idx] = Some(match out.result {
-                Ok(()) => {
-                    // Graph membership is global state: applied here, in op
-                    // order, not inside the sharded workers.
-                    if let Op::Register { name } = &ops[out.op_idx] {
-                        self.graph.add_user(&UserId::from(name.as_str()));
-                    }
-                    Ok(OpOutput::Registered)
-                }
-                Err(e) => Err(e),
-            });
-        }
-
-        // ---- prepare, part 2: befriend links (sequential seam — each op
-        // touches two users, usually in different shards) ----
-        for &i in &befriend_ops {
-            let Op::Befriend { a, b, trust } = &ops[i] else {
-                continue;
-            };
-            results[i] = Some(self.link(a, b, *trust));
-        }
-
-        // ---- prepare, part 3: post/comment validation + crypto ----
-        // Posts are enqueued before comments within every shard, so a
-        // comment anywhere in the batch can attach to a post the same batch
-        // creates (the stage contract: registers, befriends, posts,
-        // comments, reads).
-        let mut write_jobs: Vec<Vec<WriteJob>> = (0..NUM_SHARDS).map(|_| Vec::new()).collect();
-        for (i, op) in ops.iter().enumerate() {
-            let Op::Post { author, body } = op else {
-                continue;
-            };
-            if !self.user_exists(author) {
-                // The old facade timed even rejected posts (its timer
-                // guard predated the lookup).
-                self.obs.histogram(names::NET_POST).record(0);
-                results[i] = Some(Err(DosnError::UnknownUser(author.clone())));
-                continue;
-            }
-            write_jobs[shard_of(author)].push(WriteJob::Post {
-                op_idx: i,
-                global: base + i as u64,
-                author: author.clone(),
-                body: body.clone(),
-            });
-        }
-        for (i, op) in ops.iter().enumerate() {
-            let Op::Comment {
-                commenter,
-                author,
-                seq,
-                body,
-            } = op
-            else {
-                continue;
-            };
-            if !self.user_exists(commenter) {
-                results[i] = Some(Err(DosnError::UnknownUser(commenter.clone())));
-                continue;
-            }
-            let Some(author_state) = self.user(author) else {
-                results[i] = Some(Err(DosnError::UnknownUser(author.clone())));
-                continue;
-            };
-            if !author_state
-                .privacy
-                .is_member(&author_state.friends_group, commenter)
-            {
-                results[i] = Some(Err(DosnError::NotAuthorized(format!(
-                    "{commenter} is not in {author}'s friends group"
-                ))));
-                continue;
-            }
-            write_jobs[shard_of(author)].push(WriteJob::Comment {
-                op_idx: i,
-                global: base + i as u64,
-                commenter: commenter.clone(),
-                author: author.clone(),
-                seq: *seq,
-                body: body.clone(),
-            });
-        }
-        let write_outs = self.run_sharded(write_jobs, |shard, jobs, ctx| {
-            let mut outs = Vec::with_capacity(jobs.len());
-            for job in jobs {
-                match job {
-                    WriteJob::Post {
-                        op_idx,
-                        global,
-                        author,
-                        body,
-                    } => {
-                        let started = Instant::now();
-                        let mut rng = op_rng(&ctx.seed, global);
-                        let result = prepare_post(shard, ctx, &author, &body, &mut rng);
-                        let micros = elapsed_micros(started);
-                        ctx.obs.histogram(names::NET_POST).record(micros);
-                        outs.push(WriteOut {
-                            op_idx,
-                            result,
-                            micros,
-                        });
-                    }
-                    WriteJob::Comment {
-                        op_idx,
-                        global,
-                        commenter,
-                        author,
-                        seq,
-                        body,
-                    } => {
-                        let started = Instant::now();
-                        let mut rng = op_rng(&ctx.seed, global);
-                        let result = shard
-                            .integrity
-                            .attach_comment(
-                                &UserId::from(author.as_str()),
-                                seq,
-                                UserId::from(commenter.as_str()),
-                                body.as_bytes(),
-                                &mut rng,
-                            )
-                            .map(|()| Prepared::Commented);
-                        outs.push(WriteOut {
-                            op_idx,
-                            result,
-                            micros: elapsed_micros(started),
-                        });
-                    }
-                }
-            }
-            outs
-        });
-        prepare_timer.observe();
-
-        // ---- commit: replicated writes, sequential in op order ----
-        let commit_timer = self.obs.timer(names::ENGINE_COMMIT);
-        let mut commits: Vec<(usize, u64, Key, Vec<u8>)> = Vec::new();
-        for out in write_outs {
-            timings[out.op_idx].prepare_micros = out.micros;
-            match out.result {
-                Ok(Prepared::Posted { seq, key, record }) => {
-                    commits.push((out.op_idx, seq, key, record));
-                }
-                Ok(Prepared::Commented) => {
-                    results[out.op_idx] = Some(Ok(OpOutput::Commented));
-                }
-                Err(e) => results[out.op_idx] = Some(Err(e)),
-            }
-        }
-        commits.sort_unstable_by_key(|(op_idx, ..)| *op_idx);
-        let mut record_hasher = Sha256::new();
-        if !commits.is_empty() {
-            let items: Vec<(Key, Vec<u8>)> = commits
-                .iter()
-                .map(|(_, _, key, record)| (*key, record.clone()))
-                .collect();
-            match self.storage.put_many(&items, &mut self.metrics) {
-                Ok(_placed) => {
-                    for (op_idx, seq, key, record) in &commits {
-                        record_hasher.update(&key.0.to_be_bytes());
-                        record_hasher.update(record);
-                        results[*op_idx] = Some(Ok(OpOutput::Posted { seq: *seq }));
-                    }
-                }
-                Err(e) => {
-                    // The batched put is all-or-error: a plane with no
-                    // online nodes fails every post in the batch the same
-                    // way (documented batch contract).
-                    for (op_idx, ..) in &commits {
-                        results[*op_idx] = Some(Err(storage_to_dosn(e.clone())));
-                    }
-                }
-            }
-        }
-        commit_timer.observe();
-
-        // ---- finish: quorum reads — sequential fetch, parallel verify +
-        // decrypt, sequential repair/fallback ----
-        let finish_timer = self.obs.timer(names::ENGINE_FINISH);
-        let mut read_jobs: Vec<Vec<ReadJob>> = (0..NUM_SHARDS).map(|_| Vec::new()).collect();
-        for (i, op) in ops.iter().enumerate() {
-            let Op::ReadPost {
-                reader,
-                author,
-                seq,
-            } = op
-            else {
-                continue;
-            };
-            if !self.user_exists(reader) {
-                // As with posts, the old facade timed rejected reads too.
-                self.obs.histogram(names::NET_READ_POST_QUORUM).record(0);
-                results[i] = Some(Err(DosnError::UnknownUser(reader.clone())));
-                continue;
-            }
-            let started = Instant::now();
-            let fetched = self
-                .storage
-                .fetch_copies(wall_key(author, *seq), &mut self.metrics);
-            read_jobs[shard_of(author)].push(ReadJob {
-                op_idx: i,
-                author: author.clone(),
-                reader: reader.clone(),
-                seq: *seq,
-                fetched,
-                fetch_micros: elapsed_micros(started),
-            });
-        }
-        let read_quorum = self.storage.read_quorum();
-        let read_outs = self.run_sharded(read_jobs, |shard, jobs, ctx| {
-            let mut outs = Vec::with_capacity(jobs.len());
-            for job in jobs {
-                let started = Instant::now();
-                let outcome = finish_read(shard, ctx, read_quorum, &job);
-                outs.push(ReadOut {
-                    op_idx: job.op_idx,
-                    outcome,
-                    micros: job.fetch_micros + elapsed_micros(started),
-                });
-            }
-            outs
-        });
-        let mut read_outs = read_outs;
-        read_outs.sort_unstable_by_key(|o| o.op_idx);
-        for out in read_outs {
-            timings[out.op_idx].finish_micros = out.micros;
-            let result = match out.outcome {
-                ReadOutcome::Done(r) => r,
-                ReadOutcome::Verified {
-                    body,
-                    winner,
-                    fetched,
-                } => {
-                    self.storage
-                        .repair_copies(&fetched, &winner, &mut self.metrics);
-                    Ok(OpOutput::Read { body })
-                }
-                ReadOutcome::NeedsFallback => {
-                    let Op::ReadPost { author, seq, .. } = &ops[out.op_idx] else {
-                        continue;
-                    };
-                    self.read_fallback(author, *seq)
-                }
-            };
-            self.obs
-                .histogram(names::NET_READ_POST_QUORUM)
-                .record(out.micros);
-            results[out.op_idx] = Some(result);
-        }
-        finish_timer.observe();
-
-        // ---- report ----
-        let results: Vec<Result<OpOutput, DosnError>> = results
-            .into_iter()
-            .map(|r| {
-                r.unwrap_or_else(|| {
-                    Err(DosnError::IntegrityViolation(
-                        "engine produced no result for an op".into(),
-                    ))
-                })
-            })
-            .collect();
-        let mut hasher = Sha256::new();
-        for r in &results {
-            BatchReport::fold_outcome(&mut hasher, r);
-        }
-        hasher.update(&record_hasher.finalize());
-        BatchReport {
-            results,
-            digest: hasher.finalize(),
-            timings,
-        }
+        self.next_op_index += ops.len() as u64;
+        let ctx = self.worker_ctx();
+        stage_batch(
+            &mut self.shards,
+            &mut self.graph,
+            &ctx,
+            self.workers,
+            ops,
+            base,
+        )
     }
 
-    /// The sequential befriend seam: graph edge plus mutual friends-group
-    /// membership, exactly the old facade semantics.
-    fn link(&mut self, a: &str, b: &str, trust: f64) -> Result<OpOutput, DosnError> {
-        let (ida, idb) = (UserId::from(a), UserId::from(b));
-        // The graph layer asserts on self-edges and out-of-range trust;
-        // request-path inputs get typed errors instead.
-        if a == b {
-            return Err(DosnError::NotAuthorized(format!(
-                "{a} cannot befriend themselves"
-            )));
-        }
-        if !(0.0..=1.0).contains(&trust) {
-            return Err(DosnError::NotAuthorized(format!(
-                "trust {trust} outside [0, 1]"
-            )));
-        }
-        if !self.user_exists(a) {
-            return Err(DosnError::UnknownUser(a.to_owned()));
-        }
-        if !self.user_exists(b) {
-            return Err(DosnError::UnknownUser(b.to_owned()));
-        }
-        let _timer = self.obs.timer(names::NET_KEY_DISSEMINATION);
-        self.graph.befriend(&ida, &idb, trust);
-        let state_a = self.shards[shard_of(a)]
-            .users
-            .get_mut(&ida)
-            .ok_or_else(|| DosnError::UnknownUser(a.to_owned()))?;
-        let ga = state_a.friends_group.clone();
-        state_a.privacy.add_member(&ga, b)?;
-        let state_b = self.shards[shard_of(b)]
-            .users
-            .get_mut(&idb)
-            .ok_or_else(|| DosnError::UnknownUser(b.to_owned()))?;
-        let gb = state_b.friends_group.clone();
-        state_b.privacy.add_member(&gb, a)?;
-        Ok(OpOutput::Befriended)
+    /// Stage B of one batch: commit + finish, then put the moved-out
+    /// author snapshot back into its shards.
+    fn exec(&mut self, staged: StagedBatch) -> BatchReport {
+        let ctx = self.worker_ctx();
+        let (report, snapshot) = exec_staged(
+            &mut self.storage,
+            &mut self.metrics,
+            &ctx,
+            self.workers,
+            self.drain_seed,
+            staged,
+        );
+        reinsert_snapshot(&mut self.shards, snapshot);
+        report
     }
 
-    /// The no-verifying-quorum fallback: re-read raw bytes so callers see
-    /// the real defect — missing, malformed, or badly signed.
-    fn read_fallback(&mut self, author: &str, seq: u64) -> Result<OpOutput, DosnError> {
-        let raw = self
-            .storage
-            .get(wall_key(author, seq), &mut self.metrics)
-            .map_err(storage_to_dosn)?;
-        let author_id = UserId::from(author);
-        let (env, _) = SignedEnvelope::decode_wire(&author_id, seq, &raw, &self.group)?;
-        env.verify(&self.directory, None, u64::MAX - 1)?;
-        Err(DosnError::ContentUnavailable(format!(
-            "no verifying quorum for {author}/{seq}"
-        )))
-    }
-
-    /// Runs per-shard job lists across the configured workers with scoped
-    /// threads. Shards are split into contiguous chunks, one per worker;
-    /// each worker processes its shards in shard order and each shard's
-    /// jobs in op order, so outputs (merged and re-sorted by the caller)
-    /// never depend on the worker count. With one worker everything runs
-    /// inline on the calling thread.
-    fn run_sharded<J: Send, O: Send>(
-        &mut self,
-        mut jobs: Vec<Vec<J>>,
-        work: impl Fn(&mut Shard, Vec<J>, &WorkerCtx) -> Vec<O> + Sync,
-    ) -> Vec<O> {
-        let ctx = WorkerCtx {
+    fn worker_ctx(&self) -> WorkerCtx {
+        WorkerCtx {
             group: self.group.clone(),
             directory: self.directory.clone(),
             obs: self.obs.clone(),
             seed: self.seed,
+        }
+    }
+}
+
+impl<S: StoragePlane + Send> Engine<S> {
+    /// Executes a sequence of batches with a bounded two-stage pipeline:
+    /// batch k+1's plan/prepare (stage A) overlaps batch k's
+    /// commit/finish (stage B) on a scoped thread whenever
+    ///
+    /// - more than one worker is configured, and
+    /// - batch k+1 mentions **no user** whose state batch k's finish
+    ///   phase snapshot holds (so stage A's shard lookups cannot observe
+    ///   the moved-out states).
+    ///
+    /// When the condition fails the pair simply runs sequentially, so
+    /// reports and final state are byte-identical to calling
+    /// [`Engine::execute`] in a loop — the property the
+    /// `commit_ordering` suite proves. Overlapped pairs count on the
+    /// `engine.pipeline.overlap` instrument.
+    pub fn execute_all(&mut self, batches: Vec<OpBatch>) -> Vec<BatchReport> {
+        let mut reports = Vec::with_capacity(batches.len());
+        let mut batches = batches.into_iter();
+        let Some(first) = batches.next() else {
+            return reports;
         };
-        let total: usize = jobs.iter().map(Vec::len).sum();
-        if total == 0 {
-            return Vec::new();
-        }
-        if self.workers <= 1 {
-            let mut outs = Vec::with_capacity(total);
-            for (shard, shard_jobs) in self.shards.iter_mut().zip(jobs) {
-                if !shard_jobs.is_empty() {
-                    outs.extend(work(shard, shard_jobs, &ctx));
-                }
+        let mut staged = self.stage(first);
+        for next in batches {
+            if self.workers > 1 && can_overlap(&staged, next.ops()) {
+                self.obs.counter(names::ENGINE_PIPELINE_OVERLAP).add(1);
+                let ops = next.into_ops();
+                self.obs.counter(names::ENGINE_OPS).add(ops.len() as u64);
+                let base = self.next_op_index;
+                self.next_op_index += ops.len() as u64;
+                let ctx = self.worker_ctx();
+                let workers = self.workers;
+                let drain_seed = self.drain_seed;
+                let ((report, snapshot), staged_next) = {
+                    let Engine {
+                        storage,
+                        metrics,
+                        shards,
+                        graph,
+                        ..
+                    } = &mut *self;
+                    let exec_ctx = ctx.clone();
+                    let prev = staged;
+                    thread::scope(|scope| {
+                        let handle = scope.spawn(move || {
+                            exec_staged(storage, metrics, &exec_ctx, workers, drain_seed, prev)
+                        });
+                        let staged_next = stage_batch(shards, graph, &ctx, workers, ops, base);
+                        let outcome = match handle.join() {
+                            Ok(outcome) => outcome,
+                            Err(panic) => std::panic::resume_unwind(panic),
+                        };
+                        (outcome, staged_next)
+                    })
+                };
+                reinsert_snapshot(&mut self.shards, snapshot);
+                reports.push(report);
+                staged = staged_next;
+            } else {
+                reports.push(self.exec(staged));
+                staged = self.stage(next);
             }
-            return outs;
         }
-        let chunk = NUM_SHARDS.div_ceil(self.workers);
-        let work = &work;
-        let ctx = &ctx;
-        let mut outs: Vec<O> = Vec::with_capacity(total);
-        thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for (shard_chunk, job_chunk) in
-                self.shards.chunks_mut(chunk).zip(jobs.chunks_mut(chunk))
-            {
-                let mut chunk_jobs: Vec<Vec<J>> =
-                    job_chunk.iter_mut().map(std::mem::take).collect();
-                if chunk_jobs.iter().all(Vec::is_empty) {
+        reports.push(self.exec(staged));
+        reports
+    }
+}
+
+/// One validated `ReadPost` the finish phase will serve.
+struct ReadRequest {
+    op_idx: usize,
+    reader: String,
+    author: String,
+    seq: u64,
+    shard: usize,
+}
+
+/// Everything stage A (plan + prepare) produced for one batch. Stage B
+/// (commit + finish) consumes it without ever touching the shards — read
+/// authors' states travel inside `snapshot`.
+struct StagedBatch {
+    ops: Vec<Op>,
+    results: Vec<Option<Result<OpOutput, DosnError>>>,
+    timings: Vec<OpTiming>,
+    plan: CommitPlan,
+    reads: Vec<ReadRequest>,
+    /// Read-author states moved out of their shards (`(home shard,
+    /// state)` per user) so the finish phase can verify and decrypt while
+    /// the next batch's prepare owns the shards. Reinserted after exec.
+    snapshot: BTreeMap<UserId, (usize, UserState)>,
+}
+
+fn user_in<'a>(shards: &'a [Shard], name: &str) -> Option<&'a UserState> {
+    shards[shard_of(name)].users.get(&UserId::from(name))
+}
+
+/// Every user name a batch's ops refer to, for the pipeline overlap check.
+fn mentioned_names(ops: &[Op]) -> std::collections::BTreeSet<&str> {
+    let mut names = std::collections::BTreeSet::new();
+    for op in ops {
+        match op {
+            Op::Register { name } => {
+                names.insert(name.as_str());
+            }
+            Op::Befriend { a, b, .. } => {
+                names.insert(a.as_str());
+                names.insert(b.as_str());
+            }
+            Op::Post { author, .. } => {
+                names.insert(author.as_str());
+            }
+            Op::Comment {
+                commenter, author, ..
+            } => {
+                names.insert(commenter.as_str());
+                names.insert(author.as_str());
+            }
+            Op::ReadPost { reader, author, .. } => {
+                names.insert(reader.as_str());
+                names.insert(author.as_str());
+            }
+        }
+    }
+    names
+}
+
+/// Overlap rule: stage A of `next_ops` may run while `staged`'s stage B is
+/// in flight iff `next_ops` mentions none of the users whose states the
+/// snapshot moved out of the shards. Everything else the two stages touch
+/// is disjoint by construction (shards/graph vs storage/metrics) or
+/// thread-safe with per-user granularity (directory, obs).
+fn can_overlap(staged: &StagedBatch, next_ops: &[Op]) -> bool {
+    if staged.snapshot.is_empty() {
+        return true;
+    }
+    let mentioned = mentioned_names(next_ops);
+    !staged
+        .snapshot
+        .keys()
+        .any(|id| mentioned.contains(id.0.as_str()))
+}
+
+fn reinsert_snapshot(shards: &mut [Shard], snapshot: BTreeMap<UserId, (usize, UserState)>) {
+    for (id, (home, state)) in snapshot {
+        shards[home].users.insert(id, state);
+    }
+}
+
+/// Stage A: plan, prepare (registers, befriend seam, post/comment crypto),
+/// commit-plan construction, read validation, and the author-state
+/// snapshot. Touches shards, graph, and (through worker threads) the
+/// directory — never storage or metrics.
+fn stage_batch(
+    shards: &mut [Shard],
+    graph: &mut SocialGraph,
+    ctx: &WorkerCtx,
+    workers: usize,
+    ops: Vec<Op>,
+    base: u64,
+) -> StagedBatch {
+    let n = ops.len();
+    let mut results: Vec<Option<Result<OpOutput, DosnError>>> = (0..n).map(|_| None).collect();
+    let mut timings = vec![OpTiming::default(); n];
+
+    // ---- plan: route, validate registers, stamp shards ----
+    let plan_timer = ctx.obs.timer(names::ENGINE_PLAN);
+    let mut register_jobs: Vec<Vec<RegisterJob>> = (0..NUM_SHARDS).map(|_| Vec::new()).collect();
+    let mut befriend_ops: Vec<usize> = Vec::new();
+    let mut pending_names: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    for (i, op) in ops.iter().enumerate() {
+        match op {
+            Op::Register { name } => {
+                timings[i].shard = shard_of(name);
+                if user_in(shards, name).is_some() || !pending_names.insert(name.clone()) {
+                    results[i] = Some(Err(DosnError::UnknownUser(format!(
+                        "{name} already registered"
+                    ))));
                     continue;
                 }
-                handles.push(scope.spawn(move || {
-                    let mut outs = Vec::new();
-                    for (shard, shard_jobs) in shard_chunk.iter_mut().zip(chunk_jobs.drain(..)) {
-                        if !shard_jobs.is_empty() {
-                            outs.extend(work(shard, shard_jobs, ctx));
-                        }
-                    }
-                    outs
-                }));
+                register_jobs[shard_of(name)].push(RegisterJob {
+                    op_idx: i,
+                    global: base + i as u64,
+                    name: name.clone(),
+                });
             }
-            for handle in handles {
-                match handle.join() {
-                    Ok(mut worker_outs) => outs.append(&mut worker_outs),
-                    Err(panic) => std::panic::resume_unwind(panic),
+            Op::Befriend { a, .. } => {
+                timings[i].shard = shard_of(a);
+                befriend_ops.push(i);
+            }
+            Op::Post { author, .. } | Op::Comment { author, .. } => {
+                timings[i].shard = shard_of(author);
+            }
+            Op::ReadPost { author, .. } => {
+                timings[i].shard = shard_of(author);
+            }
+        }
+    }
+    plan_timer.observe();
+
+    let prepare_timer = ctx.obs.timer(names::ENGINE_PREPARE);
+
+    // ---- prepare, part 1: register keygen (parallel over shards) ----
+    let mut reg_outs = run_sharded(shards, workers, ctx, register_jobs, |shard, jobs, ctx| {
+        let mut outs = Vec::with_capacity(jobs.len());
+        for job in jobs {
+            let started = Instant::now();
+            let mut rng = op_rng(&ctx.seed, job.global);
+            let mut master = [0u8; 32];
+            rand::RngCore::fill_bytes(&mut rng, &mut master);
+            let mut privacy = PrivacyPlane::symmetric(master);
+            let result = match privacy.create_group(std::slice::from_ref(&job.name)) {
+                Err(e) => Err(e),
+                Ok(friends_group) => {
+                    let identity = Identity::create(
+                        job.name.as_str(),
+                        ctx.group.clone(),
+                        &ctx.directory,
+                        &mut rng,
+                    );
+                    let id = identity.id().clone();
+                    shard.integrity.register(id.clone(), &mut rng);
+                    shard.users.insert(
+                        id,
+                        UserState {
+                            identity,
+                            privacy,
+                            friends_group,
+                        },
+                    );
+                    Ok(())
+                }
+            };
+            let micros = elapsed_micros(started);
+            ctx.obs.histogram(names::NET_REGISTER).record(micros);
+            outs.push(RegisterOut {
+                op_idx: job.op_idx,
+                result,
+                micros,
+            });
+        }
+        outs
+    });
+    // Graph membership is global state: applied here, in op order (the
+    // merge order of worker outputs depends on the binning), not inside
+    // the sharded workers.
+    reg_outs.sort_unstable_by_key(|o| o.op_idx);
+    for out in reg_outs {
+        timings[out.op_idx].prepare_micros = out.micros;
+        results[out.op_idx] = Some(match out.result {
+            Ok(()) => {
+                if let Op::Register { name } = &ops[out.op_idx] {
+                    graph.add_user(&UserId::from(name.as_str()));
+                }
+                Ok(OpOutput::Registered)
+            }
+            Err(e) => Err(e),
+        });
+    }
+
+    // ---- prepare, part 2: befriend links (sequential seam — each op
+    // touches two users, usually in different shards) ----
+    for &i in &befriend_ops {
+        let Op::Befriend { a, b, trust } = &ops[i] else {
+            continue;
+        };
+        results[i] = Some(link(shards, graph, &ctx.obs, a, b, *trust));
+    }
+
+    // ---- prepare, part 3: post/comment validation + crypto ----
+    // Posts are enqueued before comments within every shard, so a
+    // comment anywhere in the batch can attach to a post the same batch
+    // creates (the stage contract: registers, befriends, posts,
+    // comments, reads).
+    let mut write_jobs: Vec<Vec<WriteJob>> = (0..NUM_SHARDS).map(|_| Vec::new()).collect();
+    for (i, op) in ops.iter().enumerate() {
+        let Op::Post { author, body } = op else {
+            continue;
+        };
+        if user_in(shards, author).is_none() {
+            // The old facade timed even rejected posts (its timer
+            // guard predated the lookup).
+            ctx.obs.histogram(names::NET_POST).record(0);
+            results[i] = Some(Err(DosnError::UnknownUser(author.clone())));
+            continue;
+        }
+        write_jobs[shard_of(author)].push(WriteJob::Post {
+            op_idx: i,
+            global: base + i as u64,
+            author: author.clone(),
+            body: body.clone(),
+        });
+    }
+    for (i, op) in ops.iter().enumerate() {
+        let Op::Comment {
+            commenter,
+            author,
+            seq,
+            body,
+        } = op
+        else {
+            continue;
+        };
+        if user_in(shards, commenter).is_none() {
+            results[i] = Some(Err(DosnError::UnknownUser(commenter.clone())));
+            continue;
+        }
+        let Some(author_state) = user_in(shards, author) else {
+            results[i] = Some(Err(DosnError::UnknownUser(author.clone())));
+            continue;
+        };
+        if !author_state
+            .privacy
+            .is_member(&author_state.friends_group, commenter)
+        {
+            results[i] = Some(Err(DosnError::NotAuthorized(format!(
+                "{commenter} is not in {author}'s friends group"
+            ))));
+            continue;
+        }
+        write_jobs[shard_of(author)].push(WriteJob::Comment {
+            op_idx: i,
+            global: base + i as u64,
+            commenter: commenter.clone(),
+            author: author.clone(),
+            seq: *seq,
+            body: body.clone(),
+        });
+    }
+    let mut write_outs = run_sharded(shards, workers, ctx, write_jobs, |shard, jobs, ctx| {
+        let mut outs = Vec::with_capacity(jobs.len());
+        for job in jobs {
+            match job {
+                WriteJob::Post {
+                    op_idx,
+                    global,
+                    author,
+                    body,
+                } => {
+                    let started = Instant::now();
+                    let mut rng = op_rng(&ctx.seed, global);
+                    let result = prepare_post(shard, ctx, &author, &body, &mut rng);
+                    let micros = elapsed_micros(started);
+                    ctx.obs.histogram(names::NET_POST).record(micros);
+                    outs.push(WriteOut {
+                        op_idx,
+                        result,
+                        micros,
+                    });
+                }
+                WriteJob::Comment {
+                    op_idx,
+                    global,
+                    commenter,
+                    author,
+                    seq,
+                    body,
+                } => {
+                    let started = Instant::now();
+                    let mut rng = op_rng(&ctx.seed, global);
+                    let result = shard
+                        .integrity
+                        .attach_comment(
+                            &UserId::from(author.as_str()),
+                            seq,
+                            UserId::from(commenter.as_str()),
+                            body.as_bytes(),
+                            &mut rng,
+                        )
+                        .map(|()| Prepared::Commented);
+                    outs.push(WriteOut {
+                        op_idx,
+                        result,
+                        micros: elapsed_micros(started),
+                    });
                 }
             }
-        });
+        }
         outs
+    });
+    prepare_timer.observe();
+
+    // ---- commit plan: total (op_idx, seq) order + conflict waves ----
+    write_outs.sort_unstable_by_key(|o| o.op_idx);
+    let mut entries: Vec<CommitEntry> = Vec::new();
+    for out in write_outs {
+        timings[out.op_idx].prepare_micros = out.micros;
+        match out.result {
+            Ok(Prepared::Posted { seq, key, record }) => {
+                entries.push(CommitEntry {
+                    op_idx: out.op_idx,
+                    seq,
+                    key,
+                    record,
+                    shard: timings[out.op_idx].shard,
+                });
+            }
+            Ok(Prepared::Commented) => {
+                results[out.op_idx] = Some(Ok(OpOutput::Commented));
+            }
+            Err(e) => results[out.op_idx] = Some(Err(e)),
+        }
     }
+    let plan = CommitPlan::build(entries);
+
+    // ---- read validation + author-state snapshot ----
+    let mut reads: Vec<ReadRequest> = Vec::new();
+    for (i, op) in ops.iter().enumerate() {
+        let Op::ReadPost {
+            reader,
+            author,
+            seq,
+        } = op
+        else {
+            continue;
+        };
+        if user_in(shards, reader).is_none() {
+            // As with posts, the old facade timed rejected reads too.
+            ctx.obs.histogram(names::NET_READ_POST_QUORUM).record(0);
+            results[i] = Some(Err(DosnError::UnknownUser(reader.clone())));
+            continue;
+        }
+        reads.push(ReadRequest {
+            op_idx: i,
+            reader: reader.clone(),
+            author: author.clone(),
+            seq: *seq,
+            shard: shard_of(author),
+        });
+    }
+    let mut snapshot: BTreeMap<UserId, (usize, UserState)> = BTreeMap::new();
+    for req in &reads {
+        let id = UserId::from(req.author.as_str());
+        if snapshot.contains_key(&id) {
+            continue;
+        }
+        if let Some(state) = shards[req.shard].users.remove(&id) {
+            snapshot.insert(id, (req.shard, state));
+        }
+    }
+
+    StagedBatch {
+        ops,
+        results,
+        timings,
+        plan,
+        reads,
+        snapshot,
+    }
+}
+
+/// Stage B: drain the commit plan, serve the reads, build the report.
+/// Touches storage and metrics (plus the snapshot, directory reads, and
+/// obs) — never the shards or graph, which is what lets it overlap the
+/// next batch's stage A.
+fn exec_staged<S: StoragePlane>(
+    storage: &mut ReplicatedStore<S>,
+    metrics: &mut Metrics,
+    ctx: &WorkerCtx,
+    workers: usize,
+    drain_seed: Option<u64>,
+    staged: StagedBatch,
+) -> (BatchReport, BTreeMap<UserId, (usize, UserState)>) {
+    let StagedBatch {
+        ops,
+        mut results,
+        mut timings,
+        plan,
+        reads,
+        snapshot,
+    } = staged;
+
+    // ---- commit: wave-ordered per-shard queue drains ----
+    let commit_timer = ctx.obs.timer(names::ENGINE_COMMIT);
+    let mut record_hasher = Sha256::new();
+    if !plan.entries().is_empty() {
+        ctx.obs
+            .histogram(names::ENGINE_COMMIT_SHARDS)
+            .record(plan.queue_count() as u64);
+        let placed = plan.apply(storage, metrics, drain_seed);
+        for (entry, placement) in plan.entries().iter().zip(placed) {
+            match placement {
+                Ok(_holders) => {
+                    record_hasher.update(&entry.key.0.to_be_bytes());
+                    record_hasher.update(&entry.record);
+                    results[entry.op_idx] = Some(Ok(OpOutput::Posted { seq: entry.seq }));
+                }
+                // Per-entry isolation: a poisoned op reports its own
+                // storage error; sibling queues commit regardless.
+                Err(e) => results[entry.op_idx] = Some(Err(storage_to_dosn(e))),
+            }
+        }
+    }
+    commit_timer.observe();
+
+    // ---- finish: quorum reads — sequential fetch, parallel verify +
+    // decrypt over the snapshot, sequential repair/fallback ----
+    let finish_timer = ctx.obs.timer(names::ENGINE_FINISH);
+    let mut read_jobs: Vec<Vec<ReadJob>> = (0..NUM_SHARDS).map(|_| Vec::new()).collect();
+    for req in reads {
+        let started = Instant::now();
+        let fetched = storage.fetch_copies(wall_key(&req.author, req.seq), metrics);
+        read_jobs[req.shard].push(ReadJob {
+            op_idx: req.op_idx,
+            author: req.author,
+            reader: req.reader,
+            seq: req.seq,
+            fetched,
+            fetch_micros: elapsed_micros(started),
+        });
+    }
+    let read_quorum = storage.read_quorum();
+    let mut read_outs = run_reads(&snapshot, workers, ctx, read_quorum, read_jobs);
+    read_outs.sort_unstable_by_key(|o| o.op_idx);
+    for out in read_outs {
+        timings[out.op_idx].finish_micros = out.micros;
+        let result = match out.outcome {
+            ReadOutcome::Done(r) => r,
+            ReadOutcome::Verified {
+                body,
+                winner,
+                fetched,
+            } => {
+                storage.repair_copies(&fetched, &winner, metrics);
+                Ok(OpOutput::Read { body })
+            }
+            ReadOutcome::NeedsFallback => {
+                let Op::ReadPost { author, seq, .. } = &ops[out.op_idx] else {
+                    continue;
+                };
+                read_fallback(storage, metrics, ctx, author, *seq)
+            }
+        };
+        ctx.obs
+            .histogram(names::NET_READ_POST_QUORUM)
+            .record(out.micros);
+        results[out.op_idx] = Some(result);
+    }
+    finish_timer.observe();
+
+    // ---- report ----
+    let results: Vec<Result<OpOutput, DosnError>> = results
+        .into_iter()
+        .map(|r| {
+            r.unwrap_or_else(|| {
+                Err(DosnError::IntegrityViolation(
+                    "engine produced no result for an op".into(),
+                ))
+            })
+        })
+        .collect();
+    let mut hasher = Sha256::new();
+    for r in &results {
+        BatchReport::fold_outcome(&mut hasher, r);
+    }
+    hasher.update(&record_hasher.finalize());
+    (
+        BatchReport {
+            results,
+            digest: hasher.finalize(),
+            timings,
+        },
+        snapshot,
+    )
+}
+
+/// The sequential befriend seam: graph edge plus mutual friends-group
+/// membership, exactly the old facade semantics.
+fn link(
+    shards: &mut [Shard],
+    graph: &mut SocialGraph,
+    obs: &Registry,
+    a: &str,
+    b: &str,
+    trust: f64,
+) -> Result<OpOutput, DosnError> {
+    let (ida, idb) = (UserId::from(a), UserId::from(b));
+    // The graph layer asserts on self-edges and out-of-range trust;
+    // request-path inputs get typed errors instead.
+    if a == b {
+        return Err(DosnError::NotAuthorized(format!(
+            "{a} cannot befriend themselves"
+        )));
+    }
+    if !(0.0..=1.0).contains(&trust) {
+        return Err(DosnError::NotAuthorized(format!(
+            "trust {trust} outside [0, 1]"
+        )));
+    }
+    if user_in(shards, a).is_none() {
+        return Err(DosnError::UnknownUser(a.to_owned()));
+    }
+    if user_in(shards, b).is_none() {
+        return Err(DosnError::UnknownUser(b.to_owned()));
+    }
+    let _timer = obs.timer(names::NET_KEY_DISSEMINATION);
+    graph.befriend(&ida, &idb, trust);
+    let state_a = shards[shard_of(a)]
+        .users
+        .get_mut(&ida)
+        .ok_or_else(|| DosnError::UnknownUser(a.to_owned()))?;
+    let ga = state_a.friends_group.clone();
+    state_a.privacy.add_member(&ga, b)?;
+    let state_b = shards[shard_of(b)]
+        .users
+        .get_mut(&idb)
+        .ok_or_else(|| DosnError::UnknownUser(b.to_owned()))?;
+    let gb = state_b.friends_group.clone();
+    state_b.privacy.add_member(&gb, a)?;
+    Ok(OpOutput::Befriended)
+}
+
+/// The no-verifying-quorum fallback: re-read raw bytes so callers see
+/// the real defect — missing, malformed, or badly signed.
+fn read_fallback<S: StoragePlane>(
+    storage: &mut ReplicatedStore<S>,
+    metrics: &mut Metrics,
+    ctx: &WorkerCtx,
+    author: &str,
+    seq: u64,
+) -> Result<OpOutput, DosnError> {
+    let raw = storage
+        .get(wall_key(author, seq), metrics)
+        .map_err(storage_to_dosn)?;
+    let author_id = UserId::from(author);
+    let (env, _) = SignedEnvelope::decode_wire(&author_id, seq, &raw, &ctx.group)?;
+    env.verify(&ctx.directory, None, u64::MAX - 1)?;
+    Err(DosnError::ContentUnavailable(format!(
+        "no verifying quorum for {author}/{seq}"
+    )))
+}
+
+/// Runs per-shard job lists across `workers` scoped threads. Shards are
+/// binned round-robin (shard *i* → worker *i* mod `workers`), which
+/// spreads a dense contiguous shard range evenly where contiguous
+/// chunking would load the first workers and starve the last. Each worker
+/// processes its shards in shard order and each shard's jobs in op order;
+/// callers re-sort merged outputs by op index, so results never depend on
+/// the worker count. With one worker everything runs inline on the
+/// calling thread.
+fn run_sharded<J: Send, O: Send>(
+    shards: &mut [Shard],
+    workers: usize,
+    ctx: &WorkerCtx,
+    jobs: Vec<Vec<J>>,
+    work: impl Fn(&mut Shard, Vec<J>, &WorkerCtx) -> Vec<O> + Sync,
+) -> Vec<O> {
+    let total: usize = jobs.iter().map(Vec::len).sum();
+    if total == 0 {
+        return Vec::new();
+    }
+    if workers <= 1 {
+        let mut outs = Vec::with_capacity(total);
+        for (shard, shard_jobs) in shards.iter_mut().zip(jobs) {
+            if !shard_jobs.is_empty() {
+                outs.extend(work(shard, shard_jobs, ctx));
+            }
+        }
+        return outs;
+    }
+    let mut bins: Vec<Vec<(&mut Shard, Vec<J>)>> = (0..workers).map(|_| Vec::new()).collect();
+    for (i, (shard, shard_jobs)) in shards.iter_mut().zip(jobs).enumerate() {
+        if !shard_jobs.is_empty() {
+            bins[i % workers].push((shard, shard_jobs));
+        }
+    }
+    let work = &work;
+    let mut outs: Vec<O> = Vec::with_capacity(total);
+    thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for bin in bins {
+            if bin.is_empty() {
+                continue;
+            }
+            handles.push(scope.spawn(move || {
+                let mut outs = Vec::new();
+                for (shard, shard_jobs) in bin {
+                    outs.extend(work(shard, shard_jobs, ctx));
+                }
+                outs
+            }));
+        }
+        for handle in handles {
+            match handle.join() {
+                Ok(mut worker_outs) => outs.append(&mut worker_outs),
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+    });
+    outs
+}
+
+/// Runs the finish phase's verify/decrypt jobs across `workers` scoped
+/// threads over a *shared* read-only author snapshot (sharable because
+/// [`crate::privacy::AccessScheme`] is `Sync`). Shard bins go round-robin
+/// to workers like [`run_sharded`]; callers re-sort by op index.
+fn run_reads(
+    snapshot: &BTreeMap<UserId, (usize, UserState)>,
+    workers: usize,
+    ctx: &WorkerCtx,
+    read_quorum: usize,
+    jobs: Vec<Vec<ReadJob>>,
+) -> Vec<ReadOut> {
+    let total: usize = jobs.iter().map(Vec::len).sum();
+    if total == 0 {
+        return Vec::new();
+    }
+    let process = |shard_jobs: Vec<ReadJob>| -> Vec<ReadOut> {
+        shard_jobs
+            .into_iter()
+            .map(|job| {
+                let started = Instant::now();
+                let outcome = finish_read(snapshot, ctx, read_quorum, &job);
+                ReadOut {
+                    op_idx: job.op_idx,
+                    outcome,
+                    micros: job.fetch_micros + elapsed_micros(started),
+                }
+            })
+            .collect()
+    };
+    if workers <= 1 {
+        return jobs.into_iter().flat_map(process).collect();
+    }
+    let mut bins: Vec<Vec<Vec<ReadJob>>> = (0..workers).map(|_| Vec::new()).collect();
+    for (i, shard_jobs) in jobs.into_iter().enumerate() {
+        if !shard_jobs.is_empty() {
+            bins[i % workers].push(shard_jobs);
+        }
+    }
+    let process = &process;
+    let mut outs: Vec<ReadOut> = Vec::with_capacity(total);
+    thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for bin in bins {
+            if bin.is_empty() {
+                continue;
+            }
+            handles.push(
+                scope.spawn(move || bin.into_iter().flat_map(process).collect::<Vec<ReadOut>>()),
+            );
+        }
+        for handle in handles {
+            match handle.join() {
+                Ok(mut worker_outs) => outs.append(&mut worker_outs),
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+    });
+    outs
 }
 
 /// Immutable context cloned into every worker: the thread-safe crypto and
 /// observability handles (their `Send + Sync` bounds are compile-tested in
 /// `dosn-crypto`'s thread-safety suite).
+#[derive(Clone)]
 struct WorkerCtx {
     group: SchnorrGroup,
     directory: KeyDirectory,
@@ -949,8 +1299,14 @@ fn prepare_post(
 
 /// The parallel half of one quorum read: vote over the fetched copies with
 /// the envelope check as the verifier, then decode, verify, and decrypt
-/// the winner as the reader.
-fn finish_read(shard: &Shard, ctx: &WorkerCtx, read_quorum: usize, job: &ReadJob) -> ReadOutcome {
+/// the winner as the reader. Author states come from the stage-A snapshot,
+/// not the live shards.
+fn finish_read(
+    snapshot: &BTreeMap<UserId, (usize, UserState)>,
+    ctx: &WorkerCtx,
+    read_quorum: usize,
+    job: &ReadJob,
+) -> ReadOutcome {
     let author_id = UserId::from(job.author.as_str());
     let fetched = match &job.fetched {
         Ok(f) => f,
@@ -978,8 +1334,7 @@ fn finish_read(shard: &Shard, ctx: &WorkerCtx, read_quorum: usize, job: &ReadJob
         let (envelope, epoch) =
             SignedEnvelope::decode_wire(&author_id, job.seq, &winner, &ctx.group)?;
         envelope.verify(&ctx.directory, None, u64::MAX - 1)?;
-        let author_state = shard
-            .users
+        let (_, author_state) = snapshot
             .get(&author_id)
             .ok_or_else(|| DosnError::UnknownUser(job.author.clone()))?;
         let plain = author_state.privacy.unseal(
@@ -1107,6 +1462,105 @@ mod tests {
         assert!(matches!(report.results[2], Err(DosnError::UnknownUser(_))));
         assert!(matches!(report.results[3], Ok(OpOutput::Posted { seq: 0 })));
         assert!(matches!(report.results[4], Ok(OpOutput::Read { .. })));
+    }
+
+    fn disjoint_batches() -> (OpBatch, OpBatch) {
+        (
+            OpBatch::new()
+                .register("alice")
+                .register("bob")
+                .befriend("alice", "bob", 0.9)
+                .post("alice", "batch one")
+                .read_post("bob", "alice", 0),
+            OpBatch::new()
+                .register("carol")
+                .register("dave")
+                .befriend("carol", "dave", 0.5)
+                .post("carol", "batch two")
+                .read_post("dave", "carol", 0),
+        )
+    }
+
+    fn overlap_count(e: &Engine<ChordPlane>) -> u64 {
+        *e.obs()
+            .snapshot()
+            .counters
+            .get(names::ENGINE_PIPELINE_OVERLAP)
+            .unwrap_or(&0)
+    }
+
+    #[test]
+    fn pipelined_execute_all_matches_sequential_loop() {
+        let (b1, b2) = disjoint_batches();
+        let mut sequential = engine(31);
+        sequential.set_workers(2);
+        let r1 = sequential.execute(b1.clone());
+        let r2 = sequential.execute(b2.clone());
+
+        let mut pipelined = engine(31);
+        pipelined.set_workers(2);
+        let reports = pipelined.execute_all(vec![b1, b2]);
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].digest_hex(), r1.digest_hex());
+        assert_eq!(reports[1].digest_hex(), r2.digest_hex());
+        assert_eq!(overlap_count(&pipelined), 1, "disjoint batches overlap");
+        // The moved-out read authors are home again: both wall posts
+        // remain readable through a fresh batch.
+        let probe = pipelined.execute(
+            OpBatch::new()
+                .read_post("bob", "alice", 0)
+                .read_post("dave", "carol", 0),
+        );
+        assert!(probe.results.iter().all(Result::is_ok));
+    }
+
+    #[test]
+    fn pipeline_declines_overlap_when_batches_share_users() {
+        let (b1, _) = disjoint_batches();
+        // Batch 2 posts as alice — the user batch 1's read snapshot holds.
+        let b2 = OpBatch::new().post("alice", "follow-up");
+        let mut sequential = engine(33);
+        sequential.set_workers(2);
+        let r1 = sequential.execute(b1.clone());
+        let r2 = sequential.execute(b2.clone());
+
+        let mut pipelined = engine(33);
+        pipelined.set_workers(2);
+        let reports = pipelined.execute_all(vec![b1, b2]);
+        assert_eq!(overlap_count(&pipelined), 0, "conflicting pair is serial");
+        assert_eq!(reports[0].digest_hex(), r1.digest_hex());
+        assert_eq!(reports[1].digest_hex(), r2.digest_hex());
+    }
+
+    #[test]
+    fn one_worker_never_pipelines() {
+        let (b1, b2) = disjoint_batches();
+        let mut e = engine(35);
+        let reports = e.execute_all(vec![b1, b2]);
+        assert_eq!(reports.len(), 2);
+        assert_eq!(overlap_count(&e), 0);
+        assert!(reports
+            .iter()
+            .flat_map(|r| r.results.iter())
+            .all(Result::is_ok));
+    }
+
+    #[test]
+    fn drain_seed_never_changes_digests() {
+        let baseline = {
+            let mut e = engine(41);
+            e.execute(seeded_batch()).digest_hex()
+        };
+        for seed in [0u64, 1, 0xdead_beef] {
+            let mut e = engine(41);
+            e.set_commit_drain_seed(Some(seed));
+            assert_eq!(e.commit_drain_seed(), Some(seed));
+            assert_eq!(
+                e.execute(seeded_batch()).digest_hex(),
+                baseline,
+                "drain seed {seed} changed the digest"
+            );
+        }
     }
 
     #[test]

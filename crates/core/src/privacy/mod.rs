@@ -127,10 +127,13 @@ pub struct MembershipCost {
 /// A group-oriented access-control scheme (survey §III-B/C/D/E).
 ///
 /// Object-safe: experiment harnesses iterate `Vec<Box<dyn AccessScheme>>`.
-/// `Send` is a supertrait so `Box<dyn AccessScheme>` (and the per-user
-/// state that owns one) can move into the request engine's prepare/finish
-/// worker threads; every scheme in this crate is plain owned data.
-pub trait AccessScheme: Send {
+/// `Send + Sync` are supertraits so `Box<dyn AccessScheme>` (and the
+/// per-user state that owns one) can move into the request engine's
+/// prepare worker threads, and so the finish phase can *share* a read-only
+/// snapshot of author states across its verify workers (decryption takes
+/// `&self`); every scheme in this crate is plain owned data with no
+/// interior mutability.
+pub trait AccessScheme: Send + Sync {
     /// Short scheme name for reports ("symmetric", "pke", "cp-abe", "ibbe").
     fn name(&self) -> &'static str;
 

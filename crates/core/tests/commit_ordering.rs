@@ -1,0 +1,152 @@
+//! Conflict-ordering property suite for the sharded parallel commit: for
+//! any randomized batch sequence — deliberately colliding authors (a
+//! six-name universe guarantees same-author collisions) and cross-author
+//! comment/read targets — per-batch [`dosn_core::engine::BatchReport`]
+//! digests and the final stored state must be byte-identical
+//!
+//! - across worker counts {1, 2, 8},
+//! - across the pipelined [`Engine::execute_all`] path vs a sequential
+//!   [`Engine::execute`] loop, and
+//! - under an adversarial commit drain-order seed.
+//!
+//! Failures print the per-case seed; re-run with `PROPTEST_SEED=<seed>`
+//! to replay the exact batch sequence.
+
+use dosn_core::engine::{Engine, Op, OpBatch};
+use dosn_overlay::replication::ReplicatedStore;
+use dosn_overlay::storage::ChordPlane;
+use proptest::prelude::*;
+
+/// A small closed user universe so generated ops collide on authors and
+/// comment/read across author boundaries.
+const NAMES: &[&str] = &["alice", "bob", "carol", "dave", "erin", "frank"];
+
+fn name() -> impl Strategy<Value = String> {
+    (0..NAMES.len()).prop_map(|i| NAMES[i].to_string())
+}
+
+/// Short generated bodies (the vendored proptest has no regex strategies).
+fn body() -> impl Strategy<Value = String> {
+    (0u32..1000).prop_map(|i| format!("body {i}"))
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        name().prop_map(|name| Op::Register { name }),
+        (name(), name(), 0.0f64..1.0).prop_map(|(a, b, trust)| Op::Befriend { a, b, trust }),
+        (name(), body()).prop_map(|(author, body)| Op::Post { author, body }),
+        (name(), name(), 0u64..4, body()).prop_map(|(commenter, author, seq, body)| {
+            Op::Comment {
+                commenter,
+                author,
+                seq,
+                body,
+            }
+        }),
+        (name(), name(), 0u64..4).prop_map(|(reader, author, seq)| Op::ReadPost {
+            reader,
+            author,
+            seq
+        }),
+    ]
+}
+
+fn engine(seed: u64, workers: usize) -> Engine<ChordPlane> {
+    let mut e = Engine::new(ReplicatedStore::new(ChordPlane::build(24, seed), 3), seed);
+    e.set_workers(workers);
+    e
+}
+
+/// Splits an op stream into `batches` contiguous batches, preserving op
+/// order (so the global op index assigns identical per-op randomness on
+/// every engine under test).
+fn split(ops: &[Op], batches: usize) -> Vec<OpBatch> {
+    let chunk = ops.len().div_ceil(batches).max(1);
+    ops.chunks(chunk)
+        .map(|c| OpBatch::from_ops(c.to_vec()))
+        .collect()
+}
+
+/// A read of every plausible post by every reader: equal probe digests
+/// mean equal decryptable state, not merely equal reports.
+fn probe() -> OpBatch {
+    let mut b = OpBatch::new();
+    for reader in NAMES {
+        for author in NAMES {
+            for seq in 0..2 {
+                b.push(Op::ReadPost {
+                    reader: (*reader).to_string(),
+                    author: (*author).to_string(),
+                    seq,
+                });
+            }
+        }
+    }
+    b
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn digests_survive_workers_pipelining_and_drain_order(
+        seed in 0u64..1_000_000,
+        ops in proptest::collection::vec(op(), 2..32),
+        nbatches in 1usize..4,
+    ) {
+        let batches = split(&ops, nbatches);
+
+        // Baseline: one worker, sequential execute loop.
+        let mut baseline = engine(seed, 1);
+        let base: Vec<String> = batches
+            .iter()
+            .cloned()
+            .map(|b| baseline.execute(b).digest_hex())
+            .collect();
+
+        // Same loop at 2 and 8 workers.
+        for workers in [2usize, 8] {
+            let mut e = engine(seed, workers);
+            for (k, b) in batches.iter().cloned().enumerate() {
+                prop_assert_eq!(
+                    e.execute(b).digest_hex(),
+                    base[k].clone(),
+                    "sequential digest diverged: {} workers, batch {}",
+                    workers,
+                    k
+                );
+            }
+        }
+
+        // Pipelined path at 1, 2, and 8 workers, the 8-worker engine also
+        // under an adversarial commit drain order.
+        for workers in [1usize, 2, 8] {
+            let mut e = engine(seed, workers);
+            if workers == 8 {
+                e.set_commit_drain_seed(Some(seed ^ 0x5eed));
+            }
+            let reports = e.execute_all(batches.clone());
+            prop_assert_eq!(reports.len(), batches.len());
+            for (k, r) in reports.iter().enumerate() {
+                prop_assert_eq!(
+                    r.digest_hex(),
+                    base[k].clone(),
+                    "pipelined digest diverged: {} workers, batch {}",
+                    workers,
+                    k
+                );
+            }
+            // Equal final state, proven through decrypting reads (read
+            // outcomes never draw on the per-op RNG, so the probe digest
+            // compares across engines at different global op indices).
+            let probe_pipelined = e.execute(probe());
+            let probe_base = baseline.execute(probe());
+            prop_assert_eq!(
+                probe_pipelined.digest_hex(),
+                probe_base.digest_hex(),
+                "final state diverged at {} workers",
+                workers
+            );
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Engine error-path coverage: commit failures must land as per-op
+//! `Err(DosnError)` values in the right result slots — never panic, never
+//! poison sibling ops — and failing batches must stay digest-deterministic
+//! across worker counts.
+
+use dosn_core::engine::{Engine, OpBatch, OpOutput};
+use dosn_core::DosnError;
+use dosn_overlay::id::{Key, NodeId};
+use dosn_overlay::metrics::Metrics;
+use dosn_overlay::replication::ReplicatedStore;
+use dosn_overlay::storage::{ChordPlane, StorageError, StoragePlane};
+
+/// The wall record address, recomputed as readers derive it.
+fn wall_key(author: &str, seq: u64) -> Key {
+    Key::hash(format!("wall/{author}/{seq}").as_bytes())
+}
+
+#[test]
+fn every_replica_offline_rejects_writes_and_reads_but_not_registration() {
+    let mut e = Engine::new(ReplicatedStore::new(ChordPlane::build(16, 7), 3), 7);
+    e.set_workers(4);
+    for node in e.storage().plane().node_ids() {
+        e.storage_mut().plane_mut().set_online(node, false);
+    }
+    let report = e.execute(
+        OpBatch::new()
+            .register("alice")
+            .register("bob")
+            .befriend("alice", "bob", 0.9)
+            .post("alice", "into the void")
+            .read_post("bob", "alice", 0),
+    );
+
+    // Registration and befriending are directory/shard work — no replica
+    // placement involved — so a dark storage plane must not reject them.
+    assert!(matches!(report.results[0], Ok(OpOutput::Registered)));
+    assert!(matches!(report.results[1], Ok(OpOutput::Registered)));
+    assert!(matches!(report.results[2], Ok(OpOutput::Befriended)));
+    // The post finds no replica candidates; the read finds no copies.
+    assert!(
+        matches!(report.results[3], Err(DosnError::ContentUnavailable(_))),
+        "post against a dark plane: {:?}",
+        report.results[3]
+    );
+    assert!(
+        matches!(report.results[4], Err(DosnError::ContentUnavailable(_))),
+        "read against a dark plane: {:?}",
+        report.results[4]
+    );
+}
+
+/// A plane wrapper that refuses replica placement for one key — the
+/// engine-level analogue of the overlay's poisoned-entry test: one post's
+/// responsible nodes are all gone, every other op must carry on.
+#[derive(Debug)]
+struct PoisonPlane {
+    inner: ChordPlane,
+    poisoned: Key,
+}
+
+impl StoragePlane for PoisonPlane {
+    fn name(&self) -> &'static str {
+        "poison"
+    }
+    fn node_count(&self) -> usize {
+        self.inner.node_count()
+    }
+    fn node_ids(&self) -> Vec<NodeId> {
+        self.inner.node_ids()
+    }
+    fn is_online(&self, node: NodeId) -> bool {
+        self.inner.is_online(node)
+    }
+    fn set_online(&mut self, node: NodeId, online: bool) {
+        self.inner.set_online(node, online);
+    }
+    fn replica_candidates(
+        &mut self,
+        key: Key,
+        want: usize,
+        metrics: &mut Metrics,
+    ) -> Result<Vec<NodeId>, StorageError> {
+        if key == self.poisoned {
+            return Err(StorageError::NoNodes);
+        }
+        self.inner.replica_candidates(key, want, metrics)
+    }
+    fn store_at(
+        &mut self,
+        node: NodeId,
+        key: Key,
+        value: &[u8],
+        metrics: &mut Metrics,
+    ) -> Result<(), StorageError> {
+        self.inner.store_at(node, key, value, metrics)
+    }
+    fn fetch_from(
+        &mut self,
+        node: NodeId,
+        key: Key,
+        metrics: &mut Metrics,
+    ) -> Result<Option<Vec<u8>>, StorageError> {
+        self.inner.fetch_from(node, key, metrics)
+    }
+}
+
+fn poisoned_engine(workers: usize) -> Engine<PoisonPlane> {
+    let plane = PoisonPlane {
+        inner: ChordPlane::build(24, 9),
+        poisoned: wall_key("mallory", 0),
+    };
+    let mut e = Engine::new(ReplicatedStore::new(plane, 3), 9);
+    e.set_workers(workers);
+    e
+}
+
+fn poisoned_batch() -> OpBatch {
+    OpBatch::new()
+        .register("mallory")
+        .register("alice")
+        .befriend("mallory", "alice", 0.5)
+        .post("mallory", "lost to the poison") // seq 0: its wall key is poisoned
+        .post("alice", "alice speaks") // sibling in the same commit plan
+        .post("mallory", "mallory recovers") // seq 1: clean key, must commit
+        .read_post("alice", "mallory", 0) // the poisoned record: unreadable
+        .read_post("alice", "mallory", 1) // the recovered record: readable
+        .read_post("mallory", "alice", 0)
+}
+
+#[test]
+fn poisoned_commit_entry_fails_alone_and_siblings_commit() {
+    let mut e = poisoned_engine(4);
+    let report = e.execute(poisoned_batch());
+
+    assert!(matches!(report.results[0], Ok(OpOutput::Registered)));
+    assert!(matches!(report.results[1], Ok(OpOutput::Registered)));
+    assert!(matches!(report.results[2], Ok(OpOutput::Befriended)));
+    assert!(
+        matches!(report.results[3], Err(DosnError::ContentUnavailable(_))),
+        "poisoned post must fail with a storage error: {:?}",
+        report.results[3]
+    );
+    assert!(
+        matches!(report.results[4], Ok(OpOutput::Posted { seq: 0 })),
+        "sibling post must be untouched: {:?}",
+        report.results[4]
+    );
+    assert!(
+        matches!(report.results[5], Ok(OpOutput::Posted { seq: 1 })),
+        "the author's next post uses a clean key: {:?}",
+        report.results[5]
+    );
+    assert!(
+        matches!(report.results[6], Err(DosnError::ContentUnavailable(_))),
+        "reading the never-stored record: {:?}",
+        report.results[6]
+    );
+    match &report.results[7] {
+        Ok(OpOutput::Read { body }) => assert_eq!(body, "mallory recovers"),
+        other => panic!("recovered post must decrypt: {other:?}"),
+    }
+    match &report.results[8] {
+        Ok(OpOutput::Read { body }) => assert_eq!(body, "alice speaks"),
+        other => panic!("sibling's post must decrypt: {other:?}"),
+    }
+}
+
+#[test]
+fn partially_failing_batches_stay_digest_deterministic() {
+    // The digest folds error tags for failed ops and (key, record) pairs
+    // for committed ones — both must be worker-count invariant even when
+    // the commit phase is the thing failing.
+    let digests: Vec<String> = [1usize, 2, 8]
+        .into_iter()
+        .map(|workers| {
+            let mut e = poisoned_engine(workers);
+            let d = e.execute(poisoned_batch()).digest_hex();
+            let probe = e.execute(
+                OpBatch::new()
+                    .read_post("mallory", "mallory", 1)
+                    .read_post("alice", "alice", 0),
+            );
+            assert!(probe.results.iter().all(Result::is_ok));
+            d
+        })
+        .collect();
+    assert_eq!(digests[0], digests[1], "1 vs 2 workers");
+    assert_eq!(digests[0], digests[2], "1 vs 8 workers");
+}

@@ -110,12 +110,18 @@ pub const NET_KEY_DISSEMINATION: &str = "net.key_dissemination";
 pub const ENGINE_PLAN: &str = "engine.plan";
 /// Batch prepare phase: parallel keygen + encrypt + sign, µs (histogram).
 pub const ENGINE_PREPARE: &str = "engine.prepare";
-/// Batch commit phase: sequential replicated writes, µs (histogram).
+/// Batch commit phase: wave-ordered per-shard queue drains, µs (histogram).
 pub const ENGINE_COMMIT: &str = "engine.commit";
+/// Shard commit queues drained per batch — the commit phase's parallel
+/// lanes (histogram).
+pub const ENGINE_COMMIT_SHARDS: &str = "engine.commit.shards";
 /// Batch finish phase: quorum reads, verify, decrypt, µs (histogram).
 pub const ENGINE_FINISH: &str = "engine.finish";
 /// Operations accepted by the engine (counter).
 pub const ENGINE_OPS: &str = "engine.ops";
+/// Batch pairs whose prepare/commit stages overlapped in the two-stage
+/// `execute_all` pipeline (counter).
+pub const ENGINE_PIPELINE_OVERLAP: &str = "engine.pipeline.overlap";
 
 // ---- crypto ----
 
@@ -184,8 +190,10 @@ pub const ALL: &[&str] = &[
     ENGINE_PLAN,
     ENGINE_PREPARE,
     ENGINE_COMMIT,
+    ENGINE_COMMIT_SHARDS,
     ENGINE_FINISH,
     ENGINE_OPS,
+    ENGINE_PIPELINE_OVERLAP,
     CRYPTO_SCHNORR_VERIFY,
     CRYPTO_GROUP_TABLE_HIT,
     CRYPTO_GROUP_TABLE_MISS,

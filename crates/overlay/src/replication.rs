@@ -174,19 +174,7 @@ impl<P: StoragePlane> ReplicatedStore<P> {
         metrics: &mut Metrics,
     ) -> Result<Vec<NodeId>, StorageError> {
         let _put_timer = self.obs.timer(names::STORE_PUT);
-        let candidates = self.plane.replica_candidates(key, self.replicas, metrics)?;
-        let mut written = Vec::with_capacity(candidates.len());
-        for node in candidates {
-            if self.plane.store_at(node, key, &value, metrics).is_ok() {
-                self.accounting.add(node, value.len() as u64);
-                written.push(node);
-            }
-        }
-        if written.is_empty() {
-            return Err(StorageError::NoNodes);
-        }
-        metrics.bump(names::STORE_REPLICAS_WRITTEN, written.len() as u64);
-        Ok(written)
+        self.put_one_replicated(key, &value, metrics)
     }
 
     /// Writes a batch of `(key, value)` records, each to its first R online
@@ -212,23 +200,55 @@ impl<P: StoragePlane> ReplicatedStore<P> {
         let _put_timer = self.obs.timer(names::STORE_PUT);
         let mut placed = Vec::with_capacity(items.len());
         for (key, value) in items {
-            let candidates = self
-                .plane
-                .replica_candidates(*key, self.replicas, metrics)?;
-            let mut written = Vec::with_capacity(candidates.len());
-            for node in candidates {
-                if self.plane.store_at(node, *key, value, metrics).is_ok() {
-                    self.accounting.add(node, value.len() as u64);
-                    written.push(node);
-                }
-            }
-            if written.is_empty() {
-                return Err(StorageError::NoNodes);
-            }
-            metrics.bump(names::STORE_REPLICAS_WRITTEN, written.len() as u64);
-            placed.push(written);
+            placed.push(self.put_one_replicated(*key, value, metrics)?);
         }
         Ok(placed)
+    }
+
+    /// Writes a batch of `(key, value)` records in input order with
+    /// **per-entry error isolation**: an entry whose placement or writes
+    /// fail yields an `Err` slot and the remaining entries still commit.
+    /// This is the shard-queue drain path of the batched request engine —
+    /// one call per shard commit queue — where a single poisoned op must
+    /// not abort its siblings (contrast [`ReplicatedStore::put_many`],
+    /// which stops at the first failing record).
+    ///
+    /// One `store.put` timing covers the call, like `put_many`.
+    pub fn put_each(
+        &mut self,
+        items: &[(Key, Vec<u8>)],
+        metrics: &mut Metrics,
+    ) -> Vec<Result<Vec<NodeId>, StorageError>> {
+        let _put_timer = self.obs.timer(names::STORE_PUT);
+        let mut placed = Vec::with_capacity(items.len());
+        for (key, value) in items {
+            placed.push(self.put_one_replicated(*key, value, metrics));
+        }
+        placed
+    }
+
+    /// One R-way placement + write pass: the shared inner step of
+    /// [`ReplicatedStore::put`], [`ReplicatedStore::put_many`], and
+    /// [`ReplicatedStore::put_each`] (no timer — callers own timing).
+    fn put_one_replicated(
+        &mut self,
+        key: Key,
+        value: &[u8],
+        metrics: &mut Metrics,
+    ) -> Result<Vec<NodeId>, StorageError> {
+        let candidates = self.plane.replica_candidates(key, self.replicas, metrics)?;
+        let mut written = Vec::with_capacity(candidates.len());
+        for node in candidates {
+            if self.plane.store_at(node, key, value, metrics).is_ok() {
+                self.accounting.add(node, value.len() as u64);
+                written.push(node);
+            }
+        }
+        if written.is_empty() {
+            return Err(StorageError::NoNodes);
+        }
+        metrics.bump(names::STORE_REPLICAS_WRITTEN, written.len() as u64);
+        Ok(written)
     }
 
     /// Quorum read with every copy trusted: [`ReplicatedStore::get_verified`]
@@ -579,6 +599,148 @@ mod tests {
         for (key, value) in &items {
             assert_eq!(batched.get(*key, &mut mb).unwrap(), *value);
         }
+    }
+
+    /// A plane wrapper that refuses replica placement for one key —
+    /// simulates a poisoned record whose responsible nodes are all gone.
+    #[derive(Debug)]
+    struct PoisonPlane {
+        inner: ChordPlane,
+        poisoned: Key,
+    }
+
+    impl StoragePlane for PoisonPlane {
+        fn name(&self) -> &'static str {
+            "poison"
+        }
+        fn node_count(&self) -> usize {
+            self.inner.node_count()
+        }
+        fn node_ids(&self) -> Vec<NodeId> {
+            self.inner.node_ids()
+        }
+        fn is_online(&self, node: NodeId) -> bool {
+            self.inner.is_online(node)
+        }
+        fn set_online(&mut self, node: NodeId, online: bool) {
+            self.inner.set_online(node, online);
+        }
+        fn replica_candidates(
+            &mut self,
+            key: Key,
+            want: usize,
+            metrics: &mut Metrics,
+        ) -> Result<Vec<NodeId>, StorageError> {
+            if key == self.poisoned {
+                return Err(StorageError::NoNodes);
+            }
+            self.inner.replica_candidates(key, want, metrics)
+        }
+        fn store_at(
+            &mut self,
+            node: NodeId,
+            key: Key,
+            value: &[u8],
+            metrics: &mut Metrics,
+        ) -> Result<(), StorageError> {
+            self.inner.store_at(node, key, value, metrics)
+        }
+        fn fetch_from(
+            &mut self,
+            node: NodeId,
+            key: Key,
+            metrics: &mut Metrics,
+        ) -> Result<Option<Vec<u8>>, StorageError> {
+            self.inner.fetch_from(node, key, metrics)
+        }
+    }
+
+    #[test]
+    fn put_each_matches_put_many_on_success() {
+        let items: Vec<(Key, Vec<u8>)> = (0u8..8)
+            .map(|i| (Key::hash(&[b'e', i]), vec![i; 32]))
+            .collect();
+
+        let mut each = ReplicatedStore::new(ChordPlane::build(48, 11), 3);
+        let mut me = Metrics::new();
+        let isolated = each.put_each(&items, &mut me);
+
+        let mut many = ReplicatedStore::new(ChordPlane::build(48, 11), 3);
+        let mut mm = Metrics::new();
+        let batched = many.put_many(&items, &mut mm).unwrap();
+
+        assert_eq!(isolated.len(), items.len());
+        for (i, slot) in isolated.iter().enumerate() {
+            assert_eq!(
+                slot.as_ref().expect("all entries place"),
+                &batched[i],
+                "placement diverged at item {i}"
+            );
+        }
+        assert_eq!(
+            me.count("store.replicas_written"),
+            mm.count("store.replicas_written")
+        );
+        assert_eq!(
+            each.accounting().total_bytes(),
+            many.accounting().total_bytes()
+        );
+    }
+
+    #[test]
+    fn put_each_isolates_poisoned_entries() {
+        let poisoned = Key::hash(b"poisoned-entry");
+        let mut store = ReplicatedStore::new(
+            PoisonPlane {
+                inner: ChordPlane::build(48, 11),
+                poisoned,
+            },
+            3,
+        );
+        let mut m = Metrics::new();
+        let items = vec![
+            (Key::hash(b"sibling-a"), b"a".to_vec()),
+            (poisoned, b"p".to_vec()),
+            (Key::hash(b"sibling-b"), b"b".to_vec()),
+        ];
+        let placed = store.put_each(&items, &mut m);
+        assert!(placed[0].is_ok(), "entry before the poison must commit");
+        assert!(matches!(placed[1], Err(StorageError::NoNodes)));
+        assert!(placed[2].is_ok(), "entry after the poison must commit");
+        // Siblings read back through the normal quorum path; put_many on
+        // the same items would have stopped at the poisoned entry.
+        assert_eq!(store.get(items[0].0, &mut m).unwrap(), b"a");
+        assert_eq!(store.get(items[2].0, &mut m).unwrap(), b"b");
+        let mut stopper = ReplicatedStore::new(
+            PoisonPlane {
+                inner: ChordPlane::build(48, 11),
+                poisoned,
+            },
+            3,
+        );
+        assert!(matches!(
+            stopper.put_many(&items, &mut m),
+            Err(StorageError::NoNodes)
+        ));
+    }
+
+    #[test]
+    fn put_each_with_every_node_offline_fails_every_entry() {
+        let mut store = ReplicatedStore::new(ChordPlane::build(16, 7), 3);
+        for node in store.plane().node_ids() {
+            store.plane_mut().set_online(node, false);
+        }
+        let mut m = Metrics::new();
+        let items = vec![
+            (Key::hash(b"dark-a"), b"a".to_vec()),
+            (Key::hash(b"dark-b"), b"b".to_vec()),
+        ];
+        let placed = store.put_each(&items, &mut m);
+        assert_eq!(placed.len(), 2);
+        for slot in &placed {
+            assert!(matches!(slot, Err(StorageError::NoNodes)));
+        }
+        assert_eq!(m.count("store.replicas_written"), 0);
     }
 
     #[test]
