@@ -35,9 +35,13 @@ pub struct FixedBaseTable {
     /// Reduced base, kept for the oversized-exponent fallback.
     base: BigUint,
     /// `columns[i][d-1] = base^(d · 2^(WINDOW·i))` for `d` in `1..16`.
+    /// Stored in the Montgomery domain when `mont` is set.
     columns: Vec<Vec<BigUint>>,
     /// Exponent bit-widths covered by the table.
     covered_bits: u64,
+    /// Columns live in the Montgomery domain: accumulate with CIOS products
+    /// and convert once on the way out.
+    mont: bool,
 }
 
 impl FixedBaseTable {
@@ -49,17 +53,25 @@ impl FixedBaseTable {
         let covered_bits = max_exp_bits.max(1);
         let ncols = covered_bits.div_ceil(WINDOW) as usize;
         let mut columns = Vec::with_capacity(ncols);
-        let mut col_base = base_red.clone();
+        let mc = ctx.montgomery();
+        let mut col_base = match mc {
+            Some(m) => m.to_mont(&base_red),
+            None => base_red.clone(),
+        };
+        let mul = |a: &BigUint, b: &BigUint| match mc {
+            Some(m) => m.mul(a, b),
+            None => ctx.mul(a, b),
+        };
         for _ in 0..ncols {
             let mut col = Vec::with_capacity((1 << WINDOW) - 1);
             col.push(col_base.clone());
             for d in 2..(1u64 << WINDOW) {
                 let prev = col.last().expect("column starts non-empty");
-                col.push(ctx.mul(prev, &col_base));
+                col.push(mul(prev, &col_base));
                 debug_assert_eq!(col.len() as u64, d);
             }
             // Next column's unit is base^(2^(WINDOW·(i+1))) = col_base^16.
-            col_base = ctx.mul(col.last().expect("full column"), &col_base);
+            col_base = mul(col.last().expect("full column"), &col_base);
             columns.push(col);
         }
         FixedBaseTable {
@@ -67,6 +79,7 @@ impl FixedBaseTable {
             base: base_red,
             columns,
             covered_bits,
+            mont: mc.is_some(),
         }
     }
 
@@ -89,6 +102,7 @@ impl FixedBaseTable {
         if exp.bits() > self.covered_bits {
             return self.ctx.pow(&self.base, exp);
         }
+        let mc = self.ctx.montgomery().filter(|_| self.mont);
         let mut result: Option<BigUint> = None;
         for (i, col) in self.columns.iter().enumerate() {
             let lo = i as u64 * WINDOW;
@@ -99,13 +113,20 @@ impl FixedBaseTable {
             if digit != 0 {
                 let entry = &col[(digit - 1) as usize];
                 result = Some(match result.take() {
-                    Some(r) => self.ctx.mul(&r, entry),
+                    Some(r) => match mc {
+                        Some(m) => m.mul(&r, entry),
+                        None => self.ctx.mul(&r, entry),
+                    },
                     None => entry.clone(),
                 });
             }
         }
-        // No non-zero digit means exp == 0.
-        result.unwrap_or_else(BigUint::one)
+        match (result, mc) {
+            (Some(r), Some(m)) => m.from_mont(&r),
+            (Some(r), None) => r,
+            // No non-zero digit means exp == 0.
+            (None, _) => BigUint::one(),
+        }
     }
 }
 

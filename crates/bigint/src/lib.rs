@@ -14,10 +14,13 @@
 //!   division.
 //! * Modular arithmetic ([`BigUint::modpow`], [`BigUint::modinv`],
 //!   [`BigUint::gcd`], [`BigUint::jacobi`]) used by the crypto layer.
-//! * An exponentiation engine for hot paths: [`ModContext`] caches the
-//!   Barrett reciprocal per modulus, exponentiates with sliding windows,
-//!   evaluates products `∏ bᵢ^eᵢ` simultaneously (Shamir's trick), and
-//!   builds [`FixedBaseTable`] precomputations for repeated bases.
+//! * An exponentiation engine for hot paths: [`ModContext`] picks a
+//!   reduction backend per modulus (Montgomery CIOS for odd 2+-limb moduli,
+//!   Barrett reciprocal otherwise, division as the fallback), exponentiates
+//!   with sliding windows, evaluates products `∏ bᵢ^eᵢ` simultaneously
+//!   (Shamir's trick, plus an interleaved Straus kernel for arbitrarily
+//!   wide products), and builds [`FixedBaseTable`] precomputations for
+//!   repeated bases.
 //! * Probabilistic primality testing and random prime generation
 //!   ([`BigUint::is_probable_prime`], [`gen_prime`], [`gen_safe_prime`]).
 //!
@@ -40,6 +43,7 @@ mod arith;
 mod barrett;
 mod fixed_base;
 mod modular;
+mod montgomery;
 mod prime;
 mod uint;
 mod window;
@@ -47,5 +51,6 @@ mod window;
 pub use barrett::BarrettReducer;
 pub use fixed_base::FixedBaseTable;
 pub use modular::{ExpStats, ModContext};
+pub use montgomery::MontgomeryContext;
 pub use prime::{gen_prime, gen_safe_prime, random_below, SMALL_PRIMES};
 pub use uint::{BigUint, ParseBigUintError};

@@ -2,6 +2,7 @@
 //! plus [`ModContext`], the per-modulus exponentiation engine.
 
 use crate::barrett::BarrettReducer;
+use crate::montgomery::MontgomeryContext;
 use crate::BigUint;
 use std::cmp::Ordering;
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
@@ -15,11 +16,16 @@ use std::sync::Arc;
 /// operation in `dosn-crypto`). A `ModContext` pays that setup once and is
 /// then reused for every `reduce`/`mul`/`pow` under the same modulus.
 ///
-/// The reduction backend follows the measured E9 crossover: Barrett for
-/// 2–16 limb (128–1024-bit) moduli, Knuth division elsewhere. All
-/// exponentiation is sliding-window (see `crate::window`), and
-/// [`ModContext::pow_multi`] evaluates products `∏ bᵢ^eᵢ` with Shamir's
-/// trick so the squaring chain is shared.
+/// The reduction backend follows the measured E9 crossover: Montgomery
+/// (REDC) for odd moduli of 2+ limbs — the long squaring chains of an
+/// exponentiation amortize the domain conversions — Barrett for the
+/// remaining 2–16 limb moduli, Knuth division elsewhere. Single-call
+/// `reduce`/`mul` stay on Barrett/division (no chain to amortize the
+/// Montgomery conversion against). All exponentiation is sliding-window
+/// (see `crate::window`); [`ModContext::pow_multi`] evaluates products
+/// `∏ bᵢ^eᵢ` with Shamir's trick so the squaring chain is shared, and
+/// [`ModContext::pow_multi_any`] lifts the 6-base cap with an interleaved
+/// (Straus) kernel for the wide products batch verification builds.
 ///
 /// ```
 /// use dosn_bigint::{BigUint, ModContext};
@@ -36,6 +42,10 @@ pub struct ModContext {
     /// `Some` when the modulus sits in Barrett's winning range (2–16 limbs);
     /// `None` means division-based reduction.
     barrett: Option<BarrettReducer>,
+    /// `Some` for odd moduli of 2+ limbs: exponentiation runs in the
+    /// Montgomery domain (CIOS products), which beats Barrett once the
+    /// squaring chain amortizes the to/from-Montgomery conversions.
+    mont: Option<MontgomeryContext>,
     /// Exponentiation counters, shared across clones so the per-group
     /// contexts cached in `dosn-crypto` aggregate into one tally. Plain
     /// atomics rather than `dosn-obs` instruments: this crate stays at the
@@ -46,6 +56,7 @@ pub struct ModContext {
 
 #[derive(Debug, Default)]
 struct ExpCounters {
+    montgomery_pows: AtomicU64,
     barrett_pows: AtomicU64,
     division_pows: AtomicU64,
 }
@@ -53,6 +64,8 @@ struct ExpCounters {
 /// Snapshot of a context's exponentiation activity, by reduction backend.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ExpStats {
+    /// `pow`/`pow_multi` calls run in the Montgomery (CIOS) domain.
+    pub montgomery_pows: u64,
     /// `pow`/`pow_multi` calls served by the precomputed Barrett reducer.
     pub barrett_pows: u64,
     /// `pow`/`pow_multi` calls that fell back to division-based reduction.
@@ -60,9 +73,9 @@ pub struct ExpStats {
 }
 
 impl ExpStats {
-    /// Total exponentiations on either path.
+    /// Total exponentiations on any path.
     pub fn total(&self) -> u64 {
-        self.barrett_pows + self.division_pows
+        self.montgomery_pows + self.barrett_pows + self.division_pows
     }
 }
 
@@ -81,9 +94,17 @@ impl ModContext {
         } else {
             None
         };
+        // Measured crossover: at one limb, hardware division beats the CIOS
+        // loop plus domain conversions; from two limbs up Montgomery wins.
+        let mont = if modulus.is_odd() && limbs >= 2 {
+            MontgomeryContext::new(modulus)
+        } else {
+            None
+        };
         ModContext {
             modulus: modulus.clone(),
             barrett,
+            mont,
             stats: Arc::new(ExpCounters::default()),
         }
     }
@@ -97,18 +118,26 @@ impl ModContext {
     /// have run on each reduction backend.
     pub fn stats(&self) -> ExpStats {
         ExpStats {
+            montgomery_pows: self.stats.montgomery_pows.load(AtomicOrdering::Relaxed),
             barrett_pows: self.stats.barrett_pows.load(AtomicOrdering::Relaxed),
             division_pows: self.stats.division_pows.load(AtomicOrdering::Relaxed),
         }
     }
 
     fn count_pow(&self) {
-        let c = if self.barrett.is_some() {
+        let c = if self.mont.is_some() {
+            &self.stats.montgomery_pows
+        } else if self.barrett.is_some() {
             &self.stats.barrett_pows
         } else {
             &self.stats.division_pows
         };
         c.fetch_add(1, AtomicOrdering::Relaxed);
+    }
+
+    /// The Montgomery backend, when this modulus selected one.
+    pub(crate) fn montgomery(&self) -> Option<&MontgomeryContext> {
+        self.mont.as_ref()
     }
 
     /// Reduces `x` modulo the context's modulus.
@@ -134,7 +163,13 @@ impl ModContext {
             return BigUint::one();
         }
         let base = self.reduce(base);
-        crate::window::pow_sliding(&base, exp, |a, b| self.mul(a, b))
+        match &self.mont {
+            Some(m) => {
+                let bm = m.to_mont(&base);
+                m.from_mont(&crate::window::pow_sliding(&bm, exp, |a, b| m.mul(a, b)))
+            }
+            None => crate::window::pow_sliding(&base, exp, |a, b| self.mul(a, b)),
+        }
     }
 
     /// Simultaneous multi-exponentiation: `∏ bases[k]^exps[k] mod m` via
@@ -145,16 +180,63 @@ impl ModContext {
     /// # Panics
     ///
     /// Panics if more than 6 pairs are supplied (the subset table grows as
-    /// `2^n`; split larger products).
+    /// `2^n`; [`ModContext::pow_multi_any`] handles larger products).
     pub fn pow_multi(&self, pairs: &[(&BigUint, &BigUint)]) -> BigUint {
         self.count_pow();
         if self.modulus.is_one() {
             return BigUint::zero();
         }
-        let bases: Vec<BigUint> = pairs.iter().map(|(b, _)| self.reduce(b)).collect();
         let exps: Vec<&BigUint> = pairs.iter().map(|(_, e)| *e).collect();
-        crate::window::pow_simultaneous(&bases, &exps, |a, b| self.mul(a, b))
-            .unwrap_or_else(BigUint::one)
+        match &self.mont {
+            Some(m) => {
+                let bases: Vec<BigUint> = pairs
+                    .iter()
+                    .map(|(b, _)| m.to_mont(&self.reduce(b)))
+                    .collect();
+                crate::window::pow_simultaneous(&bases, &exps, |a, b| m.mul(a, b))
+                    .map(|r| m.from_mont(&r))
+                    .unwrap_or_else(BigUint::one)
+            }
+            None => {
+                let bases: Vec<BigUint> = pairs.iter().map(|(b, _)| self.reduce(b)).collect();
+                crate::window::pow_simultaneous(&bases, &exps, |a, b| self.mul(a, b))
+                    .unwrap_or_else(BigUint::one)
+            }
+        }
+    }
+
+    /// Multi-exponentiation without the 6-base cap: `∏ bases[k]^exps[k]`.
+    ///
+    /// Small products route to [`ModContext::pow_multi`] (subset-product
+    /// table); larger ones use the interleaved Straus kernel — a per-base
+    /// odd-power table plus one shared squaring chain — which is what makes
+    /// batch Schnorr verification (dozens of commitments with 128-bit
+    /// coefficients) cheaper than per-signature verify.
+    pub fn pow_multi_any(&self, pairs: &[(&BigUint, &BigUint)]) -> BigUint {
+        if pairs.len() <= 6 {
+            return self.pow_multi(pairs);
+        }
+        self.count_pow();
+        if self.modulus.is_one() {
+            return BigUint::zero();
+        }
+        let exps: Vec<&BigUint> = pairs.iter().map(|(_, e)| *e).collect();
+        match &self.mont {
+            Some(m) => {
+                let bases: Vec<BigUint> = pairs
+                    .iter()
+                    .map(|(b, _)| m.to_mont(&self.reduce(b)))
+                    .collect();
+                crate::window::pow_interleaved(&bases, &exps, |a, b| m.mul(a, b))
+                    .map(|r| m.from_mont(&r))
+                    .unwrap_or_else(BigUint::one)
+            }
+            None => {
+                let bases: Vec<BigUint> = pairs.iter().map(|(b, _)| self.reduce(b)).collect();
+                crate::window::pow_interleaved(&bases, &exps, |a, b| self.mul(a, b))
+                    .unwrap_or_else(BigUint::one)
+            }
+        }
     }
 
     /// Builds a fixed-base precomputation table for `base`, covering
@@ -333,24 +415,98 @@ impl BigUint {
     /// Panics if `n` is even or zero.
     pub fn jacobi(&self, n: &BigUint) -> i32 {
         assert!(n.is_odd() && !n.is_zero(), "jacobi requires odd n > 0");
-        let mut a = self % n;
-        let mut n = n.clone();
+        // Binary algorithm on raw limb buffers: after the initial reduction
+        // the loop is only in-place shifts, subtractions, and compares — no
+        // divisions and no allocation. The division-based Euclid variant
+        // costs a full wide division per step (~70µs per 1024-bit symbol);
+        // this runs in a few µs, which matters because signature
+        // verification pays one symbol per signature.
+        fn trim(v: &mut Vec<u64>) {
+            while v.last() == Some(&0) {
+                v.pop();
+            }
+        }
+        /// Low-endian trailing zero bits of a non-zero limb vector.
+        fn trailing_zeros(v: &[u64]) -> u64 {
+            for (i, &l) in v.iter().enumerate() {
+                if l != 0 {
+                    return i as u64 * 64 + u64::from(l.trailing_zeros());
+                }
+            }
+            0
+        }
+        fn shr_in_place(v: &mut Vec<u64>, k: u64) {
+            let limb_shift = ((k / 64) as usize).min(v.len());
+            v.drain(..limb_shift);
+            let bit_shift = k % 64;
+            if bit_shift > 0 {
+                let len = v.len();
+                for i in 0..len {
+                    let hi = if i + 1 < len {
+                        v[i + 1] << (64 - bit_shift)
+                    } else {
+                        0
+                    };
+                    v[i] = (v[i] >> bit_shift) | hi;
+                }
+            }
+            trim(v);
+        }
+        fn cmp_limbs(a: &[u64], b: &[u64]) -> Ordering {
+            if a.len() != b.len() {
+                return a.len().cmp(&b.len());
+            }
+            for i in (0..a.len()).rev() {
+                if a[i] != b[i] {
+                    return a[i].cmp(&b[i]);
+                }
+            }
+            Ordering::Equal
+        }
+        /// `a -= b`; requires `a >= b`.
+        fn sub_in_place(a: &mut Vec<u64>, b: &[u64]) {
+            let mut borrow = false;
+            for (i, ai) in a.iter_mut().enumerate() {
+                let bi = b.get(i).copied().unwrap_or(0);
+                let (d, o1) = ai.overflowing_sub(bi);
+                let (d, o2) = d.overflowing_sub(u64::from(borrow));
+                *ai = d;
+                borrow = o1 || o2;
+                if i >= b.len() && !borrow {
+                    break;
+                }
+            }
+            trim(a);
+        }
+
+        let mut a = (self % n).limbs;
+        let mut m = n.limbs.clone();
         let mut t = 1i32;
-        while !a.is_zero() {
-            while a.is_even() {
-                a = &a >> 1;
-                let n_mod8 = n.low_u64() & 7;
-                if n_mod8 == 3 || n_mod8 == 5 {
+        while !a.is_empty() {
+            // Strip all factors of two at once: (2/m) applied tz times
+            // flips the sign iff tz is odd and m ≡ ±3 (mod 8).
+            let tz = trailing_zeros(&a);
+            if tz > 0 {
+                if tz & 1 == 1 {
+                    let m8 = m[0] & 7;
+                    if m8 == 3 || m8 == 5 {
+                        t = -t;
+                    }
+                }
+                shr_in_place(&mut a, tz);
+            }
+            // Both odd here (m is odd by invariant). Put the larger on top;
+            // quadratic reciprocity pays for the swap, and the subtraction
+            // is free: (a/m) = ((a − m)/m).
+            if cmp_limbs(&a, &m) == Ordering::Less {
+                std::mem::swap(&mut a, &mut m);
+                if a[0] & 3 == 3 && m[0] & 3 == 3 {
                     t = -t;
                 }
             }
-            std::mem::swap(&mut a, &mut n);
-            if a.low_u64() & 3 == 3 && n.low_u64() & 3 == 3 {
-                t = -t;
-            }
-            a = &a % &n;
+            sub_in_place(&mut a, &m);
         }
-        if n.is_one() {
+        if m == [1] {
             t
         } else {
             0
@@ -391,21 +547,62 @@ mod tests {
     #[test]
     fn exp_stats_count_by_backend_and_share_across_clones() {
         use crate::ModContext;
-        // 497 is single-limb: division path.
+        // 497 is single-limb: division path (Montgomery loses to hardware
+        // division below two limbs).
         let small = ModContext::new(&b(497));
         small.pow(&b(4), &b(13));
         assert_eq!(small.stats().division_pows, 1);
         assert_eq!(small.stats().barrett_pows, 0);
+        assert_eq!(small.stats().montgomery_pows, 0);
 
-        // 2^128+1 is 3 limbs: Barrett path; clones share the tally.
+        // 2^128+1 is 3 limbs and odd: Montgomery path; clones share the tally.
         let m = (BigUint::one() << 128) + BigUint::one();
         let big = ModContext::new(&m);
         let clone = big.clone();
         big.pow(&b(4), &b(13));
         clone.pow_multi(&[(&b(3), &b(5))]);
-        assert_eq!(big.stats().barrett_pows, 2);
+        assert_eq!(big.stats().montgomery_pows, 2);
         assert_eq!(clone.stats(), big.stats());
         assert_eq!(big.stats().total(), 2);
+
+        // 2^128+2 is 3 limbs but even: Barrett path.
+        let even = ModContext::new(&((BigUint::one() << 128) + b(2)));
+        even.pow(&b(3), &b(13));
+        assert_eq!(even.stats().barrett_pows, 1);
+        assert_eq!(even.stats().montgomery_pows, 0);
+    }
+
+    #[test]
+    fn montgomery_and_barrett_pows_agree() {
+        use crate::ModContext;
+        // Same odd 3-limb modulus; the context picks Montgomery, modpow_plain
+        // is the division baseline, Barrett via the reducer directly.
+        let m = (BigUint::one() << 128) + BigUint::one();
+        let ctx = ModContext::new(&m);
+        let base = (BigUint::one() << 100) + b(12345);
+        let exp = (BigUint::one() << 90) + b(0xdead_beef);
+        let expect = base.modpow_plain(&exp, &m);
+        assert_eq!(ctx.pow(&base, &exp), expect);
+        assert_eq!(crate::BarrettReducer::new(&m).pow(&base, &exp), expect);
+    }
+
+    #[test]
+    fn pow_multi_any_matches_separate_pows_past_subset_cap() {
+        use crate::ModContext;
+        let m = (BigUint::one() << 128) + BigUint::one();
+        let ctx = ModContext::new(&m);
+        let pairs_owned: Vec<(BigUint, BigUint)> = (0..9u64)
+            .map(|k| (b(3 + 11 * u128::from(k)), b(5 + 7 * u128::from(k * k))))
+            .collect();
+        let pairs: Vec<(&BigUint, &BigUint)> =
+            pairs_owned.iter().map(|(base, e)| (base, e)).collect();
+        let mut expect = BigUint::one();
+        for (base, e) in &pairs_owned {
+            expect = ctx.mul(&expect, &ctx.pow(base, e));
+        }
+        assert_eq!(ctx.pow_multi_any(&pairs), expect);
+        // The small-product route delegates to pow_multi.
+        assert_eq!(ctx.pow_multi_any(&pairs[..3]), ctx.pow_multi(&pairs[..3]));
     }
 
     #[test]

@@ -144,6 +144,90 @@ where
     result
 }
 
+/// Interleaved (Straus) multi-exponentiation for arbitrarily many bases:
+/// `∏ bases[k]^exps[k]` under `mul`, sharing one squaring chain.
+///
+/// Where [`pow_simultaneous`] precomputes the `2^n − 1` subset products (and
+/// so caps at 6 bases), this variant keeps a per-base odd-power table and
+/// decomposes each exponent offline into sliding-window terms
+/// `digit · 2^shift`; the joint top-down pass squares once per bit position
+/// of the longest exponent and multiplies each term in at its shift. Cost is
+/// `max_bits` squarings shared across all bases plus roughly
+/// `bits/(w+1) + 2^{w−1}` multiplications per base — the kernel behind batch
+/// Schnorr verification, where dozens of 128-bit-exponent terms ride one
+/// chain. Returns `None` when every exponent is zero. Contract: bases are
+/// reduced, modulus > 1, `bases.len() == exps.len()`.
+pub(crate) fn pow_interleaved<M>(bases: &[BigUint], exps: &[&BigUint], mul: M) -> Option<BigUint>
+where
+    M: Fn(&BigUint, &BigUint) -> BigUint,
+{
+    assert_eq!(bases.len(), exps.len(), "bases/exponents length mismatch");
+    let max_bits = exps.iter().map(|e| e.bits()).max().unwrap_or(0);
+    if max_bits == 0 {
+        return None;
+    }
+
+    // Per-shift buckets of (base index, odd-table entry index) to multiply
+    // in when the shared squaring chain reaches that bit position.
+    let mut at: Vec<Vec<(usize, usize)>> = vec![Vec::new(); max_bits as usize];
+    let mut odd_tables: Vec<Vec<BigUint>> = Vec::with_capacity(bases.len());
+    for (k, (base, exp)) in bases.iter().zip(exps.iter()).enumerate() {
+        let nbits = exp.bits();
+        if nbits == 0 {
+            odd_tables.push(Vec::new());
+            continue;
+        }
+        let w = i64::from(window_width(nbits));
+        // Offline sliding-window decomposition (same walk as pow_sliding).
+        let mut max_digit = 0u64;
+        let mut i = nbits as i64 - 1;
+        while i >= 0 {
+            if !exp.bit(i as u64) {
+                i -= 1;
+                continue;
+            }
+            let mut j = (i - w + 1).max(0);
+            while !exp.bit(j as u64) {
+                j += 1;
+            }
+            let mut digit = 0u64;
+            for b in (j..=i).rev() {
+                digit = (digit << 1) | u64::from(exp.bit(b as u64));
+            }
+            max_digit = max_digit.max(digit);
+            at[j as usize].push((k, ((digit - 1) / 2) as usize));
+            i = j - 1;
+        }
+        // Odd powers base^1, base^3, …, only as far as this exponent's
+        // largest digit actually reaches.
+        let table_len = (max_digit as usize).div_ceil(2);
+        let mut odd = Vec::with_capacity(table_len);
+        odd.push(base.clone());
+        if table_len > 1 {
+            let base_sq = mul(base, base);
+            for t in 1..table_len {
+                odd.push(mul(&odd[t - 1], &base_sq));
+            }
+        }
+        odd_tables.push(odd);
+    }
+
+    let mut result: Option<BigUint> = None;
+    for s in (0..max_bits as usize).rev() {
+        if let Some(r) = result.take() {
+            result = Some(mul(&r, &r));
+        }
+        for &(k, entry) in &at[s] {
+            let p = &odd_tables[k][entry];
+            result = Some(match result.take() {
+                Some(r) => mul(&r, p),
+                None => p.clone(),
+            });
+        }
+    }
+    result
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,6 +273,60 @@ mod tests {
             expect = &(&expect * &naive_pow(b, e, &m)) % &m;
         }
         assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn interleaved_matches_product_of_naive_many_bases() {
+        let m = BigUint::from(999_999_937u64);
+        let mut bases = Vec::new();
+        let mut exps = Vec::new();
+        // 12 bases — past pow_simultaneous's 6-base cap — with a spread of
+        // exponent sizes including zero.
+        for k in 0..12u64 {
+            bases.push(&BigUint::from(3 + 17 * k * k) % &m);
+            exps.push(match k % 4 {
+                0 => 0u64,
+                1 => k + 1,
+                2 => 0xdead + k,
+                _ => 1_048_575 + k * 7,
+            });
+        }
+        let exp_big: Vec<BigUint> = exps.iter().map(|&e| BigUint::from(e)).collect();
+        let refs: Vec<&BigUint> = exp_big.iter().collect();
+        let got = pow_interleaved(&bases, &refs, modmul(&m)).unwrap();
+        let mut expect = BigUint::one();
+        for (b, &e) in bases.iter().zip(exps.iter()) {
+            expect = &(&expect * &naive_pow(b, e, &m)) % &m;
+        }
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn interleaved_agrees_with_simultaneous() {
+        let m = BigUint::from(1_000_003u64);
+        let bases = [
+            &BigUint::from(2u64) % &m,
+            &BigUint::from(98765u64) % &m,
+            &BigUint::from(424_242u64) % &m,
+        ];
+        let exp_big = [
+            BigUint::from(0x1234_5678_9abc_def0u64),
+            BigUint::from(7u64),
+            BigUint::from(0xffff_ffffu64),
+        ];
+        let refs: Vec<&BigUint> = exp_big.iter().collect();
+        assert_eq!(
+            pow_interleaved(&bases, &refs, modmul(&m)),
+            pow_simultaneous(&bases, &refs, modmul(&m))
+        );
+    }
+
+    #[test]
+    fn interleaved_all_zero_exponents_is_none() {
+        let m = BigUint::from(97u64);
+        let z = BigUint::zero();
+        let bases = [BigUint::from(3u64), BigUint::from(5u64)];
+        assert!(pow_interleaved(&bases, &[&z, &z], modmul(&m)).is_none());
     }
 
     #[test]

@@ -83,7 +83,7 @@ use crate::network::privacy_plane::PrivacyPlane;
 use crate::network::storage_glue::{storage_to_dosn, wall_key};
 use crate::network::user::UserState;
 use dosn_crypto::chacha::SecureRng;
-use dosn_crypto::group::SchnorrGroup;
+use dosn_crypto::group::{GroupSize, SchnorrGroup};
 use dosn_crypto::hmac::hkdf;
 use dosn_crypto::keys::KeyDirectory;
 use dosn_crypto::sha256::{sha256, Sha256};
@@ -92,7 +92,7 @@ use dosn_overlay::fault::FaultPlan;
 use dosn_overlay::id::Key;
 use dosn_overlay::metrics::Metrics;
 use dosn_overlay::replication::{
-    apply_crash_schedule, quorum_vote, FetchedCopies, ReplicatedStore,
+    apply_crash_schedule, quorum_vote, quorum_vote_batch, FetchedCopies, ReplicatedStore,
 };
 use dosn_overlay::storage::{StorageError, StoragePlane};
 use std::collections::BTreeMap;
@@ -235,6 +235,7 @@ pub struct Engine<S: StoragePlane> {
     next_op_index: u64,
     workers: usize,
     drain_seed: Option<u64>,
+    batch_verify: bool,
 }
 
 impl<S: StoragePlane> std::fmt::Debug for Engine<S> {
@@ -257,7 +258,11 @@ impl<S: StoragePlane> Engine<S> {
     /// HKDF-derived randomness.
     pub fn new(storage: ReplicatedStore<S>, seed: u64) -> Self {
         let obs = storage.obs().clone();
-        let group = SchnorrGroup::toy();
+        // One process-wide group instance per size: engines share the
+        // fixed-base table cache instead of each rebuilding its own
+        // generator/key tables (E14 counted 224 table misses from
+        // per-facade rebuilds of identical tables).
+        let group = SchnorrGroup::shared(GroupSize::Toy);
         group.register_obs(&obs);
         Engine {
             group,
@@ -271,7 +276,23 @@ impl<S: StoragePlane> Engine<S> {
             next_op_index: 0,
             workers: 1,
             drain_seed: None,
+            batch_verify: true,
         }
+    }
+
+    /// Toggles batched Schnorr verification in the finish phase's quorum
+    /// reads. On (the default), each read's copies are verified in one
+    /// combined random-linear-combination check; off restores per-copy
+    /// verification. Results and [`BatchReport::digest`] are byte-identical
+    /// either way — the toggle exists so the equivalence suites can prove
+    /// that, and for A/B timing in the E9 bench.
+    pub fn set_batch_verify(&mut self, on: bool) {
+        self.batch_verify = on;
+    }
+
+    /// Whether finish-phase quorum reads use batched verification.
+    pub fn batch_verify(&self) -> bool {
+        self.batch_verify
     }
 
     /// Sets the adversarial-scheduler seed: with `Some(seed)`, the commit
@@ -497,6 +518,7 @@ impl<S: StoragePlane> Engine<S> {
             directory: self.directory.clone(),
             obs: self.obs.clone(),
             seed: self.seed,
+            batch_verify: self.batch_verify,
         }
     }
 }
@@ -1260,6 +1282,7 @@ struct WorkerCtx {
     directory: KeyDirectory,
     obs: Registry,
     seed: [u8; 32],
+    batch_verify: bool,
 }
 
 fn elapsed_micros(started: Instant) -> u64 {
@@ -1314,14 +1337,34 @@ fn finish_read(
     };
     let verify_hist = ctx.obs.histogram(names::CRYPTO_SCHNORR_VERIFY);
     let quorum_started = Instant::now();
-    let vote = quorum_vote(fetched, read_quorum, |bytes| {
-        let started = Instant::now();
-        let ok = SignedEnvelope::decode_wire(&author_id, job.seq, bytes, &ctx.group)
-            .and_then(|(env, _)| env.verify(&ctx.directory, None, u64::MAX - 1))
-            .is_ok();
-        verify_hist.record(elapsed_micros(started));
-        ok
-    });
+    let vote = if ctx.batch_verify {
+        // All copies verify in one combined Schnorr check (R byte-identical
+        // replicas collapse to one slot); one histogram sample covers the
+        // whole batch.
+        quorum_vote_batch(fetched, read_quorum, |copies| {
+            let started = Instant::now();
+            let verdicts = SignedEnvelope::verify_wire_copies_batch(
+                &author_id,
+                job.seq,
+                copies,
+                &ctx.group,
+                &ctx.directory,
+                None,
+                u64::MAX - 1,
+            );
+            verify_hist.record(elapsed_micros(started));
+            verdicts
+        })
+    } else {
+        quorum_vote(fetched, read_quorum, |bytes| {
+            let started = Instant::now();
+            let ok = SignedEnvelope::decode_wire(&author_id, job.seq, bytes, &ctx.group)
+                .and_then(|(env, _)| env.verify(&ctx.directory, None, u64::MAX - 1))
+                .is_ok();
+            verify_hist.record(elapsed_micros(started));
+            ok
+        })
+    };
     ctx.obs
         .histogram(names::STORE_GET_QUORUM)
         .record(job.fetch_micros + elapsed_micros(quorum_started));

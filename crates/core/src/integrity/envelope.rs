@@ -255,6 +255,76 @@ impl SignedEnvelope {
         ))
     }
 
+    /// Verifies many wire-encoded copies of the same slot (`author`,
+    /// `expected_seq`) in one pass, batching the Schnorr checks: every
+    /// copy's structural decode, recipient binding, and freshness rules run
+    /// individually (they are cheap), while all signature equations join a
+    /// single random-linear-combination check
+    /// ([`dosn_crypto::batch::batch_verify`]). Returns one verdict per
+    /// copy, exactly matching what [`SignedEnvelope::decode_wire`] +
+    /// [`SignedEnvelope::verify`] would decide copy by copy.
+    ///
+    /// Quorum reads are the caller: R replicas of one envelope arrive
+    /// byte-identical, so the batch verifier collapses them to one
+    /// combined-check slot.
+    pub fn verify_wire_copies_batch(
+        author: &UserId,
+        expected_seq: u64,
+        copies: &[&[u8]],
+        group: &dosn_crypto::group::SchnorrGroup,
+        directory: &KeyDirectory,
+        expected_recipient: Option<&UserId>,
+        now: u64,
+    ) -> Vec<bool> {
+        let mut verdicts = vec![false; copies.len()];
+        let Ok(vk) = directory.verifying_key(author.as_str()) else {
+            return verdicts; // unknown author: every copy fails
+        };
+        // Structural + relation/freshness screening; survivors queue their
+        // (digest, signature) for the combined Schnorr check.
+        let mut screened: Vec<(usize, [u8; 32], SignedEnvelope)> = Vec::new();
+        for (idx, bytes) in copies.iter().enumerate() {
+            let Ok((env, _)) = Self::decode_wire(author, expected_seq, bytes, group) else {
+                continue;
+            };
+            if let Some(expected) = expected_recipient {
+                if env.recipient.as_ref().is_some_and(|r| r != expected) {
+                    continue;
+                }
+            }
+            if env.issued_at > now || env.expires_at.is_some_and(|exp| now >= exp) {
+                continue;
+            }
+            let digest = Self::digest(
+                &env.author,
+                env.recipient.as_ref(),
+                env.sequence,
+                env.issued_at,
+                env.expires_at,
+                &env.body,
+            );
+            screened.push((idx, digest, env));
+        }
+        let pairs: Vec<(&[u8], &Signature)> = screened
+            .iter()
+            .map(|(_, digest, env)| (digest.as_slice(), &env.signature))
+            .collect();
+        match vk.verify_batch(&pairs) {
+            Ok(()) => {
+                for (idx, _, _) in &screened {
+                    verdicts[*idx] = true;
+                }
+            }
+            Err(failure) => {
+                let bad: std::collections::BTreeSet<usize> = failure.failed.into_iter().collect();
+                for (slot, (idx, _, _)) in screened.iter().enumerate() {
+                    verdicts[*idx] = !bad.contains(&slot);
+                }
+            }
+        }
+        verdicts
+    }
+
     /// The canonical signed digest.
     fn digest(
         author: &UserId,

@@ -14,9 +14,11 @@
 //! 3. the signer responds `s = k − x·e` ([`SignerSession::respond`]) and the
 //!    requester unblinds `s' = s + α` ([`BlindingRequest::unblind`]).
 //!
-//! The resulting `(e', s')` verifies under the ordinary
-//! [`crate::schnorr::VerifyingKey`], and the signer's view `(R, e, s)` is
-//! statistically independent of the final signature — unlinkability.
+//! The resulting `(R', s')` verifies under the ordinary
+//! [`crate::schnorr::VerifyingKey`] (the requester already computed `R'`
+//! while blinding, so emitting the commitment-form signature is free), and
+//! the signer's view `(R, e, s)` is statistically independent of the final
+//! signature — unlinkability.
 
 use crate::chacha::SecureRng;
 use crate::error::CryptoError;
@@ -74,12 +76,13 @@ pub struct SignerResponse {
     s: BigUint,
 }
 
-/// The requester's state: blinding factors and the unblinded challenge.
+/// The requester's state: blinding factors and the unblinded commitment.
 #[derive(Debug)]
 pub struct BlindingRequest {
     group: SchnorrGroup,
     alpha: BigUint,
     challenge_for_signer: BlindedChallenge,
+    r_prime: BigUint,
     e_prime: BigUint,
     vk: VerifyingKey,
     message_digest_tag: [u8; 32],
@@ -145,6 +148,7 @@ impl BlindingRequest {
             group,
             alpha,
             challenge_for_signer: BlindedChallenge { e },
+            r_prime,
             e_prime,
             vk: vk.clone(),
             message_digest_tag: crate::sha256::sha256(message),
@@ -164,12 +168,12 @@ impl BlindingRequest {
     /// valid signature (a misbehaving signer).
     pub fn unblind(&self, response: &SignerResponse) -> Result<Signature, CryptoError> {
         let s_prime = response.s.addmod(&self.alpha, self.group.order());
-        let sig = Signature::from_scalars(self.e_prime.clone(), s_prime);
+        let sig = Signature::from_parts(self.r_prime.clone(), s_prime);
         // Sanity-check against the stored message digest tag: recompute the
         // verification equation without needing the message again.
         let r = self.group.multi_pow(&[
             (self.group.generator(), sig.s_scalar()),
-            (self.vk.element(), sig.e_scalar()),
+            (self.vk.element(), &self.e_prime),
         ]);
         let _ = r;
         let _ = self.message_digest_tag;
@@ -221,7 +225,12 @@ mod tests {
         let req1 = BlindingRequest::new(key.verifying_key(), &c1, b"m", &mut rng);
         let resp1 = s1.respond(req1.challenge());
         let sig1 = req1.unblind(&resp1).unwrap();
-        assert_ne!(req1.challenge().e, *sig1.e_scalar(), "challenge is blinded");
+        // The signer saw challenge e = e' − β; the verifier recomputes
+        // e' = H(y ‖ R' ‖ m) from the final commitment — they must differ.
+        let e_prime = key
+            .verifying_key()
+            .challenge_scalar(sig1.commitment(), b"m");
+        assert_ne!(req1.challenge().e, e_prime, "challenge is blinded");
 
         let sig2 = issue(&key, b"m", &mut rng);
         assert_ne!(sig1, sig2, "re-issuance is unlinkable");

@@ -12,6 +12,7 @@
 //! | §III-E | Identity-based encryption (Cocks) and broadcast IBBE | [`ibe`], [`ibbe`] |
 //! | §III-F | PRF + OPRF (Hummingbird key dissemination) | [`hmac`], [`oprf`] |
 //! | §IV | Digital signatures, hashing | [`schnorr`], [`sha256`] |
+//! | §IV | Batch signature verification (random linear combination) | [`batch`] |
 //! | §IV-A | Key distribution / PKI with provenance | [`keys`] |
 //! | §V-A | Blind signatures | [`blind`] |
 //! | §V-B | Zero-knowledge proofs | [`zkp`] |
@@ -50,6 +51,7 @@
 
 pub mod abe;
 pub mod aead;
+pub mod batch;
 pub mod blind;
 pub mod chacha;
 pub mod elgamal;

@@ -45,10 +45,18 @@ impl std::fmt::Debug for VerifyingKey {
     }
 }
 
-/// A Schnorr signature `(e, s)` with `s = k - x e (mod q)`.
+/// A Schnorr signature `(r, s)`: the commitment `r = g^k` and the response
+/// `s = k - x e (mod q)`, with the challenge `e = H(y ‖ r ‖ m)` recomputed
+/// by the verifier.
+///
+/// The commitment form (rather than the `(e, s)` challenge form) is what
+/// makes batch verification possible: a random-linear-combination check
+/// needs each `rᵢ` explicitly, whereas the challenge form forces the
+/// verifier to reconstruct every `rᵢ = g^{sᵢ}·y^{eᵢ}` individually — the
+/// exact cost batching exists to amortize. See [`crate::batch`].
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Signature {
-    e: BigUint,
+    r: BigUint,
     s: BigUint,
 }
 
@@ -91,7 +99,7 @@ impl SigningKey {
         // s = k - x*e mod q
         let xe = self.x.mulmod(&e, self.group.order());
         let s = k.submod(&xe, self.group.order());
-        Signature { e, s }
+        Signature { r, s }
     }
 
     /// The verification key.
@@ -155,24 +163,39 @@ impl VerifyingKey {
     ///
     /// Returns [`CryptoError::InvalidSignature`] when verification fails.
     pub fn verify(&self, message: &[u8], signature: &Signature) -> Result<(), CryptoError> {
-        if signature.e >= *self.group.order() || signature.s >= *self.group.order() {
+        if !self.signature_well_formed(signature) {
             return Err(CryptoError::InvalidSignature);
         }
-        // r' = g^s * y^e (one simultaneous multi-exp); valid iff
-        // H(r' || m) == e.
-        let r = self.group.multi_pow(&[
-            (self.group.generator(), &signature.s),
-            (&self.y, &signature.e),
-        ]);
-        if self.challenge(&r, message) == signature.e {
+        // Valid iff g^s · y^e == r for e = H(y || r || m) (one simultaneous
+        // multi-exp).
+        let e = self.challenge(&signature.r, message);
+        let rhs = self
+            .group
+            .multi_pow(&[(self.group.generator(), &signature.s), (&self.y, &e)]);
+        if rhs == signature.r {
             Ok(())
         } else {
             Err(CryptoError::InvalidSignature)
         }
     }
 
+    /// Crate-internal structural checks shared with batch verification:
+    /// `s` in scalar range, and `r` a genuine subgroup element. The Jacobi
+    /// test (`(r/p) = 1` ⇔ `r` is a quadratic residue, i.e. in the order-`q`
+    /// subgroup of the safe-prime group) costs only bit operations — no
+    /// exponentiation — and closes the cofactor gap in the batch equation:
+    /// without it an `r` carrying the order-2 component would survive a
+    /// random-linear-combination check with probability 1/2.
+    pub(crate) fn signature_well_formed(&self, signature: &Signature) -> bool {
+        signature.s < *self.group.order()
+            && !signature.r.is_zero()
+            && signature.r < *self.group.modulus()
+            && signature.r.jacobi(self.group.modulus()) == 1
+    }
+
     /// Crate-internal: the Fiat–Shamir challenge, exposed so the blind
-    /// signature protocol computes the identical value.
+    /// signature protocol and the batch verifier compute the identical
+    /// value.
     pub(crate) fn challenge_scalar(&self, r: &BigUint, message: &[u8]) -> BigUint {
         self.challenge(r, message)
     }
@@ -189,13 +212,13 @@ impl VerifyingKey {
 
 impl Signature {
     /// Crate-internal constructor used by the blind-signature protocol.
-    pub(crate) fn from_scalars(e: BigUint, s: BigUint) -> Self {
-        Signature { e, s }
+    pub(crate) fn from_parts(r: BigUint, s: BigUint) -> Self {
+        Signature { r, s }
     }
 
-    /// Crate-internal accessor for the challenge scalar.
-    pub(crate) fn e_scalar(&self) -> &BigUint {
-        &self.e
+    /// Crate-internal accessor for the commitment element `r = g^k`.
+    pub(crate) fn commitment(&self) -> &BigUint {
+        &self.r
     }
 
     /// Crate-internal accessor for the response scalar.
@@ -203,15 +226,16 @@ impl Signature {
         &self.s
     }
 
-    /// Serialized size in bytes (two scalars at the group's scalar width).
+    /// Serialized size in bytes: one group element plus one scalar.
     pub fn size_bytes(&self, group: &SchnorrGroup) -> usize {
-        (group.order().bits() as usize).div_ceil(8) * 2
+        group.element_len() + (group.order().bits() as usize).div_ceil(8)
     }
 
-    /// Serializes as `e || s`, each scalar fixed-width.
+    /// Serializes as `r || s`: the commitment at the group's element width,
+    /// the response at its scalar width.
     pub fn to_bytes(&self, group: &SchnorrGroup) -> Vec<u8> {
         let w = (group.order().bits() as usize).div_ceil(8);
-        let mut out = self.e.to_fixed_bytes_be(w);
+        let mut out = group.element_bytes(&self.r);
         out.extend_from_slice(&self.s.to_fixed_bytes_be(w));
         out
     }
@@ -222,13 +246,14 @@ impl Signature {
     ///
     /// Returns [`CryptoError::Malformed`] on bad length.
     pub fn from_bytes(group: &SchnorrGroup, bytes: &[u8]) -> Result<Self, CryptoError> {
+        let el = group.element_len();
         let w = (group.order().bits() as usize).div_ceil(8);
-        if bytes.len() != 2 * w {
+        if bytes.len() != el + w {
             return Err(CryptoError::Malformed("bad signature length".into()));
         }
         Ok(Signature {
-            e: BigUint::from_bytes_be(&bytes[..w]),
-            s: BigUint::from_bytes_be(&bytes[w..]),
+            r: BigUint::from_bytes_be(&bytes[..el]),
+            s: BigUint::from_bytes_be(&bytes[el..]),
         })
     }
 }
@@ -271,14 +296,28 @@ mod tests {
     }
 
     #[test]
-    fn verify_rejects_out_of_range_scalars() {
+    fn verify_rejects_out_of_range_components() {
         let (key, mut rng) = setup();
         let sig = key.sign(b"msg", &mut rng);
-        let bad = Signature {
-            e: key.group().order().clone(),
-            s: sig.s.clone(),
+        // Response scalar at or above q.
+        let bad_s = Signature {
+            r: sig.r.clone(),
+            s: key.group().order().clone(),
         };
-        assert!(key.verifying_key().verify(b"msg", &bad).is_err());
+        assert!(key.verifying_key().verify(b"msg", &bad_s).is_err());
+        // Commitment of zero, at/above p, or outside the QR subgroup
+        // (p − 1 = −1 is a non-residue for a safe prime).
+        for bad_r in [
+            BigUint::zero(),
+            key.group().modulus().clone(),
+            key.group().modulus() - &BigUint::one(),
+        ] {
+            let bad = Signature {
+                r: bad_r,
+                s: sig.s.clone(),
+            };
+            assert!(key.verifying_key().verify(b"msg", &bad).is_err());
+        }
     }
 
     #[test]

@@ -131,6 +131,8 @@ pub const CRYPTO_SCHNORR_VERIFY: &str = "crypto.schnorr.verify";
 pub const CRYPTO_GROUP_TABLE_HIT: &str = "crypto.group.pow.table_hit";
 /// Group exponentiations that fell through to windowed pow (counter).
 pub const CRYPTO_GROUP_TABLE_MISS: &str = "crypto.group.pow.table_miss";
+/// Fixed-base tables evicted from a full group cache (LRU victim) (counter).
+pub const CRYPTO_GROUP_TABLE_EVICT: &str = "crypto.group.table_evict";
 
 // ---- bigint ----
 
@@ -138,6 +140,8 @@ pub const CRYPTO_GROUP_TABLE_MISS: &str = "crypto.group.pow.table_miss";
 pub const BIGINT_POW_BARRETT: &str = "bigint.modctx.pow.barrett";
 /// `ModContext` pows taken on the division path (counter).
 pub const BIGINT_POW_DIVISION: &str = "bigint.modctx.pow.division";
+/// `ModContext` pows taken on the Montgomery path (counter).
+pub const BIGINT_POW_MONTGOMERY: &str = "bigint.modctx.pow.montgomery";
 
 // ---- aggregate overlay roll-ups ----
 
@@ -197,8 +201,10 @@ pub const ALL: &[&str] = &[
     CRYPTO_SCHNORR_VERIFY,
     CRYPTO_GROUP_TABLE_HIT,
     CRYPTO_GROUP_TABLE_MISS,
+    CRYPTO_GROUP_TABLE_EVICT,
     BIGINT_POW_BARRETT,
     BIGINT_POW_DIVISION,
+    BIGINT_POW_MONTGOMERY,
     OVERLAY_MESSAGES,
     OVERLAY_BYTES,
     OVERLAY_MSG_LATENCY,

@@ -14,8 +14,8 @@
 //!   a [`StorageAccounting`] ledger (counter `store.replicas_written`).
 //! * **Get** reads *all* `R` current candidates — not stopping at the first
 //!   hit — and accepts the majority value among copies that pass the
-//!   caller's verifier, requiring at least `K` of them (default
-//!   `R/2 + 1`; counter `get.quorum_size`).
+//!   caller's verifier, requiring at least `K` copies that *agree on that
+//!   value* (default `R/2 + 1`; counter `get.quorum_size`).
 //! * **Read-repair**: candidates that returned nothing, a non-verifying
 //!   copy, or a stale value are rewritten with the winner (counter
 //!   `get.repairs`). This is what heals the replica set after churn:
@@ -335,11 +335,11 @@ impl<P: StoragePlane> ReplicatedStore<P> {
     }
 
     /// Quorum read: fetches `key` from *all* R current candidates, keeps the
-    /// copies that pass `verify`, and requires at least K of them. The
-    /// winner is the most common verifying byte string (ties broken toward
-    /// the copy held by the most-preferred candidate). Candidates missing
-    /// the winner — crash substitutes, nodes holding stale or corrupt
-    /// copies — are repaired in place.
+    /// copies that pass `verify`, and requires at least K of them to agree
+    /// on the winning value. The winner is the most common verifying byte
+    /// string (ties broken toward the copy held by the most-preferred
+    /// candidate). Candidates missing the winner — crash substitutes, nodes
+    /// holding stale or corrupt copies — are repaired in place.
     ///
     /// Reading all R rather than stopping at the first verifying copy is
     /// deliberate: repair opportunities are only visible on the replicas a
@@ -381,45 +381,86 @@ pub struct FetchedCopies {
 /// Ties break toward the copy held by the most-preferred candidate (the
 /// earliest-seen value wins at equal counts).
 ///
+/// The quorum requirement applies to the **winning value's** agreement
+/// count, not to the total number of verifying copies: `read_quorum = K`
+/// means "at least K replicas hold byte-identical verifying copies of the
+/// value we return". (An earlier revision summed verifying copies of
+/// *different* values toward the quorum, so three disagreeing-but-signed
+/// copies satisfied K=2 and the read returned a value only one replica
+/// agreed on — exactly the stale-read the quorum exists to prevent.)
+///
 /// # Errors
 ///
 /// [`StorageError::NotFound`] when no candidate holds a verifying copy;
-/// [`StorageError::QuorumFailed`] when some do but fewer than `read_quorum`.
+/// [`StorageError::QuorumFailed`] when some do but the winner has fewer
+/// than `read_quorum` agreeing copies (`have` reports the winner's count).
 pub fn quorum_vote(
     fetched: &FetchedCopies,
     read_quorum: usize,
     verify: impl Fn(&[u8]) -> bool,
 ) -> Result<Vec<u8>, StorageError> {
+    quorum_vote_batch(fetched, read_quorum, |copies| {
+        copies.iter().map(|c| verify(c)).collect()
+    })
+}
+
+/// [`quorum_vote`] with the verifier invoked **once over all copies**
+/// instead of per copy: `verify_batch` receives every present copy in
+/// candidate-preference order and returns one verdict per copy. This is the
+/// seam for batch signature verification — a quorum read hands the
+/// verifier R byte-identical envelopes, and a batched verifier amortizes
+/// them into a single combined check.
+///
+/// # Panics
+///
+/// Panics if `verify_batch` returns a verdict vector of the wrong length.
+///
+/// # Errors
+///
+/// As [`quorum_vote`].
+pub fn quorum_vote_batch(
+    fetched: &FetchedCopies,
+    read_quorum: usize,
+    verify_batch: impl FnOnce(&[&[u8]]) -> Vec<bool>,
+) -> Result<Vec<u8>, StorageError> {
+    let present: Vec<&[u8]> = fetched
+        .copies
+        .iter()
+        .filter_map(|(_, copy)| copy.as_deref())
+        .collect();
+    let verdicts = verify_batch(&present);
+    assert_eq!(
+        verdicts.len(),
+        present.len(),
+        "batch verifier must return one verdict per copy"
+    );
     let mut tally: Vec<(&[u8], usize)> = Vec::new();
-    for (_, copy) in &fetched.copies {
-        if let Some(bytes) = copy {
-            if verify(bytes) {
-                match tally.iter_mut().find(|(v, _)| *v == bytes.as_slice()) {
-                    Some((_, n)) => *n += 1,
-                    None => tally.push((bytes.as_slice(), 1)),
-                }
+    for (bytes, ok) in present.iter().zip(&verdicts) {
+        if *ok {
+            match tally.iter_mut().find(|(v, _)| v == bytes) {
+                Some((_, n)) => *n += 1,
+                None => tally.push((bytes, 1)),
             }
         }
     }
-    let verified: usize = tally.iter().map(|(_, n)| n).sum();
-    if verified == 0 {
+    // `reduce` keeps the incumbent on ties, so the earliest-seen (most
+    // preferred candidate's) value wins at equal counts.
+    let Some((winner, agreement)) =
+        tally
+            .iter()
+            .copied()
+            .reduce(|best, cand| if cand.1 > best.1 { cand } else { best })
+    else {
         return Err(StorageError::NotFound(fetched.key));
-    }
-    if verified < read_quorum {
+    };
+    if agreement < read_quorum {
         return Err(StorageError::QuorumFailed {
             key: fetched.key,
-            have: verified,
+            have: agreement,
             need: read_quorum,
         });
     }
-    // `reduce` keeps the incumbent on ties, so the earliest-seen (most
-    // preferred candidate's) value wins at equal counts.
-    Ok(tally
-        .iter()
-        .copied()
-        .reduce(|best, cand| if cand.1 > best.1 { cand } else { best })
-        .map(|(v, _)| v.to_vec())
-        .expect("verified > 0"))
+    Ok(winner.to_vec())
 }
 
 #[cfg(test)]
@@ -794,10 +835,11 @@ mod tests {
         };
         // Tie at one vote each: preference order (earliest seen) wins.
         assert_eq!(quorum_vote(&fetched, 1, |_| true).unwrap(), b"v");
-        // Below quorum with some verifying copies reports the shortfall.
+        // Below quorum: `have` reports the winner's agreement count (one
+        // copy of "v"), not the total number of verifying copies (two).
         match quorum_vote(&fetched, 3, |_| true) {
             Err(StorageError::QuorumFailed { have, need, .. }) => {
-                assert_eq!((have, need), (2, 3));
+                assert_eq!((have, need), (1, 3));
             }
             other => panic!("expected QuorumFailed, got {other:?}"),
         }
@@ -806,6 +848,74 @@ mod tests {
             quorum_vote(&fetched, 1, |_| false),
             Err(StorageError::NotFound(_))
         ));
+    }
+
+    #[test]
+    fn disagreeing_verified_copies_do_not_fake_a_quorum() {
+        // Regression: three replicas each hold a validly-signed but
+        // *different* value (one fresh write, two stale generations). The
+        // old vote summed all verifying copies (3 ≥ K=2) and returned the
+        // earliest candidate's value on a single copy's agreement; the
+        // quorum must instead fail, because no value has two agreeing
+        // replicas.
+        let key = Key::hash(b"stale-split");
+        let nodes: Vec<NodeId> = (0..3).map(NodeId).collect();
+        let fetched = FetchedCopies {
+            key,
+            copies: vec![
+                (nodes[0], Some(b"fresh-seq-3".to_vec())),
+                (nodes[1], Some(b"stale-seq-2".to_vec())),
+                (nodes[2], Some(b"stale-seq-1".to_vec())),
+            ],
+        };
+        match quorum_vote(&fetched, 2, |_| true) {
+            Err(StorageError::QuorumFailed { have, need, .. }) => {
+                assert_eq!((have, need), (1, 2), "winner has one agreeing copy");
+            }
+            other => panic!("expected QuorumFailed, got {other:?}"),
+        }
+        // Two agreeing fresh copies against one stale do satisfy K=2, and
+        // the agreeing value wins regardless of preference order.
+        let healthy = FetchedCopies {
+            key,
+            copies: vec![
+                (nodes[0], Some(b"stale-seq-2".to_vec())),
+                (nodes[1], Some(b"fresh-seq-3".to_vec())),
+                (nodes[2], Some(b"fresh-seq-3".to_vec())),
+            ],
+        };
+        assert_eq!(quorum_vote(&healthy, 2, |_| true).unwrap(), b"fresh-seq-3");
+    }
+
+    #[test]
+    fn quorum_vote_batch_sees_all_copies_once_and_matches_per_copy() {
+        let key = Key::hash(b"batched-vote");
+        let nodes: Vec<NodeId> = (0..4).map(NodeId).collect();
+        let fetched = FetchedCopies {
+            key,
+            copies: vec![
+                (nodes[0], Some(b"good".to_vec())),
+                (nodes[1], None),
+                (nodes[2], Some(b"BAD!".to_vec())),
+                (nodes[3], Some(b"good".to_vec())),
+            ],
+        };
+        let mut calls = 0usize;
+        let winner = quorum_vote_batch(&fetched, 2, |copies| {
+            calls += 1;
+            // Absent copies never reach the verifier; present ones arrive
+            // in candidate-preference order.
+            assert_eq!(copies, &[&b"good"[..], &b"BAD!"[..], &b"good"[..]]);
+            copies.iter().map(|c| *c != b"BAD!").collect()
+        })
+        .unwrap();
+        assert_eq!(winner, b"good");
+        assert_eq!(calls, 1, "one verifier invocation for the whole read");
+        assert_eq!(
+            quorum_vote(&fetched, 2, |c| c != b"BAD!").unwrap(),
+            winner,
+            "per-copy and batched paths agree"
+        );
     }
 
     #[test]
