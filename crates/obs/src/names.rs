@@ -143,6 +143,22 @@ pub const BIGINT_POW_DIVISION: &str = "bigint.modctx.pow.division";
 /// `ModContext` pows taken on the Montgomery path (counter).
 pub const BIGINT_POW_MONTGOMERY: &str = "bigint.modctx.pow.montgomery";
 
+// ---- socially-aware placement ----
+
+/// Replica candidates served from the owner's friend/community set
+/// (counter).
+pub const PLACEMENT_SOCIAL_HITS: &str = "placement.social_hits";
+/// Placements that fell back (fully or partially) to hash placement
+/// (counter).
+pub const PLACEMENT_FALLBACKS: &str = "placement.fallbacks";
+
+// ---- simulator scale ----
+
+/// Simulated node count of the current run (gauge).
+pub const SIM_NODES: &str = "sim.nodes";
+/// Resident overlay + workload bytes per simulated node (gauge).
+pub const SIM_BYTES_PER_NODE: &str = "sim.bytes_per_node";
+
 // ---- aggregate overlay roll-ups ----
 
 /// Total overlay messages across a run (gauge/counter in reports).
@@ -205,6 +221,10 @@ pub const ALL: &[&str] = &[
     BIGINT_POW_BARRETT,
     BIGINT_POW_DIVISION,
     BIGINT_POW_MONTGOMERY,
+    PLACEMENT_SOCIAL_HITS,
+    PLACEMENT_FALLBACKS,
+    SIM_NODES,
+    SIM_BYTES_PER_NODE,
     OVERLAY_MESSAGES,
     OVERLAY_BYTES,
     OVERLAY_MSG_LATENCY,

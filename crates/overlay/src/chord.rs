@@ -4,18 +4,33 @@
 //! "Most of the recent DOSNs use structured organization and distributed
 //! hash tables for the lookup service" — PrPl, PeerSoN, Safebook, Cachet.
 //! This module implements Chord's ring geometry: 64-bit identifiers, finger
-//! tables with up to 64 entries, successor lists for replication, and
+//! routing with up to 64 entries, successor lists for replication, and
 //! greedy closest-preceding-finger routing. Lookups route *only* through
-//! each node's local tables and report hop/message metrics, which is what
+//! each node's local view and report hop/message metrics, which is what
 //! experiment E5 measures.
+//!
+//! # Scale architecture
+//!
+//! Per-node state is gone. Membership lives in a [`NodeArena`] (one sorted
+//! id array + online bitmap); stored blobs live in one interned
+//! [`SharedStore`]. Finger tables and successor lists are *lazy*: every
+//! eager table was derived from the same sorted-online-ids snapshot anyway,
+//! so the overlay keeps that snapshot (`routing`, refreshed by
+//! [`ChordOverlay::stabilize`]) and answers `finger[i]`/`successor` queries
+//! with binary searches at lookup time — identical routing decisions,
+//! O(1) bytes per node instead of 64×8-byte finger arrays. Stabilize itself
+//! only charges maintenance for *dirty* (churned/joined) nodes plus a small
+//! refresh sample, per the satellite fix: idle nodes no longer pay
+//! O(log²n) every round.
 
+use crate::arena::{NodeArena, SharedStore};
 use crate::fault::LinkFaults;
 use crate::id::{in_interval_open_closed, ring_distance, Key, NodeId};
 use crate::metrics::Metrics;
 use dosn_obs::names;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::BTreeSet;
 
 const FINGER_BITS: usize = 64;
 
@@ -45,19 +60,6 @@ impl std::fmt::Display for DhtError {
 
 impl std::error::Error for DhtError {}
 
-#[derive(Debug, Clone)]
-struct ChordNode {
-    /// Ring identifier.
-    id: u64,
-    /// finger[i] = successor(id + 2^i), as a ring id.
-    fingers: Vec<u64>,
-    /// The `succ_list_len` nodes following this one (for replication).
-    successors: Vec<u64>,
-    online: bool,
-    /// Key-value storage replicated onto this node.
-    storage: HashMap<u64, Vec<u8>>,
-}
-
 /// A Chord ring.
 ///
 /// ```
@@ -78,8 +80,18 @@ struct ChordNode {
 /// # }
 /// ```
 pub struct ChordOverlay {
-    /// ring id -> node, sorted by ring position.
-    nodes: BTreeMap<u64, ChordNode>,
+    /// Membership: sorted ring ids + online bitmap.
+    arena: NodeArena,
+    /// Sorted online-id snapshot from the last table build (build, join,
+    /// leave, or stabilize). All finger/successor answers derive from it.
+    routing: Vec<u64>,
+    /// Nodes churned or joined since the last stabilize round; only these
+    /// (plus a refresh sample) are charged maintenance messages.
+    dirty: BTreeSet<u64>,
+    /// Cursor for the round-robin idle-refresh sample.
+    refresh_cursor: usize,
+    /// Interned key/value storage shared by every node.
+    storage: SharedStore,
     replicas: usize,
     rng: StdRng,
     latency_ms: (u64, u64),
@@ -90,7 +102,7 @@ impl std::fmt::Debug for ChordOverlay {
         write!(
             f,
             "ChordOverlay({} nodes, {} replicas)",
-            self.nodes.len(),
+            self.arena.len(),
             self.replicas
         )
     }
@@ -110,43 +122,48 @@ impl ChordOverlay {
         while ids.len() < n {
             ids.insert(rng.random::<u64>());
         }
-        let mut overlay = ChordOverlay {
-            nodes: ids
-                .iter()
-                .map(|&id| {
-                    (
-                        id,
-                        ChordNode {
-                            id,
-                            fingers: Vec::new(),
-                            successors: Vec::new(),
-                            online: true,
-                            storage: HashMap::new(),
-                        },
-                    )
-                })
-                .collect(),
+        let sorted: Vec<u64> = ids.into_iter().collect();
+        let dirty: BTreeSet<u64> = sorted.iter().copied().collect();
+        ChordOverlay {
+            routing: sorted.clone(),
+            arena: NodeArena::from_sorted_ids(sorted),
+            dirty,
+            refresh_cursor: 0,
+            storage: SharedStore::new(),
             replicas,
             rng,
             latency_ms: (10, 120),
-        };
-        overlay.rebuild_tables();
-        overlay
+        }
     }
 
     /// Number of nodes (online and offline).
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.arena.len()
     }
 
     /// Whether the ring is empty.
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.arena.is_empty()
     }
 
     /// Replication factor.
     pub fn replicas(&self) -> usize {
         self.replicas
+    }
+
+    /// Estimated resident bytes of membership, routing snapshot, and
+    /// storage — the E15 memory-per-node denominator.
+    pub fn memory_bytes(&self) -> usize {
+        self.arena.memory_bytes()
+            + self.routing.capacity() * 8
+            + self.dirty.len() * 32
+            + self.storage.memory_bytes()
+            + std::mem::size_of::<Self>()
+    }
+
+    /// The shared blob store (for accounting).
+    pub fn storage(&self) -> &SharedStore {
+        &self.storage
     }
 
     /// A deterministic "random" online node for workload driving.
@@ -155,99 +172,119 @@ impl ChordOverlay {
     ///
     /// Panics if every node is offline.
     pub fn random_node(&self, salt: u64) -> NodeId {
-        let online: Vec<u64> = self
-            .nodes
-            .values()
-            .filter(|n| n.online)
-            .map(|n| n.id)
-            .collect();
-        assert!(!online.is_empty(), "no online nodes");
-        NodeId(online[(salt as usize) % online.len()])
+        let id = self
+            .arena
+            .nth_online(salt as usize)
+            .expect("no online nodes");
+        NodeId(id)
     }
 
     /// All ring ids, sorted.
     pub fn node_ids(&self) -> Vec<NodeId> {
-        self.nodes.keys().map(|&id| NodeId(id)).collect()
+        self.arena.ids().iter().map(|&id| NodeId(id)).collect()
     }
 
-    /// Marks a node online/offline (simulating churn). Tables are not
-    /// rebuilt: routing must cope, as in a real deployment between
-    /// stabilization rounds.
+    /// Marks a node online/offline (simulating churn). Routing snapshots
+    /// are not refreshed: routing must cope, as in a real deployment
+    /// between stabilization rounds.
     ///
     /// # Panics
     ///
     /// Panics for unknown nodes.
     pub fn set_online(&mut self, node: NodeId, online: bool) {
-        self.nodes.get_mut(&node.0).expect("unknown node").online = online;
+        self.arena.set_online(node.0, online);
+        self.dirty.insert(node.0);
     }
 
     /// Whether `node` is online.
     pub fn is_online(&self, node: NodeId) -> bool {
-        self.nodes.get(&node.0).is_some_and(|n| n.online)
+        self.arena.is_online(node.0)
     }
 
-    /// Runs a stabilization round: recomputes finger tables and successor
-    /// lists from the *online* membership (models Chord's periodic
-    /// stabilize/fix-fingers). Returns the number of maintenance messages a
-    /// real deployment would send (O(log²n) per node, per the Chord paper).
+    /// Runs a stabilization round: refreshes the routing snapshot from the
+    /// *online* membership (models Chord's periodic stabilize/fix-fingers)
+    /// and returns the number of maintenance messages a real deployment
+    /// would send — O(log²n) per *repaired* node, per the Chord paper.
+    ///
+    /// Only nodes that churned or joined since the previous round, plus a
+    /// small round-robin refresh sample (n/64 per round, so fingers decay
+    /// within 64 rounds even without churn), are charged; an idle ring no
+    /// longer pays O(n·log²n) per round. The first round after `build`
+    /// charges every node (the initial table construction).
     pub fn stabilize(&mut self) -> u64 {
-        self.rebuild_tables();
-        let n = self.nodes.values().filter(|n| n.online).count() as u64;
-        let logn = 64 - n.leading_zeros() as u64;
-        n * logn * logn
+        self.routing = self.arena.online_ids();
+        let n = self.arena.len();
+        let n_online = self.arena.online_count() as u64;
+        let logn = u64::from(64 - n_online.leading_zeros());
+        // Refresh sample: n/64 idle nodes per round, round-robin.
+        let sample = (n / FINGER_BITS).max(1);
+        let repaired = (self.dirty.len() + sample).min(n).max(1) as u64;
+        self.refresh_cursor = (self.refresh_cursor + sample) % n.max(1);
+        self.dirty.clear();
+        repaired * logn * logn
     }
 
-    /// Adds a fresh node with a random id, returning it. Tables rebuild
-    /// (join cost is reported like [`ChordOverlay::stabilize`]).
+    /// Adds a fresh node with a random id, returning it. The routing
+    /// snapshot refreshes (join cost is reported at the next
+    /// [`ChordOverlay::stabilize`]).
     pub fn join(&mut self) -> NodeId {
         let id = loop {
             let candidate = self.rng.random::<u64>();
-            if !self.nodes.contains_key(&candidate) {
+            if !self.arena.contains(candidate) {
                 break candidate;
             }
         };
-        self.nodes.insert(
-            id,
-            ChordNode {
-                id,
-                fingers: Vec::new(),
-                successors: Vec::new(),
-                online: true,
-                storage: HashMap::new(),
-            },
-        );
-        self.rebuild_tables();
+        self.arena.insert(id);
+        self.dirty.insert(id);
+        self.routing = self.arena.online_ids();
         NodeId(id)
     }
 
     /// Permanently removes a node (its stored replicas are lost, as with an
     /// ungraceful departure).
     pub fn leave(&mut self, node: NodeId) {
-        self.nodes.remove(&node.0);
-        self.rebuild_tables();
+        if self.arena.remove(node.0) {
+            self.storage.purge_holder(node.0);
+            self.dirty.remove(&node.0);
+            self.routing = self.arena.online_ids();
+        }
     }
 
     /// The online node owning `key` (its clockwise successor).
     fn owner_of(&self, key: u64) -> Option<u64> {
-        let online: Vec<u64> = self
-            .nodes
-            .values()
-            .filter(|n| n.online)
-            .map(|n| n.id)
-            .collect();
-        if online.is_empty() {
+        if self.arena.online_count() == 0 {
             return None;
         }
-        online
-            .iter()
-            .copied()
-            .filter(|&id| id >= key)
-            .min()
-            .or_else(|| online.iter().copied().min())
+        let ids = self.arena.ids();
+        let n = ids.len();
+        let start = self.arena.partition_point(key);
+        for i in 0..n {
+            let slot = (start + i) % n;
+            if self.arena.is_online_slot(slot) {
+                return Some(ids[slot]);
+            }
+        }
+        None
+    }
+
+    /// successor(key) over the routing snapshot: the first snapshot id
+    /// `>= key`, wrapping to the smallest. `None` when the snapshot is
+    /// empty (every node was offline at the last stabilize).
+    fn routing_successor(&self, key: u64) -> Option<u64> {
+        if self.routing.is_empty() {
+            return None;
+        }
+        let i = self.routing.partition_point(|&id| id < key);
+        Some(if i == self.routing.len() {
+            self.routing[0]
+        } else {
+            self.routing[i]
+        })
     }
 
     /// Iterative greedy lookup from `from` toward the owner of `key`,
-    /// routing only via finger tables. Returns the terminal node.
+    /// routing only via (lazily computed) finger tables. Returns the
+    /// terminal node.
     ///
     /// # Errors
     ///
@@ -259,23 +296,24 @@ impl ChordOverlay {
         key: Key,
         metrics: &mut Metrics,
     ) -> Result<NodeId, DhtError> {
-        let start = self.nodes.get(&from.0).ok_or(DhtError::UnknownNode(from))?;
-        if !start.online {
+        if !self.arena.contains(from.0) {
             return Err(DhtError::UnknownNode(from));
         }
-        let mut current = start.id;
+        if !self.arena.is_online(from.0) {
+            return Err(DhtError::UnknownNode(from));
+        }
+        let mut current = from.0;
         let mut hops = 0u64;
         // 64-bit ring: any correct greedy route is <= 64 hops; a generous
         // cap guards against routing loops under heavy churn.
-        let cap = 2 * FINGER_BITS as u64 + self.nodes.len() as u64;
+        let cap = 2 * FINGER_BITS as u64 + self.arena.len() as u64;
         loop {
-            let node = &self.nodes[&current];
             // Terminal condition: key lies between us and our first live
             // successor -> that successor owns it (or we do if we are it).
             let Some(successor) = self.first_live_successor(current) else {
                 return Err(DhtError::NoNodes);
             };
-            if in_interval_open_closed(key.0, node.id, successor) {
+            if in_interval_open_closed(key.0, current, successor) {
                 if successor != current {
                     let lat = self.draw_latency();
                     metrics.record(names::CHORD_HOP, 64, lat);
@@ -321,19 +359,20 @@ impl ChordOverlay {
         faults: &mut LinkFaults,
         retries: u32,
     ) -> Result<NodeId, DhtError> {
-        let start = self.nodes.get(&from.0).ok_or(DhtError::UnknownNode(from))?;
-        if !start.online {
+        if !self.arena.contains(from.0) {
             return Err(DhtError::UnknownNode(from));
         }
-        let mut current = start.id;
+        if !self.arena.is_online(from.0) {
+            return Err(DhtError::UnknownNode(from));
+        }
+        let mut current = from.0;
         let mut hops = 0u64;
-        let cap = 2 * FINGER_BITS as u64 + self.nodes.len() as u64;
+        let cap = 2 * FINGER_BITS as u64 + self.arena.len() as u64;
         loop {
-            let node = &self.nodes[&current];
             let Some(successor) = self.first_live_successor(current) else {
                 return Err(DhtError::NoNodes);
             };
-            if in_interval_open_closed(key.0, node.id, successor) {
+            if in_interval_open_closed(key.0, current, successor) {
                 if successor != current {
                     let (ok, used) =
                         faults.delivers_with_retries(NodeId(current), NodeId(successor), retries);
@@ -406,11 +445,7 @@ impl ChordOverlay {
             } else {
                 metrics.record_offpath(names::CHORD_REPLICATE, size);
             }
-            self.nodes
-                .get_mut(rid)
-                .expect("replica exists")
-                .storage
-                .insert(key.0, value.clone());
+            self.storage.insert(*rid, key.0, &value);
         }
         Ok(())
     }
@@ -432,17 +467,16 @@ impl ChordOverlay {
         let mut any_holder_offline = false;
         for rid in &replica_ids {
             let lat = self.draw_latency();
-            let node = &self.nodes[rid];
-            if !node.online {
-                if node.storage.contains_key(&key.0) {
+            if !self.arena.is_online(*rid) {
+                if self.storage.contains(*rid, key.0) {
                     any_holder_offline = true;
                 }
                 metrics.record(names::CHORD_FETCH_FAIL, 16, lat);
                 continue;
             }
             metrics.record(names::CHORD_FETCH, 64, lat);
-            if let Some(v) = node.storage.get(&key.0) {
-                return Ok(v.clone());
+            if let Some(v) = self.storage.get(*rid, key.0) {
+                return Ok(v.to_vec());
             }
         }
         if any_holder_offline {
@@ -461,14 +495,13 @@ impl ChordOverlay {
     /// [`DhtError::UnknownNode`] for unknown nodes,
     /// [`DhtError::Unavailable`] when the node is offline.
     pub fn store_direct(&mut self, node: NodeId, key: Key, value: Vec<u8>) -> Result<(), DhtError> {
-        let n = self
-            .nodes
-            .get_mut(&node.0)
-            .ok_or(DhtError::UnknownNode(node))?;
-        if !n.online {
+        if !self.arena.contains(node.0) {
+            return Err(DhtError::UnknownNode(node));
+        }
+        if !self.arena.is_online(node.0) {
             return Err(DhtError::Unavailable(key));
         }
-        n.storage.insert(key.0, value);
+        self.storage.insert(node.0, key.0, &value);
         Ok(())
     }
 
@@ -480,127 +513,96 @@ impl ChordOverlay {
     /// [`DhtError::UnknownNode`] for unknown nodes,
     /// [`DhtError::Unavailable`] when the node is offline.
     pub fn fetch_direct(&self, node: NodeId, key: Key) -> Result<Option<Vec<u8>>, DhtError> {
-        let n = self.nodes.get(&node.0).ok_or(DhtError::UnknownNode(node))?;
-        if !n.online {
+        if !self.arena.contains(node.0) {
+            return Err(DhtError::UnknownNode(node));
+        }
+        if !self.arena.is_online(node.0) {
             return Err(DhtError::Unavailable(key));
         }
-        Ok(n.storage.get(&key.0).cloned())
+        Ok(self.storage.get(node.0, key.0).map(<[u8]>::to_vec))
     }
 
     /// The `want` online nodes that should hold `key`'s replicas: its owner
     /// (clockwise successor) followed by the next online nodes in ring
     /// order. Empty when every node is offline.
     pub fn online_replica_candidates(&self, key: Key, want: usize) -> Vec<NodeId> {
-        let online: Vec<u64> = self
-            .nodes
-            .values()
-            .filter(|n| n.online)
-            .map(|n| n.id)
-            .collect();
-        if online.is_empty() || want == 0 {
+        if self.arena.online_count() == 0 || want == 0 {
             return Vec::new();
         }
-        // `online` is in ring order (nodes is a BTreeMap); rotate to start at
-        // the owner.
-        let start = online.iter().position(|&id| id >= key.0).unwrap_or(0);
-        (0..online.len().min(want))
-            .map(|i| NodeId(online[(start + i) % online.len()]))
-            .collect()
-    }
-
-    /// The replica set for an owner: the owner plus following nodes
-    /// (regardless of liveness — liveness is checked on access).
-    fn replica_set(&self, owner: u64) -> Vec<u64> {
-        let mut out = vec![owner];
-        let mut iter = self
-            .nodes
-            .range((owner + 1)..)
-            .chain(self.nodes.range(..owner))
-            .map(|(&id, _)| id);
-        while out.len() < self.replicas {
-            match iter.next() {
-                Some(id) => out.push(id),
-                None => break,
+        let ids = self.arena.ids();
+        let n = ids.len();
+        let start = self.arena.partition_point(key.0);
+        let mut out = Vec::with_capacity(want.min(self.arena.online_count()));
+        for i in 0..n {
+            let slot = (start + i) % n;
+            if self.arena.is_online_slot(slot) {
+                out.push(NodeId(ids[slot]));
+                if out.len() == want {
+                    break;
+                }
             }
         }
         out
     }
 
+    /// The replica set for an owner: the owner plus following nodes
+    /// (regardless of liveness — liveness is checked on access).
+    fn replica_set(&self, owner: u64) -> Vec<u64> {
+        let ids = self.arena.ids();
+        let n = ids.len();
+        let mut out = Vec::with_capacity(self.replicas.min(n));
+        let Ok(pos) = ids.binary_search(&owner) else {
+            return vec![owner];
+        };
+        for i in 0..self.replicas.min(n) {
+            out.push(ids[(pos + i) % n]);
+        }
+        out
+    }
+
+    /// First currently-online entry of `id`'s successor list. The list is
+    /// the `succ_list_len` consecutive routing-snapshot entries after `id`
+    /// — exactly what the eager per-node lists contained.
     fn first_live_successor(&self, id: u64) -> Option<u64> {
-        let node = &self.nodes[&id];
-        for &s in &node.successors {
-            if self.nodes.get(&s).is_some_and(|n| n.online) {
-                return Some(s);
+        if !self.routing.is_empty() {
+            let succ_list_len = self.replicas.max(2).min(self.routing.len());
+            let start = self
+                .routing
+                .partition_point(|&s| s < id.wrapping_add(1).max(1));
+            // wrapping_add(1) overflows only for id == u64::MAX, whose
+            // successor is the smallest snapshot id — partition_point(0)=0.
+            let start = if id == u64::MAX { 0 } else { start };
+            for k in 0..succ_list_len {
+                let s = self.routing[(start + k) % self.routing.len()];
+                if self.arena.is_online(s) {
+                    return Some(s);
+                }
             }
         }
-        if node.online {
+        if self.arena.is_online(id) {
             Some(id)
         } else {
             None
         }
     }
 
+    /// Greedy routing step: the highest finger that precedes `key`. The
+    /// finger targets `id + 2^i` are resolved against the routing snapshot
+    /// on demand — byte-for-byte the entries the eager tables held.
     fn closest_preceding(&self, id: u64, key: u64) -> Option<u64> {
-        let node = &self.nodes[&id];
-        node.fingers.iter().rev().copied().find(|&f| {
-            f != id
-                && self.nodes.get(&f).is_some_and(|n| n.online)
-                && ring_distance(id, f) < ring_distance(id, key)
-                && ring_distance(f, key) < ring_distance(id, key)
-        })
-    }
-
-    fn rebuild_tables(&mut self) {
-        let ids: Vec<u64> = self
-            .nodes
-            .values()
-            .filter(|n| n.online)
-            .map(|n| n.id)
-            .collect();
-        if ids.is_empty() {
-            for node in self.nodes.values_mut() {
-                node.fingers.clear();
-                node.successors.clear();
+        let span = ring_distance(id, key);
+        for i in (0..FINGER_BITS).rev() {
+            let target = id.wrapping_add(1u64 << i);
+            let f = self.routing_successor(target)?;
+            if f != id
+                && self.arena.is_online(f)
+                && ring_distance(id, f) < span
+                && ring_distance(f, key) < span
+            {
+                return Some(f);
             }
-            return;
         }
-        let sorted = {
-            let mut s = ids.clone();
-            s.sort_unstable();
-            s
-        };
-        let successor_of = |key: u64| -> u64 {
-            match sorted.binary_search(&key) {
-                Ok(i) => sorted[i],
-                Err(i) => {
-                    if i == sorted.len() {
-                        sorted[0]
-                    } else {
-                        sorted[i]
-                    }
-                }
-            }
-        };
-        let succ_list_len = self.replicas.max(2).min(sorted.len());
-        let all: Vec<u64> = self.nodes.keys().copied().collect();
-        for id in all {
-            let mut fingers = Vec::with_capacity(FINGER_BITS);
-            for i in 0..FINGER_BITS {
-                let target = id.wrapping_add(1u64 << i);
-                fingers.push(successor_of(target));
-            }
-            fingers.dedup();
-            let mut successors = Vec::with_capacity(succ_list_len);
-            let mut cursor = id;
-            for _ in 0..succ_list_len {
-                let s = successor_of(cursor.wrapping_add(1));
-                successors.push(s);
-                cursor = s;
-            }
-            let node = self.nodes.get_mut(&id).expect("iterating own keys");
-            node.fingers = fingers;
-            node.successors = successors;
-        }
+        None
     }
 
     fn draw_latency(&mut self) -> u64 {
@@ -746,6 +748,40 @@ mod tests {
     }
 
     #[test]
+    fn idle_stabilize_is_cheap_and_lookups_still_converge() {
+        let mut r = ring(256);
+        // Round 1: initial table construction — every node is dirty.
+        let full = r.stabilize();
+        // Round 2: nothing churned — only the refresh sample is charged.
+        let idle = r.stabilize();
+        assert!(
+            idle * 8 <= full,
+            "idle stabilize {idle} should be <= 1/8 of full {full}"
+        );
+        // Churn a handful of nodes: cost scales with the dirty set, not n.
+        let ids = r.node_ids();
+        for &id in ids.iter().take(4) {
+            r.set_online(id, false);
+        }
+        let churned = r.stabilize();
+        assert!(
+            churned < full / 4,
+            "churn-of-4 stabilize {churned} should stay far below full {full}"
+        );
+        // And routing still converges to a live owner from any start.
+        let from = ids.iter().copied().find(|&n| r.is_online(n)).unwrap();
+        let mut owners = std::collections::HashSet::new();
+        for i in 0..10 {
+            let mut m = Metrics::new();
+            let key = Key::hash(format!("post-churn-{i}").as_bytes());
+            let owner = r.lookup(from, key, &mut m).unwrap();
+            assert!(r.is_online(owner), "lookup lands on a live node");
+            owners.insert(owner);
+        }
+        assert!(owners.len() > 1, "lookups spread over the ring");
+    }
+
+    #[test]
     fn single_node_ring_owns_everything() {
         let mut r = ChordOverlay::build(1, 1, 1);
         let mut m = Metrics::new();
@@ -773,5 +809,14 @@ mod tests {
             let owner = r.lookup(from, key, &mut m).unwrap();
             assert!(r.is_online(owner), "lookup must land on a live node");
         }
+    }
+
+    #[test]
+    fn memory_stays_compact_per_node() {
+        let r = ring(4096);
+        // Lazy tables: no 64-entry finger array per node; the arena plus
+        // routing snapshot is ~17 bytes/node.
+        let per_node = r.memory_bytes() / r.len();
+        assert!(per_node <= 64, "{per_node} bytes/node");
     }
 }

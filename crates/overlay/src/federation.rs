@@ -8,6 +8,7 @@
 //! behalf. [`FederatedNetwork::max_view_fraction`] quantifies the survey's
 //! global-view claim directly.
 
+use crate::arena::SharedStore;
 use crate::id::Key;
 use crate::metrics::Metrics;
 use dosn_obs::names;
@@ -39,7 +40,6 @@ impl std::error::Error for FederationError {}
 #[derive(Debug, Default)]
 struct Server {
     users: Vec<String>,
-    storage: HashMap<u64, Vec<u8>>,
     online: bool,
 }
 
@@ -68,6 +68,9 @@ struct Server {
 pub struct FederatedNetwork {
     servers: Vec<Server>,
     home_of: HashMap<String, usize>,
+    /// Pod blob storage, interned across the whole federation and keyed by
+    /// server index — mirrored replicas of one value share one allocation.
+    storage: SharedStore,
 }
 
 impl FederatedNetwork {
@@ -86,6 +89,7 @@ impl FederatedNetwork {
                 })
                 .collect(),
             home_of: HashMap::new(),
+            storage: SharedStore::new(),
         }
     }
 
@@ -132,23 +136,20 @@ impl FederatedNetwork {
     /// storage layer — a pod mirroring a friend's pod). Returns `false` for
     /// unknown or offline servers.
     pub fn store_direct(&mut self, server: usize, key: Key, value: Vec<u8>) -> bool {
-        match self.servers.get_mut(server) {
-            Some(s) if s.online => {
-                s.storage.insert(key.0, value);
-                true
-            }
-            _ => false,
+        if !self.server_online(server) {
+            return false;
         }
+        self.storage.insert(server as u64, key.0, &value);
+        true
     }
 
     /// Reads `key` directly from `server`'s storage. `None` when the server
     /// is unknown, offline, or does not hold the key.
     pub fn fetch_direct(&self, server: usize, key: Key) -> Option<Vec<u8>> {
-        let s = self.servers.get(server)?;
-        if !s.online {
+        if !self.server_online(server) {
             return None;
         }
-        s.storage.get(&key.0).cloned()
+        self.storage.get(server as u64, key.0).map(<[u8]>::to_vec)
     }
 
     /// The `want` online servers that should hold `key`'s replicas: a
@@ -192,7 +193,7 @@ impl FederatedNetwork {
             return Err(FederationError::HomeServerDown(owner.to_owned()));
         }
         metrics.record(names::FED_STORE, value.len() as u64, 30);
-        self.servers[home].storage.insert(key.0, value);
+        self.storage.insert(home as u64, key.0, &value);
         Ok(())
     }
 
@@ -227,10 +228,9 @@ impl FederatedNetwork {
             }
             metrics.record(names::FED_SERVER_RELAY, 32, 40);
         }
-        self.servers[owner_home]
-            .storage
-            .get(&key.0)
-            .cloned()
+        self.storage
+            .get(owner_home as u64, key.0)
+            .map(<[u8]>::to_vec)
             .ok_or(FederationError::NotFound(key))
     }
 

@@ -9,35 +9,56 @@
 //! Implementation: 64-bit XOR metric, `k`-buckets per bit prefix, iterative
 //! lookup with α=3 parallelism (accounted, not simulated concurrently), and
 //! store/get on the `k` closest nodes.
+//!
+//! # Scale architecture
+//!
+//! Buckets are *lazy*. Bucket `b` of node `id` is, by definition, the `k`
+//! XOR-closest nodes whose distance to `id` has its highest set bit at
+//! position `b` — and those nodes occupy one contiguous range of the sorted
+//! id array (`[base, base + 2^b)` with `base = (id ^ 2^b)` masked below bit
+//! `b`). So instead of materializing 64 `Vec`s per node (O(n·k·64) bytes),
+//! the overlay keeps a single sorted [`NodeArena`] and answers bucket
+//! queries with two binary searches plus a bit-descent that extracts the
+//! `k` XOR-smallest members — byte-identical contacts to the eager tables.
+//! Stored blobs live in one interned [`SharedStore`].
 
+use crate::arena::{NodeArena, SharedStore};
 use crate::fault::LinkFaults;
 use crate::id::{Key, NodeId};
 use crate::metrics::Metrics;
 use dosn_obs::names;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 
 /// Lookup parallelism (classic Kademlia α).
 const ALPHA: usize = 3;
 
-#[derive(Debug, Clone)]
-struct KadNode {
-    /// k-buckets: bucket `i` holds nodes whose XOR distance has its highest
-    /// set bit at position `i`.
-    buckets: Vec<Vec<u64>>,
-    online: bool,
-    storage: HashMap<u64, Vec<u8>>,
-}
-
-impl KadNode {
-    /// The `count` closest known contacts to `target`.
-    fn closest_known(&self, target: u64, count: usize) -> Vec<u64> {
-        let mut all: Vec<u64> = self.buckets.iter().flatten().copied().collect();
-        all.sort_by_key(|&c| c ^ target);
-        all.truncate(count);
-        all
+/// Appends the `*remaining` XOR-closest ids to `refid` from a sorted slice
+/// whose members all agree with each other above `bit` (a k-bucket range).
+/// Within such a slice, ids matching `refid`'s value at `bit` are strictly
+/// closer than those differing, so descending bit-by-bit enumerates ids in
+/// exact XOR order without sorting.
+fn take_closest(slice: &[u64], refid: u64, bit: i32, remaining: &mut usize, out: &mut Vec<u64>) {
+    if *remaining == 0 || slice.is_empty() {
+        return;
     }
+    if slice.len() <= *remaining {
+        out.extend_from_slice(slice);
+        *remaining -= slice.len();
+        return;
+    }
+    debug_assert!(bit >= 0, "slice of >1 id must still have bits to split");
+    let mask = 1u64 << bit;
+    let split = slice.partition_point(|&x| x & mask == 0);
+    let (zeros, ones) = slice.split_at(split);
+    let (near, far) = if refid & mask == 0 {
+        (zeros, ones)
+    } else {
+        (ones, zeros)
+    };
+    take_closest(near, refid, bit - 1, remaining, out);
+    take_closest(far, refid, bit - 1, remaining, out);
 }
 
 /// A Kademlia overlay.
@@ -57,8 +78,8 @@ impl KadNode {
 /// # }
 /// ```
 pub struct KademliaOverlay {
-    nodes: HashMap<u64, KadNode>,
-    sorted_ids: Vec<u64>,
+    arena: NodeArena,
+    storage: SharedStore,
     k: usize,
     replicas: usize,
     rng: StdRng,
@@ -69,7 +90,7 @@ impl std::fmt::Debug for KademliaOverlay {
         write!(
             f,
             "KademliaOverlay({} nodes, k={})",
-            self.sorted_ids.len(),
+            self.arena.len(),
             self.k
         )
     }
@@ -88,41 +109,9 @@ impl KademliaOverlay {
         while ids.len() < n {
             ids.insert(rng.random::<u64>());
         }
-        let sorted_ids: Vec<u64> = ids.iter().copied().collect();
-        let mut nodes: HashMap<u64, KadNode> = sorted_ids
-            .iter()
-            .map(|&id| {
-                (
-                    id,
-                    KadNode {
-                        buckets: vec![Vec::new(); 64],
-                        online: true,
-                        storage: HashMap::new(),
-                    },
-                )
-            })
-            .collect();
-        // Populate k-buckets: every node learns up to k contacts per bucket
-        // (deterministic: the numerically smallest XOR distances first, a
-        // fair stand-in for long-lived contacts).
-        for &id in &sorted_ids {
-            let mut per_bucket: Vec<Vec<u64>> = vec![Vec::new(); 64];
-            for &other in &sorted_ids {
-                if other == id {
-                    continue;
-                }
-                let b = 63 - (id ^ other).leading_zeros() as usize;
-                per_bucket[b].push(other);
-            }
-            for bucket in per_bucket.iter_mut() {
-                bucket.sort_by_key(|&c| c ^ id);
-                bucket.truncate(k);
-            }
-            nodes.get_mut(&id).expect("own id").buckets = per_bucket;
-        }
         KademliaOverlay {
-            nodes,
-            sorted_ids,
+            arena: NodeArena::from_sorted_ids(ids.into_iter().collect()),
+            storage: SharedStore::new(),
             k,
             replicas,
             rng,
@@ -131,12 +120,18 @@ impl KademliaOverlay {
 
     /// Number of nodes.
     pub fn len(&self) -> usize {
-        self.sorted_ids.len()
+        self.arena.len()
     }
 
     /// Whether the overlay is empty.
     pub fn is_empty(&self) -> bool {
-        self.sorted_ids.is_empty()
+        self.arena.is_empty()
+    }
+
+    /// Estimated resident bytes of membership and storage — the E15
+    /// memory-per-node denominator.
+    pub fn memory_bytes(&self) -> usize {
+        self.arena.memory_bytes() + self.storage.memory_bytes() + std::mem::size_of::<Self>()
     }
 
     /// A deterministic online node for workload driving.
@@ -145,21 +140,16 @@ impl KademliaOverlay {
     ///
     /// Panics when every node is offline.
     pub fn random_node(&self, salt: u64) -> NodeId {
-        let online: Vec<u64> = self
-            .sorted_ids
-            .iter()
-            .copied()
-            .filter(|id| self.nodes[id].online)
-            .collect();
-        assert!(!online.is_empty(), "no online nodes");
-        NodeId(online[(salt as usize) % online.len()])
+        let id = self
+            .arena
+            .nth_online(salt as usize)
+            .expect("no online nodes");
+        NodeId(id)
     }
 
     /// All node ids, in id order.
     pub fn node_ids(&self) -> Vec<NodeId> {
-        let mut ids: Vec<u64> = self.nodes.keys().copied().collect();
-        ids.sort_unstable();
-        ids.into_iter().map(NodeId).collect()
+        self.arena.ids().iter().map(|&id| NodeId(id)).collect()
     }
 
     /// Marks a node online/offline.
@@ -168,35 +158,61 @@ impl KademliaOverlay {
     ///
     /// Panics for unknown nodes.
     pub fn set_online(&mut self, node: NodeId, online: bool) {
-        self.nodes.get_mut(&node.0).expect("unknown node").online = online;
+        self.arena.set_online(node.0, online);
     }
 
     /// Whether `node` is online.
     pub fn is_online(&self, node: NodeId) -> bool {
-        self.nodes.get(&node.0).is_some_and(|n| n.online)
+        self.arena.is_online(node.0)
     }
 
     /// Writes `value` directly into `node`'s local store, bypassing routing
     /// (replica placement by an upper storage layer). Returns `false` for
     /// unknown or offline nodes.
     pub fn store_direct(&mut self, node: NodeId, key: Key, value: Vec<u8>) -> bool {
-        match self.nodes.get_mut(&node.0) {
-            Some(n) if n.online => {
-                n.storage.insert(key.0, value);
-                true
-            }
-            _ => false,
+        if !self.arena.is_online(node.0) {
+            return false;
         }
+        self.storage.insert(node.0, key.0, &value);
+        true
     }
 
     /// Reads `key` directly from `node`'s local store. `None` when the node
     /// is unknown, offline, or never received the key.
     pub fn fetch_direct(&self, node: NodeId, key: Key) -> Option<Vec<u8>> {
-        let n = self.nodes.get(&node.0)?;
-        if !n.online {
+        if !self.arena.is_online(node.0) {
             return None;
         }
-        n.storage.get(&key.0).cloned()
+        self.storage.get(node.0, key.0).map(<[u8]>::to_vec)
+    }
+
+    /// The contacts of `id`'s bucket `b`: its `k` XOR-closest nodes whose
+    /// distance to `id` peaks at bit `b`, computed on demand from the
+    /// sorted id array.
+    fn bucket_contacts(&self, id: u64, b: usize) -> Vec<u64> {
+        let ids = self.arena.ids();
+        let base = (id ^ (1u64 << b)) & !((1u64 << b) - 1);
+        let lo = ids.partition_point(|&x| x < base);
+        let hi = match base.checked_add(1u64 << b) {
+            Some(end) => ids.partition_point(|&x| x < end),
+            None => ids.len(),
+        };
+        let mut out = Vec::new();
+        let mut remaining = self.k;
+        take_closest(&ids[lo..hi], id, b as i32 - 1, &mut remaining, &mut out);
+        out
+    }
+
+    /// The `count` closest contacts `id` knows of toward `target` — the
+    /// lazy equivalent of flattening its 64 k-buckets.
+    fn closest_known_of(&self, id: u64, target: u64, count: usize) -> Vec<u64> {
+        let mut all: Vec<u64> = Vec::with_capacity(64.min(self.arena.len()) * 2);
+        for b in 0..64 {
+            all.extend(self.bucket_contacts(id, b));
+        }
+        all.sort_by_key(|&c| c ^ target);
+        all.truncate(count);
+        all
     }
 
     /// Iterative XOR-metric lookup: returns the `replicas` closest online
@@ -216,9 +232,9 @@ impl KademliaOverlay {
         count: usize,
         metrics: &mut Metrics,
     ) -> Vec<NodeId> {
+        assert!(self.arena.contains(from.0), "unknown start node");
         let target = key.0;
-        let start = &self.nodes[&from.0];
-        let mut shortlist: Vec<u64> = start.closest_known(target, self.k);
+        let mut shortlist: Vec<u64> = self.closest_known_of(from.0, target, self.k);
         let mut queried: BTreeSet<u64> = BTreeSet::new();
         let mut closest_seen = u64::MAX;
         loop {
@@ -238,13 +254,10 @@ impl KademliaOverlay {
                 queried.insert(candidate);
                 // α queries go out in parallel: one latency per round.
                 metrics.record_offpath(names::KAD_FIND_NODE, 64);
-                let Some(node) = self.nodes.get(&candidate) else {
-                    continue;
-                };
-                if !node.online {
+                if !self.arena.is_online(candidate) {
                     continue;
                 }
-                for learned in node.closest_known(target, self.k) {
+                for learned in self.closest_known_of(candidate, target, self.k) {
                     if !shortlist.contains(&learned) {
                         shortlist.push(learned);
                     }
@@ -265,7 +278,7 @@ impl KademliaOverlay {
         }
         shortlist
             .into_iter()
-            .filter(|c| self.nodes[c].online)
+            .filter(|&c| self.arena.is_online(c))
             .take(count)
             .map(NodeId)
             .collect()
@@ -285,9 +298,9 @@ impl KademliaOverlay {
         faults: &mut LinkFaults,
         retries: u32,
     ) -> Vec<NodeId> {
+        assert!(self.arena.contains(from.0), "unknown start node");
         let target = key.0;
-        let start = &self.nodes[&from.0];
-        let mut shortlist: Vec<u64> = start.closest_known(target, self.k);
+        let mut shortlist: Vec<u64> = self.closest_known_of(from.0, target, self.k);
         let mut queried: BTreeSet<u64> = BTreeSet::new();
         let mut reached: BTreeSet<u64> = BTreeSet::new();
         let mut closest_seen = u64::MAX;
@@ -313,14 +326,11 @@ impl KademliaOverlay {
                 if !ok {
                     continue;
                 }
-                let Some(node) = self.nodes.get(&candidate) else {
-                    continue;
-                };
-                if !node.online {
+                if !self.arena.is_online(candidate) {
                     continue;
                 }
                 reached.insert(candidate);
-                for learned in node.closest_known(target, self.k) {
+                for learned in self.closest_known_of(candidate, target, self.k) {
                     if !shortlist.contains(&learned) {
                         shortlist.push(learned);
                     }
@@ -367,11 +377,8 @@ impl KademliaOverlay {
         }
         for t in targets {
             metrics.record_offpath(names::KAD_STORE, value.len() as u64);
-            self.nodes
-                .get_mut(&t.0)
-                .expect("lookup returns known nodes")
-                .storage
-                .insert(key.0, value.clone());
+            // Interned store: R replicas of one blob share one allocation.
+            self.storage.insert(t.0, key.0, &value);
         }
         Ok(())
     }
@@ -390,8 +397,8 @@ impl KademliaOverlay {
         let targets = self.lookup(from, key, metrics);
         for t in targets {
             metrics.record(names::KAD_FETCH, 64, self.rng.random_range(10u64..=120));
-            if let Some(v) = self.nodes[&t.0].storage.get(&key.0) {
-                return Ok(v.clone());
+            if let Some(v) = self.storage.get(t.0, key.0) {
+                return Ok(v.to_vec());
             }
         }
         Err(format!("{key} not found on any close node"))
@@ -477,11 +484,42 @@ mod tests {
     }
 
     #[test]
-    fn buckets_bounded_by_k() {
+    fn buckets_bounded_by_k_and_correctly_binned() {
         let k = KademliaOverlay::build(256, 3, 8, 5);
-        for node in k.nodes.values() {
-            for bucket in &node.buckets {
+        for node in k.node_ids() {
+            for b in 0..64 {
+                let bucket = k.bucket_contacts(node.0, b);
                 assert!(bucket.len() <= 8);
+                for c in bucket {
+                    assert_eq!(
+                        63 - (node.0 ^ c).leading_zeros() as usize,
+                        b,
+                        "contact {c:#x} in wrong bucket of {:#x}",
+                        node.0
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_bucket_extraction_matches_brute_force() {
+        let k = KademliaOverlay::build(128, 3, 5, 77);
+        let ids: Vec<u64> = k.node_ids().iter().map(|n| n.0).collect();
+        for &id in ids.iter().step_by(17) {
+            for b in 0..64 {
+                // Brute force: all nodes whose distance peaks at bit b,
+                // sorted by distance, truncated to k.
+                let mut expect: Vec<u64> = ids
+                    .iter()
+                    .copied()
+                    .filter(|&o| o != id && 63 - (id ^ o).leading_zeros() as usize == b)
+                    .collect();
+                expect.sort_by_key(|&c| c ^ id);
+                expect.truncate(5);
+                let mut got = k.bucket_contacts(id, b);
+                got.sort_by_key(|&c| c ^ id);
+                assert_eq!(got, expect, "bucket {b} of {id:#x}");
             }
         }
     }

@@ -44,6 +44,7 @@
 //! # }
 //! ```
 
+pub mod arena;
 pub mod chord;
 pub mod churn;
 pub mod fault;
@@ -53,7 +54,9 @@ pub mod hybrid;
 pub mod id;
 pub mod kademlia;
 pub mod metrics;
+pub mod placement;
 pub mod replication;
 pub mod sim;
+pub mod social;
 pub mod storage;
 pub mod superpeer;

@@ -103,12 +103,16 @@ impl<M> Context<'_, M> {
     }
 }
 
-#[derive(Debug)]
-enum Event<M> {
+/// Queue events are payload-free: message bodies live in the simulation's
+/// refcounted slab and `Deliver` carries only a `u32` slot, so fault-plan
+/// duplication no longer clones payloads into the heap-ordered queue.
+#[derive(Debug, Clone, Copy)]
+enum Event {
     Deliver {
         from: NodeId,
         to: NodeId,
-        msg: M,
+        /// Slab slot holding the message body (shared by duplicates).
+        slot: u32,
         // Logical message id; duplicate copies share it so offline-drop
         // accounting stays once-per-message.
         msg_id: u64,
@@ -123,24 +127,24 @@ enum Event<M> {
     },
 }
 
-struct Scheduled<M> {
+struct Scheduled {
     at_ms: u64,
     seq: u64,
-    event: Event<M>,
+    event: Event,
 }
 
-impl<M> PartialEq for Scheduled<M> {
+impl PartialEq for Scheduled {
     fn eq(&self, other: &Self) -> bool {
         self.at_ms == other.at_ms && self.seq == other.seq
     }
 }
-impl<M> Eq for Scheduled<M> {}
-impl<M> PartialOrd for Scheduled<M> {
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<M> Ord for Scheduled<M> {
+impl Ord for Scheduled {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         (self.at_ms, self.seq).cmp(&(other.at_ms, other.seq))
     }
@@ -195,7 +199,13 @@ where
 {
     actors: Vec<A>,
     online: Vec<bool>,
-    queue: BinaryHeap<Reverse<Scheduled<A::Msg>>>,
+    queue: BinaryHeap<Reverse<Scheduled>>,
+    /// Message slab: in-flight bodies, indexed by `Event::Deliver::slot`.
+    msgs: Vec<Option<A::Msg>>,
+    /// Outstanding deliveries per slot (2 when the fault plan duplicated).
+    msg_refs: Vec<u32>,
+    /// Recycled slab slots.
+    free_slots: Vec<u32>,
     now_ms: u64,
     seq: u64,
     next_msg_id: u64,
@@ -234,6 +244,9 @@ where
             actors,
             online: vec![true; n],
             queue: BinaryHeap::new(),
+            msgs: Vec::new(),
+            msg_refs: Vec::new(),
+            free_slots: Vec::new(),
             now_ms: 0,
             seq: 0,
             next_msg_id: 0,
@@ -392,7 +405,7 @@ where
             Event::Deliver {
                 from,
                 to,
-                msg,
+                slot,
                 msg_id,
             } => {
                 if !self.online[to.0 as usize] {
@@ -402,10 +415,12 @@ where
                     }
                     self.per_node.on_dropped(to);
                     self.record(TraceEventKind::DropOffline, from, to, msg_id);
+                    self.release_slot(slot);
                 } else {
                     self.stats.delivered += 1;
                     self.per_node.on_delivered(to);
                     self.record(TraceEventKind::Deliver, from, to, msg_id);
+                    let msg = self.take_msg(slot);
                     self.with_ctx(to, |actor, ctx| actor.on_message(ctx, from, msg));
                 }
             }
@@ -470,16 +485,18 @@ where
             self.record(TraceEventKind::DropLink, from, to, msg_id);
             return;
         }
+        let slot = self.alloc_slot(msg);
         if chance(&mut self.fault_rng, self.faults.duplicate_probability) {
             self.stats.duplicated += 1;
             self.record(TraceEventKind::Duplicate, from, to, msg_id);
+            self.msg_refs[slot as usize] += 1;
             let delay = self.delivery_delay(from, to);
             self.schedule(
                 delay,
                 Event::Deliver {
                     from,
                     to,
-                    msg: msg.clone(),
+                    slot,
                     msg_id,
                 },
             );
@@ -490,10 +507,49 @@ where
             Event::Deliver {
                 from,
                 to,
-                msg,
+                slot,
                 msg_id,
             },
         );
+    }
+
+    /// Parks `msg` in the slab with one outstanding delivery.
+    fn alloc_slot(&mut self, msg: A::Msg) -> u32 {
+        if let Some(slot) = self.free_slots.pop() {
+            self.msgs[slot as usize] = Some(msg);
+            self.msg_refs[slot as usize] = 1;
+            slot
+        } else {
+            self.msgs.push(Some(msg));
+            self.msg_refs.push(1);
+            (self.msgs.len() - 1) as u32
+        }
+    }
+
+    /// Consumes one delivery of `slot`: moves the body out on the last
+    /// reference (the common case — zero clones), clones only when a
+    /// fault-plan duplicate still holds the slot.
+    fn take_msg(&mut self, slot: u32) -> A::Msg {
+        let s = slot as usize;
+        self.msg_refs[s] -= 1;
+        if self.msg_refs[s] == 0 {
+            let msg = self.msgs[s].take().expect("live slab slot");
+            self.free_slots.push(slot);
+            msg
+        } else {
+            self.msgs[s].as_ref().expect("live slab slot").clone()
+        }
+    }
+
+    /// Drops one delivery of `slot` without reading the body (offline
+    /// target) — never clones.
+    fn release_slot(&mut self, slot: u32) {
+        let s = slot as usize;
+        self.msg_refs[s] -= 1;
+        if self.msg_refs[s] == 0 {
+            self.msgs[s] = None;
+            self.free_slots.push(slot);
+        }
     }
 
     fn delivery_delay(&mut self, from: NodeId, to: NodeId) -> u64 {
@@ -524,7 +580,7 @@ where
             .random_range(self.latency.min_ms..=self.latency.max_ms)
     }
 
-    fn schedule(&mut self, delay_ms: u64, event: Event<A::Msg>) {
+    fn schedule(&mut self, delay_ms: u64, event: Event) {
         self.seq += 1;
         self.queue.push(Reverse(Scheduled {
             at_ms: self.now_ms + delay_ms,
@@ -671,5 +727,103 @@ mod tests {
         assert!(!sim.is_empty());
         let empty: Simulation<Echo> = Simulation::new(vec![], 1);
         assert!(empty.is_empty());
+    }
+
+    /// A message whose `Clone` impl counts how often it runs.
+    struct CountingMsg {
+        clones: std::rc::Rc<std::cell::Cell<u64>>,
+    }
+
+    impl Clone for CountingMsg {
+        fn clone(&self) -> Self {
+            self.clones.set(self.clones.get() + 1);
+            CountingMsg {
+                clones: self.clones.clone(),
+            }
+        }
+    }
+
+    #[derive(Default)]
+    struct Sink {
+        received: u64,
+    }
+
+    impl Actor for Sink {
+        type Msg = CountingMsg;
+        fn on_message(
+            &mut self,
+            _ctx: &mut Context<'_, Self::Msg>,
+            _from: NodeId,
+            _msg: Self::Msg,
+        ) {
+            self.received += 1;
+        }
+    }
+
+    #[test]
+    fn plain_delivery_never_clones_payloads() {
+        let clones = std::rc::Rc::new(std::cell::Cell::new(0u64));
+        let mut sim: Simulation<Sink> = Simulation::new(vec![Sink::default(), Sink::default()], 11);
+        for _ in 0..100 {
+            sim.post(
+                NodeId(0),
+                NodeId(1),
+                CountingMsg {
+                    clones: clones.clone(),
+                },
+            );
+        }
+        sim.run_until_idle();
+        assert_eq!(sim.actor(NodeId(1)).received, 100);
+        assert_eq!(clones.get(), 0, "slab queue must move, not clone");
+    }
+
+    #[test]
+    fn only_fault_duplicates_clone_and_offline_drops_never_do() {
+        let clones = std::rc::Rc::new(std::cell::Cell::new(0u64));
+        let plan = FaultPlan::seeded(3).with_duplicate_probability(1.0);
+        let mut sim: Simulation<Sink> = Simulation::with_faults(
+            vec![Sink::default(), Sink::default(), Sink::default()],
+            12,
+            LatencyModel::default(),
+            plan,
+        );
+        for _ in 0..50 {
+            sim.post(
+                NodeId(0),
+                NodeId(1),
+                CountingMsg {
+                    clones: clones.clone(),
+                },
+            );
+        }
+        sim.run_until_idle();
+        assert_eq!(sim.stats().duplicated, 50);
+        assert_eq!(sim.actor(NodeId(1)).received, 100);
+        assert_eq!(clones.get(), 50, "exactly one clone per duplicated message");
+
+        // Duplicates to an offline target are dropped without any clone.
+        let clones2 = std::rc::Rc::new(std::cell::Cell::new(0u64));
+        let plan = FaultPlan::seeded(4).with_duplicate_probability(1.0);
+        let mut sim: Simulation<Sink> = Simulation::with_faults(
+            vec![Sink::default(), Sink::default()],
+            13,
+            LatencyModel::default(),
+            plan,
+        );
+        sim.schedule_churn(0, NodeId(1), false);
+        sim.run_until_idle();
+        for _ in 0..20 {
+            sim.post(
+                NodeId(0),
+                NodeId(1),
+                CountingMsg {
+                    clones: clones2.clone(),
+                },
+            );
+        }
+        sim.run_until_idle();
+        assert_eq!(sim.stats().dropped_offline, 20);
+        assert_eq!(clones2.get(), 0, "offline drops must not clone");
     }
 }

@@ -8,6 +8,7 @@
 //! super-peer; super-peers hold the content index and answer queries in at
 //! most three hops (leaf → super → super → leaf).
 
+use crate::arena::SharedStore;
 use crate::fault::LinkFaults;
 use crate::id::{Key, NodeId};
 use crate::metrics::Metrics;
@@ -24,9 +25,6 @@ struct Peer {
     online: bool,
     /// `Some(super_id)` for leaves; `None` for super-peers.
     attached_to: Option<NodeId>,
-    /// Content blobs hosted by this peer (the index on the super-peers
-    /// points searchers at holders; the holders keep the bytes).
-    storage: HashMap<u64, Vec<u8>>,
 }
 
 /// The Supernova-style super-peer overlay.
@@ -48,6 +46,9 @@ pub struct SuperPeerOverlay {
     supers: Vec<NodeId>,
     /// Per super-peer: key -> holders (the distributed index).
     index: HashMap<NodeId, HashMap<u64, Vec<NodeId>>>,
+    /// Content blobs hosted across all peers, interned (the index on the
+    /// super-peers points searchers at holders; holders keep the bytes).
+    storage: SharedStore,
     rng: StdRng,
 }
 
@@ -77,7 +78,6 @@ impl SuperPeerOverlay {
                 uptime: rng.random_range(0.05..1.0),
                 online: true,
                 attached_to: None,
-                storage: HashMap::new(),
             })
             .collect();
         // Election: the highest-uptime peers become super-peers (Supernova's
@@ -102,6 +102,7 @@ impl SuperPeerOverlay {
             peers,
             supers: super_ids,
             index,
+            storage: SharedStore::new(),
             rng,
         }
     }
@@ -158,27 +159,21 @@ impl SuperPeerOverlay {
     /// Hosts `value` on `node` and publishes the index entry so searches
     /// can find it. Returns `false` for unknown or offline nodes.
     pub fn store_direct(&mut self, node: NodeId, key: Key, value: Vec<u8>) -> bool {
-        let stored = match self.peers.get_mut(node.0 as usize) {
-            Some(p) if p.online => {
-                p.storage.insert(key.0, value);
-                true
-            }
-            _ => false,
-        };
-        if stored {
-            self.publish(node, key);
+        if !self.is_online(node) {
+            return false;
         }
-        stored
+        self.storage.insert(node.0, key.0, &value);
+        self.publish(node, key);
+        true
     }
 
     /// Reads `key` directly from `node`'s hosted blobs. `None` when the
     /// peer is unknown, offline, or does not host the key.
     pub fn fetch_direct(&self, node: NodeId, key: Key) -> Option<Vec<u8>> {
-        let p = self.peers.get(node.0 as usize)?;
-        if !p.online {
+        if !self.is_online(node) {
             return None;
         }
-        p.storage.get(&key.0).cloned()
+        self.storage.get(node.0, key.0).map(<[u8]>::to_vec)
     }
 
     /// The `want` online peers that should host `key`'s replicas: a
