@@ -16,14 +16,66 @@
 //! 2x (the ISSUE's injected-slowdown scenario) and verifies the gate
 //! *fails* that run — if the gate waves a 2x regression through, the CI
 //! step itself fails.
+//!
+//! When `$GITHUB_STEP_SUMMARY` is set (it is, in GitHub Actions), normal
+//! mode also appends a per-headline markdown table to that file so every
+//! gated experiment shows up in the workflow run's summary page.
 
-use dosn_bench::gate::{check, degrade};
+use dosn_bench::gate::{check, degrade, GateOutcome};
 use dosn_obs::RunReport;
+use std::io::Write;
 use std::path::Path;
 use std::process::ExitCode;
 
 fn load(path: &str) -> Result<RunReport, String> {
     RunReport::load(Path::new(path)).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Renders the outcome as a markdown table for the GitHub Actions step
+/// summary: one row per headline, plus a row per structural error.
+fn markdown_summary(experiment: &str, outcome: &GateOutcome) -> String {
+    let mut md = format!(
+        "### {} — {}\n\n| headline | current | baseline | limit | tolerance | result |\n|---|---|---|---|---|---|\n",
+        experiment,
+        if outcome.passed() { "✅ pass" } else { "❌ FAIL" },
+    );
+    for c in &outcome.checks {
+        let current = c
+            .current
+            .map_or_else(|| "missing".to_string(), |v| format!("{v:.4}"));
+        let dir = if c.higher_is_better { "≥" } else { "≤" };
+        md.push_str(&format!(
+            "| `{}` | {} | {:.4} | {dir} {:.4} | {:.0}% | {} |\n",
+            c.name,
+            current,
+            c.baseline,
+            c.limit(),
+            c.tolerance * 100.0,
+            if c.passed { "pass" } else { "**FAIL**" },
+        ));
+    }
+    for e in &outcome.errors {
+        md.push_str(&format!("| _error_ | {e} | | | | **FAIL** |\n"));
+    }
+    md.push('\n');
+    md
+}
+
+/// Appends the table to `$GITHUB_STEP_SUMMARY` when the variable is set;
+/// a write failure is reported but never fails the gate itself.
+fn publish_summary(experiment: &str, outcome: &GateOutcome) {
+    let Ok(path) = std::env::var("GITHUB_STEP_SUMMARY") else {
+        return;
+    };
+    let table = markdown_summary(experiment, outcome);
+    let appended = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| f.write_all(table.as_bytes()));
+    if let Err(e) = appended {
+        eprintln!("bench_gate: could not append step summary to {path}: {e}");
+    }
 }
 
 fn main() -> ExitCode {
@@ -64,6 +116,7 @@ fn main() -> ExitCode {
             let outcome = check(&current, &baseline);
             println!("gate: {} vs baseline {}", current_path, baseline_path);
             println!("{}", outcome.describe());
+            publish_summary(&baseline.experiment, &outcome);
             if outcome.passed() {
                 println!("gate: no regression beyond tolerance");
                 ExitCode::SUCCESS

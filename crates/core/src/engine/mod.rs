@@ -75,9 +75,11 @@ pub use commit::{CommitEntry, CommitPlan};
 
 use crate::content::Post;
 use crate::error::DosnError;
+use crate::feed::{FeedCache, FeedCacheStats, FeedItem};
 use crate::graph::SocialGraph;
 use crate::identity::{Identity, UserId};
 use crate::integrity::envelope::SignedEnvelope;
+use crate::integrity::EntryHash;
 use crate::network::integrity_plane::IntegrityPlane;
 use crate::network::privacy_plane::PrivacyPlane;
 use crate::network::storage_glue::{storage_to_dosn, wall_key};
@@ -196,6 +198,10 @@ struct ReadJob {
     reader: String,
     seq: u64,
     fetched: Result<FetchedCopies, StorageError>,
+    /// Sealed bytes served by the storage plane's hot cache, if any — the
+    /// verify/decrypt worker checks these *first* and only falls back to
+    /// the quorum copies when they fail verification.
+    cached: Option<Vec<u8>>,
     fetch_micros: u64,
 }
 
@@ -210,6 +216,16 @@ enum ReadOutcome {
     /// No copy verified — the sequential pass re-reads raw bytes to
     /// distinguish "missing" from "present but malformed / badly signed".
     NeedsFallback,
+    /// A hot-cached envelope verified and decrypted — no quorum fetch
+    /// happened, nothing to repair.
+    CacheServed {
+        body: String,
+    },
+    /// The hot-cached envelope failed verification or decryption. The
+    /// sequential pass invalidates it and re-runs the read as a real
+    /// quorum fetch — a poisoned cache entry must behave exactly like an
+    /// uncached tampered replica, never like a served read.
+    RetryQuorum,
 }
 
 struct ReadOut {
@@ -236,6 +252,9 @@ pub struct Engine<S: StoragePlane> {
     workers: usize,
     drain_seed: Option<u64>,
     batch_verify: bool,
+    /// Reader-side materialized timelines (L1). `None` = caching off; op
+    /// outcomes are byte-identical either way (see [`crate::feed`]).
+    feed: Option<FeedCache>,
 }
 
 impl<S: StoragePlane> std::fmt::Debug for Engine<S> {
@@ -277,7 +296,43 @@ impl<S: StoragePlane> Engine<S> {
             workers: 1,
             drain_seed: None,
             batch_verify: true,
+            feed: None,
         }
+    }
+
+    /// Enables the reader-side materialized-feed cache (L1): decrypted
+    /// timeline slices keyed by the author's hash-chain head, holding at
+    /// most `capacity` posts. A cached slice serves only while the
+    /// author's live chain head still matches — any append invalidates it
+    /// — so cache hits can never serve tampered or forked content. Op
+    /// outcomes and [`BatchReport::digest`] are byte-identical with the
+    /// cache on or off (in fault-free runs the cache can only return what
+    /// a quorum read returned); only latency and `cache.*` counters
+    /// change.
+    pub fn enable_feed_cache(&mut self, capacity: usize) {
+        self.feed = Some(FeedCache::new(capacity));
+    }
+
+    /// Drops the feed cache and disables L1 caching.
+    pub fn disable_feed_cache(&mut self) {
+        self.feed = None;
+    }
+
+    /// The feed cache, when enabled.
+    pub fn feed_cache(&self) -> Option<&FeedCache> {
+        self.feed.as_ref()
+    }
+
+    /// Enables hot-envelope caching (L2) at the storage plane, sized to
+    /// `capacity` sealed envelopes, with the plane's native admission
+    /// policy seeded from the engine seed. Served envelopes are verified
+    /// exactly like replica copies; a failing entry is invalidated and
+    /// the read retries as a real quorum fetch.
+    pub fn enable_hot_cache(&mut self, capacity: usize) {
+        let mut eight = [0u8; 8];
+        eight.copy_from_slice(&self.seed[..8]);
+        self.storage
+            .enable_hot_cache(capacity, u64::from_be_bytes(eight));
     }
 
     /// Toggles batched Schnorr verification in the finish phase's quorum
@@ -368,6 +423,60 @@ impl<S: StoragePlane> Engine<S> {
     pub fn comments(&self, author: &str, seq: u64) -> Vec<(String, String)> {
         let id = UserId::from(author);
         self.shards[shard_of(author)].integrity.comments(&id, seq)
+    }
+
+    /// Aggregates `user`'s feed: the latest `k` posts of every friend,
+    /// planned as **one** engine batch so the fill path gets the parallel
+    /// finish phase and batched Schnorr verification. The friend set comes
+    /// from the social graph; per-friend sequence ranges come from the
+    /// integrity plane's timeline lengths. Posts the reader cannot read
+    /// (revoked epochs, unplaceable replicas) are skipped, not errors —
+    /// a feed is best-effort by design. With the feed cache enabled,
+    /// slices whose chain head still matches are served without a quorum
+    /// read.
+    ///
+    /// Returns items grouped by friend (friends in sorted-name order),
+    /// oldest-first within each friend. A user with zero friends gets an
+    /// empty feed, not an error.
+    ///
+    /// # Errors
+    ///
+    /// [`DosnError::UnknownUser`] when `user` is not registered.
+    pub fn read_feed(&mut self, user: &str, k: usize) -> Result<Vec<FeedItem>, DosnError> {
+        if !self.user_exists(user) {
+            return Err(DosnError::UnknownUser(user.to_owned()));
+        }
+        self.obs.counter(names::FEED_READS).add(1);
+        let friends = self.graph.friends(&UserId::from(user));
+        self.obs
+            .histogram(names::FEED_FANIN)
+            .record(friends.len() as u64);
+        if friends.is_empty() || k == 0 {
+            return Ok(Vec::new());
+        }
+        let mut batch = OpBatch::new();
+        let mut plan: Vec<(UserId, u64)> = Vec::new();
+        for friend in &friends {
+            let len = self.shards[shard_of(&friend.0)]
+                .integrity
+                .timeline(friend)
+                .map_or(0, |t| t.entries().len() as u64);
+            for seq in len.saturating_sub(k as u64)..len {
+                batch = batch.read_post(user, &friend.0, seq);
+                plan.push((friend.clone(), seq));
+            }
+        }
+        if plan.is_empty() {
+            return Ok(Vec::new());
+        }
+        let report = self.execute(batch);
+        let mut items = Vec::with_capacity(plan.len());
+        for ((author, seq), result) in plan.into_iter().zip(report.results) {
+            if let Ok(OpOutput::Read { body }) = result {
+                items.push(FeedItem { author, seq, body });
+            }
+        }
+        Ok(items)
     }
 
     /// Applies a fault plan's crash schedule to the storage plane.
@@ -489,6 +598,7 @@ impl<S: StoragePlane> Engine<S> {
         stage_batch(
             &mut self.shards,
             &mut self.graph,
+            &mut self.feed,
             &ctx,
             self.workers,
             ops,
@@ -497,8 +607,10 @@ impl<S: StoragePlane> Engine<S> {
     }
 
     /// Stage B of one batch: commit + finish, then put the moved-out
-    /// author snapshot back into its shards.
-    fn exec(&mut self, staged: StagedBatch) -> BatchReport {
+    /// author snapshot back into its shards and fill the feed cache from
+    /// the successful quorum reads.
+    fn exec(&mut self, mut staged: StagedBatch) -> BatchReport {
+        let fills = std::mem::take(&mut staged.fills);
         let ctx = self.worker_ctx();
         let (report, snapshot) = exec_staged(
             &mut self.storage,
@@ -509,6 +621,7 @@ impl<S: StoragePlane> Engine<S> {
             staged,
         );
         reinsert_snapshot(&mut self.shards, snapshot);
+        apply_feed_fills(&mut self.feed, &self.obs, fills, &report);
         report
     }
 
@@ -555,21 +668,28 @@ impl<S: StoragePlane + Send> Engine<S> {
                 let ctx = self.worker_ctx();
                 let workers = self.workers;
                 let drain_seed = self.drain_seed;
+                // The previous batch's feed fills apply after its report —
+                // the overlapped stage A below may consult the cache first,
+                // which at worst turns would-be hits into misses (the
+                // quorum read returns the same bytes), never wrong results.
+                let mut prev = staged;
+                let prev_fills = std::mem::take(&mut prev.fills);
                 let ((report, snapshot), staged_next) = {
                     let Engine {
                         storage,
                         metrics,
                         shards,
                         graph,
+                        feed,
                         ..
                     } = &mut *self;
                     let exec_ctx = ctx.clone();
-                    let prev = staged;
                     thread::scope(|scope| {
                         let handle = scope.spawn(move || {
                             exec_staged(storage, metrics, &exec_ctx, workers, drain_seed, prev)
                         });
-                        let staged_next = stage_batch(shards, graph, &ctx, workers, ops, base);
+                        let staged_next =
+                            stage_batch(shards, graph, feed, &ctx, workers, ops, base);
                         let outcome = match handle.join() {
                             Ok(outcome) => outcome,
                             Err(panic) => std::panic::resume_unwind(panic),
@@ -578,6 +698,7 @@ impl<S: StoragePlane + Send> Engine<S> {
                     })
                 };
                 reinsert_snapshot(&mut self.shards, snapshot);
+                apply_feed_fills(&mut self.feed, &self.obs, prev_fills, &report);
                 reports.push(report);
                 staged = staged_next;
             } else {
@@ -599,6 +720,65 @@ struct ReadRequest {
     shard: usize,
 }
 
+/// A planned feed-cache fill: if the quorum read at `op_idx` succeeds, its
+/// body is cached for `(reader, author, seq)` under the author's chain
+/// head as observed at stage-A time (posts append during prepare, so the
+/// head already covers same-batch writes).
+struct FeedFill {
+    op_idx: usize,
+    reader: UserId,
+    author: UserId,
+    seq: u64,
+    head: EntryHash,
+}
+
+/// Mirrors the feed cache's internal counter deltas onto the shared
+/// `cache.*` instruments.
+fn bump_feed_stats(obs: &Registry, before: FeedCacheStats, after: FeedCacheStats) {
+    for (name, delta) in [
+        (names::CACHE_HITS, after.hits - before.hits),
+        (names::CACHE_MISSES, after.misses - before.misses),
+        (
+            names::CACHE_INVALIDATIONS,
+            after.invalidations - before.invalidations,
+        ),
+        (names::CACHE_EVICTIONS, after.evictions - before.evictions),
+    ] {
+        if delta > 0 {
+            obs.counter(name).add(delta);
+        }
+    }
+}
+
+/// Applies a batch's planned feed fills after its report exists: only
+/// successful reads are cached (a failed read must keep failing until a
+/// quorum actually serves it).
+fn apply_feed_fills(
+    feed: &mut Option<FeedCache>,
+    obs: &Registry,
+    fills: Vec<FeedFill>,
+    report: &BatchReport,
+) {
+    let Some(cache) = feed.as_mut() else {
+        return;
+    };
+    for fill in fills {
+        if let Some(Ok(OpOutput::Read { body })) =
+            report.results.get(fill.op_idx).map(Result::as_ref)
+        {
+            let before = cache.stats();
+            cache.insert(
+                &fill.reader,
+                &fill.author,
+                fill.seq,
+                fill.head,
+                body.clone(),
+            );
+            bump_feed_stats(obs, before, cache.stats());
+        }
+    }
+}
+
 /// Everything stage A (plan + prepare) produced for one batch. Stage B
 /// (commit + finish) consumes it without ever touching the shards — read
 /// authors' states travel inside `snapshot`.
@@ -608,6 +788,9 @@ struct StagedBatch {
     timings: Vec<OpTiming>,
     plan: CommitPlan,
     reads: Vec<ReadRequest>,
+    /// Feed-cache fills to apply once the batch's report exists (empty
+    /// when the feed cache is off or every read was served from it).
+    fills: Vec<FeedFill>,
     /// Read-author states moved out of their shards (`(home shard,
     /// state)` per user) so the finish phase can verify and decrypt while
     /// the next batch's prepare owns the shards. Reinserted after exec.
@@ -671,12 +854,13 @@ fn reinsert_snapshot(shards: &mut [Shard], snapshot: BTreeMap<UserId, (usize, Us
 }
 
 /// Stage A: plan, prepare (registers, befriend seam, post/comment crypto),
-/// commit-plan construction, read validation, and the author-state
-/// snapshot. Touches shards, graph, and (through worker threads) the
-/// directory — never storage or metrics.
+/// commit-plan construction, read validation (including feed-cache
+/// serving), and the author-state snapshot. Touches shards, graph, and
+/// (through worker threads) the directory — never storage or metrics.
 fn stage_batch(
     shards: &mut [Shard],
     graph: &mut SocialGraph,
+    feed: &mut Option<FeedCache>,
     ctx: &WorkerCtx,
     workers: usize,
     ops: Vec<Op>,
@@ -926,8 +1110,13 @@ fn stage_batch(
     }
     let plan = CommitPlan::build(entries);
 
-    // ---- read validation + author-state snapshot ----
+    // ---- read validation + feed-cache serving + author-state snapshot ----
+    // Timelines were appended during prepare, so an author's chain head
+    // here already covers this batch's posts: a cached slice filled before
+    // them carries the old head and invalidates, falling through to the
+    // quorum path — the L1 cache can never serve around a newer write.
     let mut reads: Vec<ReadRequest> = Vec::new();
+    let mut fills: Vec<FeedFill> = Vec::new();
     for (i, op) in ops.iter().enumerate() {
         let Op::ReadPost {
             reader,
@@ -943,12 +1132,38 @@ fn stage_batch(
             results[i] = Some(Err(DosnError::UnknownUser(reader.clone())));
             continue;
         }
+        let author_shard = shard_of(author);
+        if let Some(cache) = feed.as_mut() {
+            let author_id = UserId::from(author.as_str());
+            let head = shards[author_shard]
+                .integrity
+                .timeline(&author_id)
+                .map(|t| t.head_hash());
+            if let Some(head) = head {
+                let reader_id = UserId::from(reader.as_str());
+                let before = cache.stats();
+                let hit = cache.lookup(&reader_id, &author_id, *seq, head);
+                bump_feed_stats(&ctx.obs, before, cache.stats());
+                if let Some(body) = hit {
+                    ctx.obs.histogram(names::NET_READ_POST_QUORUM).record(0);
+                    results[i] = Some(Ok(OpOutput::Read { body }));
+                    continue;
+                }
+                fills.push(FeedFill {
+                    op_idx: i,
+                    reader: reader_id,
+                    author: author_id,
+                    seq: *seq,
+                    head,
+                });
+            }
+        }
         reads.push(ReadRequest {
             op_idx: i,
             reader: reader.clone(),
             author: author.clone(),
             seq: *seq,
-            shard: shard_of(author),
+            shard: author_shard,
         });
     }
     let mut snapshot: BTreeMap<UserId, (usize, UserState)> = BTreeMap::new();
@@ -968,6 +1183,7 @@ fn stage_batch(
         timings,
         plan,
         reads,
+        fills,
         snapshot,
     }
 }
@@ -990,6 +1206,7 @@ fn exec_staged<S: StoragePlane>(
         mut timings,
         plan,
         reads,
+        fills: _,
         snapshot,
     } = staged;
 
@@ -1022,13 +1239,28 @@ fn exec_staged<S: StoragePlane>(
     let mut read_jobs: Vec<Vec<ReadJob>> = (0..NUM_SHARDS).map(|_| Vec::new()).collect();
     for req in reads {
         let started = Instant::now();
-        let fetched = storage.fetch_copies(wall_key(&req.author, req.seq), metrics);
+        let key = wall_key(&req.author, req.seq);
+        // L2: a hot-cached envelope skips the quorum fetch entirely; the
+        // verify worker still runs the full envelope check on it, and the
+        // sequential pass below falls back to a real quorum read if that
+        // check fails.
+        let (fetched, cached) = match storage.cached_fetch(key, metrics) {
+            Some(bytes) => (
+                Ok(FetchedCopies {
+                    key,
+                    copies: Vec::new(),
+                }),
+                Some(bytes),
+            ),
+            None => (storage.fetch_copies(key, metrics), None),
+        };
         read_jobs[req.shard].push(ReadJob {
             op_idx: req.op_idx,
             author: req.author,
             reader: req.reader,
             seq: req.seq,
             fetched,
+            cached,
             fetch_micros: elapsed_micros(started),
         });
     }
@@ -1045,8 +1277,21 @@ fn exec_staged<S: StoragePlane>(
                 fetched,
             } => {
                 storage.repair_copies(&fetched, &winner, metrics);
+                // Verified quorum winners seed the plane's hot cache (and
+                // overwrite any stale entry for the key in place).
+                storage.admit_hot(fetched.key, &winner, metrics);
                 Ok(OpOutput::Read { body })
             }
+            ReadOutcome::CacheServed { body } => Ok(OpOutput::Read { body }),
+            ReadOutcome::RetryQuorum => retry_uncached(
+                storage,
+                metrics,
+                ctx,
+                read_quorum,
+                &snapshot,
+                &ops,
+                out.op_idx,
+            ),
             ReadOutcome::NeedsFallback => {
                 let Op::ReadPost { author, seq, .. } = &ops[out.op_idx] else {
                     continue;
@@ -1131,6 +1376,59 @@ fn link(
     let gb = state_b.friends_group.clone();
     state_b.privacy.add_member(&gb, a)?;
     Ok(OpOutput::Befriended)
+}
+
+/// The poisoned-hot-cache path: the cached envelope failed verification,
+/// so drop it (`cache.invalidations`) and re-run the read as a real quorum
+/// fetch — the outcome must be exactly what an uncached read of the same
+/// key produces, including its repair and fallback behavior.
+fn retry_uncached<S: StoragePlane>(
+    storage: &mut ReplicatedStore<S>,
+    metrics: &mut Metrics,
+    ctx: &WorkerCtx,
+    read_quorum: usize,
+    snapshot: &BTreeMap<UserId, (usize, UserState)>,
+    ops: &[Op],
+    op_idx: usize,
+) -> Result<OpOutput, DosnError> {
+    let Op::ReadPost {
+        reader,
+        author,
+        seq,
+    } = &ops[op_idx]
+    else {
+        return Err(DosnError::IntegrityViolation(
+            "cache retry for a non-read op".into(),
+        ));
+    };
+    let key = wall_key(author, *seq);
+    storage.invalidate_hot(key, metrics);
+    let started = Instant::now();
+    let job = ReadJob {
+        op_idx,
+        author: author.clone(),
+        reader: reader.clone(),
+        seq: *seq,
+        fetched: storage.fetch_copies(key, metrics),
+        cached: None,
+        fetch_micros: elapsed_micros(started),
+    };
+    match finish_read(snapshot, ctx, read_quorum, &job) {
+        ReadOutcome::Done(r) => r,
+        ReadOutcome::Verified {
+            body,
+            winner,
+            fetched,
+        } => {
+            storage.repair_copies(&fetched, &winner, metrics);
+            storage.admit_hot(fetched.key, &winner, metrics);
+            Ok(OpOutput::Read { body })
+        }
+        ReadOutcome::NeedsFallback => read_fallback(storage, metrics, ctx, author, *seq),
+        ReadOutcome::CacheServed { .. } | ReadOutcome::RetryQuorum => Err(
+            DosnError::IntegrityViolation("uncached retry produced a cache outcome".into()),
+        ),
+    }
 }
 
 /// The no-verifying-quorum fallback: re-read raw bytes so callers see
@@ -1331,6 +1629,40 @@ fn finish_read(
     job: &ReadJob,
 ) -> ReadOutcome {
     let author_id = UserId::from(job.author.as_str());
+    if let Some(bytes) = &job.cached {
+        // A hot-cached envelope gets the complete uncached treatment —
+        // decode, signature verification, decrypt as the reader. Any
+        // failure (tampered bytes, revoked reader, bad encoding) sends
+        // the read back to the real quorum path: the cache accelerates
+        // reads, it never relaxes what a served read proved.
+        let verified = (|| {
+            let (envelope, epoch) =
+                SignedEnvelope::decode_wire(&author_id, job.seq, bytes, &ctx.group)?;
+            envelope.verify(&ctx.directory, None, u64::MAX - 1)?;
+            let (_, author_state) = snapshot
+                .get(&author_id)
+                .ok_or_else(|| DosnError::UnknownUser(job.author.clone()))?;
+            let plain = author_state.privacy.unseal(
+                &author_state.friends_group,
+                &job.reader,
+                epoch,
+                &envelope.body,
+            )?;
+            let post: Post = serde_json::from_slice(&plain)
+                .map_err(|e| DosnError::IntegrityViolation(format!("bad post encoding: {e}")))?;
+            Ok::<String, DosnError>(post.body)
+        })();
+        return match verified {
+            Ok(body) => ReadOutcome::CacheServed { body },
+            Err(DosnError::NotAuthorized(e)) => {
+                // The envelope itself was authentic; the *reader* is not
+                // allowed. A quorum retry would fail identically, so
+                // report it now (matching the uncached path's error).
+                ReadOutcome::Done(Err(DosnError::NotAuthorized(e)))
+            }
+            Err(_) => ReadOutcome::RetryQuorum,
+        };
+    }
     let fetched = match &job.fetched {
         Ok(f) => f,
         Err(e) => return ReadOutcome::Done(Err(storage_to_dosn(e.clone()))),

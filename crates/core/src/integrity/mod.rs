@@ -23,4 +23,4 @@ pub mod timeline;
 pub use envelope::SignedEnvelope;
 pub use history::{HistoryClient, HistoryServer, Operation, ViewDigest};
 pub use relations::{CommentAttachment, PostRelationKeys};
-pub use timeline::{Timeline, TimelineEntry};
+pub use timeline::{EntryHash, Timeline, TimelineEntry};

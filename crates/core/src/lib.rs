@@ -19,6 +19,9 @@
 //! * [`taxonomy`] — the paper's Table I as a queryable registry.
 //! * [`engine`] — the batched parallel request engine: prepare / commit /
 //!   finish execution of op batches over sharded per-user state.
+//! * [`feed`] — reader-side materialized timelines whose staleness is
+//!   decided by the integrity plane's hash-chain heads, so cache hits can
+//!   never serve tampered or forked content.
 //! * [`network`] — a facade assembling a complete DOSN (overlay + privacy +
 //!   integrity) as the examples use it; single ops are batches of one.
 
@@ -26,6 +29,7 @@ pub mod anonymize;
 pub mod content;
 pub mod engine;
 pub mod error;
+pub mod feed;
 pub mod graph;
 pub mod identity;
 pub mod integrity;

@@ -57,6 +57,8 @@ pub use dosn_overlay::storage::{
     ChordPlane, FederationPlane, KademliaPlane, StorageError, StoragePlane, SuperPeerPlane,
 };
 
+pub use crate::feed::{FeedCache, FeedItem};
+
 use crate::engine::{BatchReport, Engine, OpBatch, OpOutput};
 use crate::error::DosnError;
 use crate::graph::SocialGraph;
@@ -368,6 +370,42 @@ impl<S: StoragePlane> DosnNetwork<S> {
     /// [`DosnError::UnknownUser`] for unregistered names.
     pub fn unfriend(&mut self, a: &str, b: &str) -> Result<u64, DosnError> {
         self.engine.unfriend(a, b)
+    }
+
+    /// Enables the full caching hierarchy: the reader-side materialized
+    /// feed cache (L1, `capacity` decrypted posts, invalidated by
+    /// hash-chain heads) and the storage plane's hot envelope cache (L2,
+    /// `capacity` verified sealed envelopes under the plane's native
+    /// admission policy). Op outcomes are byte-identical with caching on
+    /// or off; only latency and the `cache.*` instruments change. See
+    /// [`crate::feed`] for the integrity argument.
+    pub fn enable_feed_cache(&mut self, capacity: usize) {
+        self.engine.enable_feed_cache(capacity);
+        self.engine.enable_hot_cache(capacity);
+    }
+
+    /// Disables the reader-side feed cache (the storage plane's hot cache,
+    /// once enabled, stays — it holds only verified sealed envelopes).
+    pub fn disable_feed_cache(&mut self) {
+        self.engine.disable_feed_cache();
+    }
+
+    /// The reader-side feed cache, when enabled.
+    pub fn feed_cache(&self) -> Option<&FeedCache> {
+        self.engine.feed_cache()
+    }
+
+    /// Aggregates `user`'s feed — the latest `k` posts of every friend —
+    /// as one engine batch (parallel finish phase, batched Schnorr
+    /// verification on the fill path). Friends come from the social
+    /// graph; a user with zero friends gets an empty feed. See
+    /// [`crate::engine::Engine::read_feed`].
+    ///
+    /// # Errors
+    ///
+    /// [`DosnError::UnknownUser`] when `user` is not registered.
+    pub fn read_feed(&mut self, user: &str, k: usize) -> Result<Vec<FeedItem>, DosnError> {
+        self.engine.read_feed(user, k)
     }
 }
 

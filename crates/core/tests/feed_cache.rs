@@ -1,0 +1,326 @@
+//! Feed/caching-plane integrity suite: caching may only ever change
+//! latency, never results.
+//!
+//! * Randomized interleavings of registers / befriends / posts / comments /
+//!   reads must produce **byte-identical batch digests** with the caching
+//!   hierarchy on or off (the zero-tolerance CI headline of E16).
+//! * A read served while the author's chain head has advanced must fall
+//!   through to the quorum path — a cached body is never served stale.
+//! * A tampered hot-cache entry must be rejected exactly like a tampered
+//!   replica: verified away when good replicas exist, the same typed error
+//!   when they don't.
+//! * `read_feed` on a user with zero friends returns an empty feed.
+
+use dosn_core::engine::{Engine, Op, OpBatch, OpOutput};
+use dosn_core::network::DosnNetwork;
+use dosn_core::DosnError;
+use dosn_overlay::id::Key;
+use dosn_overlay::metrics::Metrics;
+use dosn_overlay::replication::ReplicatedStore;
+use dosn_overlay::storage::{ChordPlane, StoragePlane, SuperPeerPlane};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// The wall record address, recomputed as readers derive it.
+fn wall_key(author: &str, seq: u64) -> Key {
+    Key::hash(format!("wall/{author}/{seq}").as_bytes())
+}
+
+fn engine(seed: u64) -> Engine<ChordPlane> {
+    Engine::new(ReplicatedStore::new(ChordPlane::build(24, seed), 3), seed)
+}
+
+fn cached_engine(seed: u64, capacity: usize) -> Engine<ChordPlane> {
+    let mut e = engine(seed);
+    e.enable_feed_cache(capacity);
+    e.enable_hot_cache(capacity);
+    e
+}
+
+const NAMES: &[&str] = &["alice", "bob", "carol", "dave"];
+
+fn name() -> impl Strategy<Value = String> {
+    (0..NAMES.len()).prop_map(|i| NAMES[i].to_string())
+}
+
+/// Read-heavy op mix (the read arm repeats so the cache actually serves;
+/// the vendored proptest's `prop_oneof!` has no weight syntax).
+fn op() -> impl Strategy<Value = Op> {
+    let read = || {
+        (name(), name(), 0u64..4).prop_map(|(reader, author, seq)| Op::ReadPost {
+            reader,
+            author,
+            seq,
+        })
+    };
+    prop_oneof![
+        name().prop_map(|name| Op::Register { name }),
+        (name(), name()).prop_map(|(a, b)| Op::Befriend { a, b, trust: 0.9 }),
+        (name(), 0u32..100).prop_map(|(author, i)| Op::Post {
+            author,
+            body: format!("body {i}"),
+        }),
+        (name(), 0u32..100).prop_map(|(author, i)| Op::Post {
+            author,
+            body: format!("body {i}"),
+        }),
+        (name(), name(), 0u64..4, 0u32..100).prop_map(|(commenter, author, seq, i)| {
+            Op::Comment {
+                commenter,
+                author,
+                seq,
+                body: format!("comment {i}"),
+            }
+        }),
+        read(),
+        read(),
+        read(),
+        read(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// The tentpole invariant, as a property: for any interleaving split
+    /// across batches, every batch digest is byte-identical between a
+    /// cache-off engine and one running the full caching hierarchy with a
+    /// deliberately tiny capacity (so invalidations and evictions fire).
+    #[test]
+    fn cache_on_and_off_produce_identical_digests(
+        seed in 0u64..1_000_000,
+        ops in proptest::collection::vec(op(), 4..48),
+    ) {
+        let mut plain = engine(seed);
+        let mut cached = cached_engine(seed, 4);
+        for chunk in ops.chunks(6) {
+            let r_plain = plain.execute(OpBatch::from_ops(chunk.to_vec()));
+            let r_cached = cached.execute(OpBatch::from_ops(chunk.to_vec()));
+            prop_assert_eq!(
+                r_plain.digest_hex(),
+                r_cached.digest_hex(),
+                "cache changed a batch digest"
+            );
+        }
+        // Re-running the reads once more (now warm) must still agree.
+        let reads: Vec<Op> = ops
+            .iter()
+            .filter(|o| matches!(o, Op::ReadPost { .. }))
+            .cloned()
+            .collect();
+        if !reads.is_empty() {
+            let r_plain = plain.execute(OpBatch::from_ops(reads.clone()));
+            let r_cached = cached.execute(OpBatch::from_ops(reads));
+            prop_assert_eq!(r_plain.digest_hex(), r_cached.digest_hex());
+        }
+    }
+
+    /// No interleaving may serve a read whose body differs from what the
+    /// author actually posted at that sequence number — in particular, a
+    /// cached slice outlived by an author append must invalidate and fall
+    /// through to quorum, never serve around the newer chain head.
+    #[test]
+    fn cached_reads_never_serve_stale_or_wrong_bodies(
+        seed in 0u64..1_000_000,
+        ops in proptest::collection::vec(op(), 8..48),
+    ) {
+        let mut e = cached_engine(seed, 4);
+        let mut posted: BTreeMap<(String, u64), String> = BTreeMap::new();
+        for chunk in ops.chunks(5) {
+            let report = e.execute(OpBatch::from_ops(chunk.to_vec()));
+            // Posts execute before reads within a batch regardless of
+            // submission order, so record the whole chunk's posts first.
+            for (op, result) in chunk.iter().zip(&report.results) {
+                if let (Op::Post { author, body }, Ok(OpOutput::Posted { seq })) = (op, result) {
+                    posted.insert((author.clone(), *seq), body.clone());
+                }
+            }
+            for (op, result) in chunk.iter().zip(&report.results) {
+                if let (Op::ReadPost { author, seq, .. }, Ok(OpOutput::Read { body })) =
+                    (op, result)
+                {
+                    let expected = posted.get(&(author.clone(), *seq));
+                    prop_assert_eq!(
+                        Some(body),
+                        expected,
+                        "read served a body the author never posted at {}/{}",
+                        author,
+                        seq
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn stale_slice_invalidates_when_the_chain_head_advances() {
+    let mut e = cached_engine(11, 64);
+    e.execute(
+        OpBatch::new()
+            .register("alice")
+            .register("bob")
+            .befriend("alice", "bob", 0.9)
+            .post("alice", "first"),
+    );
+    // Warm the slice, then verify it serves from cache.
+    e.execute(OpBatch::new().read_post("bob", "alice", 0));
+    let warm = e.execute(OpBatch::new().read_post("bob", "alice", 0));
+    assert!(matches!(&warm.results[0], Ok(OpOutput::Read { body }) if body == "first"));
+    let hits_before = e.feed_cache().unwrap().stats().hits;
+    assert!(hits_before > 0, "second read should hit the feed cache");
+
+    // The author appends: the chain head advances, so the cached slice
+    // must invalidate and the next read must come from quorum again.
+    e.execute(OpBatch::new().post("alice", "second"));
+    let invalidations_before = e.feed_cache().unwrap().stats().invalidations;
+    let after = e.execute(
+        OpBatch::new()
+            .read_post("bob", "alice", 0)
+            .read_post("bob", "alice", 1),
+    );
+    assert!(matches!(&after.results[0], Ok(OpOutput::Read { body }) if body == "first"));
+    assert!(matches!(&after.results[1], Ok(OpOutput::Read { body }) if body == "second"));
+    let stats = e.feed_cache().unwrap().stats();
+    assert!(
+        stats.invalidations > invalidations_before,
+        "head advance must invalidate the slice"
+    );
+}
+
+#[test]
+fn tampered_hot_cache_entry_falls_back_to_quorum_and_heals() {
+    // Super-peers host every verified envelope, so the second read is
+    // guaranteed to come from the hot cache — which we then poison.
+    let mut e = Engine::new(ReplicatedStore::new(SuperPeerPlane::build(24, 4, 5), 3), 5);
+    e.enable_hot_cache(64);
+    e.execute(
+        OpBatch::new()
+            .register("alice")
+            .register("bob")
+            .befriend("alice", "bob", 0.9)
+            .post("alice", "authentic"),
+    );
+    let key = wall_key("alice", 0);
+    // First read populates the cache from the verified quorum winner.
+    e.execute(OpBatch::new().read_post("bob", "alice", 0));
+    assert!(
+        e.storage()
+            .plane()
+            .hot_cache()
+            .is_some_and(|c| !c.is_empty()),
+        "verified read must seed the hot cache"
+    );
+    let hits_before = e.metrics().count("cache.hits");
+
+    // Poison the cached envelope in place.
+    e.storage_mut()
+        .plane_mut()
+        .hot_cache_mut()
+        .unwrap()
+        .admit(key, b"forged envelope bytes");
+
+    // The read still succeeds — the forged entry fails verification, is
+    // invalidated, and the quorum path serves the authentic record.
+    let report = e.execute(OpBatch::new().read_post("bob", "alice", 0));
+    assert!(matches!(&report.results[0], Ok(OpOutput::Read { body }) if body == "authentic"));
+    assert!(e.metrics().count("cache.hits") > hits_before);
+    assert!(
+        e.metrics().count("cache.invalidations") >= 1,
+        "the poisoned entry must be invalidated"
+    );
+
+    // And the retry re-admitted the authentic winner: the next read is a
+    // cache hit serving the real body.
+    let healed = e.execute(OpBatch::new().read_post("bob", "alice", 0));
+    assert!(matches!(&healed.results[0], Ok(OpOutput::Read { body }) if body == "authentic"));
+}
+
+#[test]
+fn tampered_cache_and_replicas_error_exactly_like_uncached() {
+    // When the cache AND every replica hold garbage, the cached engine
+    // must report the same typed error an uncached engine does.
+    let run = |cache: bool| -> DosnError {
+        let mut e = Engine::new(ReplicatedStore::new(SuperPeerPlane::build(24, 4, 9), 3), 9);
+        if cache {
+            e.enable_hot_cache(64);
+        }
+        e.execute(
+            OpBatch::new()
+                .register("alice")
+                .register("bob")
+                .befriend("alice", "bob", 0.9)
+                .post("alice", "doomed"),
+        );
+        e.execute(OpBatch::new().read_post("bob", "alice", 0)); // warm, if caching
+        let key = wall_key("alice", 0);
+        let mut m = Metrics::new();
+        e.storage_mut()
+            .put(key, b"not an envelope".to_vec(), &mut m)
+            .unwrap();
+        if let Some(c) = e.storage_mut().plane_mut().hot_cache_mut() {
+            c.admit(key, b"not an envelope");
+        }
+        let report = e.execute(OpBatch::new().read_post("bob", "alice", 0));
+        report.results[0].clone().unwrap_err()
+    };
+    let uncached = run(false);
+    let cached = run(true);
+    assert!(matches!(uncached, DosnError::MalformedEnvelope(_)));
+    assert_eq!(
+        std::mem::discriminant(&uncached),
+        std::mem::discriminant(&cached),
+        "cached error {cached:?} differs from uncached {uncached:?}"
+    );
+}
+
+#[test]
+fn read_feed_on_a_user_with_zero_friends_is_empty() {
+    let mut n = DosnNetwork::new(16, 3);
+    n.register("hermit").unwrap();
+    assert_eq!(n.read_feed("hermit", 10).unwrap(), vec![]);
+    // Unregistered readers are a typed error, not an empty feed.
+    assert!(matches!(
+        n.read_feed("ghost", 10),
+        Err(DosnError::UnknownUser(_))
+    ));
+}
+
+#[test]
+fn read_feed_aggregates_the_latest_k_posts_per_friend() {
+    let mut n = DosnNetwork::new(24, 7);
+    n.enable_feed_cache(128);
+    for u in ["alice", "bob", "carol"] {
+        n.register(u).unwrap();
+    }
+    n.befriend("alice", "bob", 0.9).unwrap();
+    n.befriend("alice", "carol", 0.8).unwrap();
+    for i in 0..3 {
+        n.post("bob", &format!("bob {i}")).unwrap();
+    }
+    n.post("carol", "carol 0").unwrap();
+
+    let feed = n.read_feed("alice", 2).unwrap();
+    let summary: Vec<(String, u64, String)> = feed
+        .iter()
+        .map(|i| (i.author.0.clone(), i.seq, i.body.clone()))
+        .collect();
+    assert_eq!(
+        summary,
+        vec![
+            ("bob".into(), 1, "bob 1".into()),
+            ("bob".into(), 2, "bob 2".into()),
+            ("carol".into(), 0, "carol 0".into()),
+        ],
+        "latest k per friend, friends in sorted order, oldest-first within"
+    );
+
+    // A warm re-read serves from the feed cache and agrees byte-for-byte.
+    let hits_before = n.feed_cache().unwrap().stats().hits;
+    let warm = n.read_feed("alice", 2).unwrap();
+    assert_eq!(warm, feed);
+    assert!(
+        n.feed_cache().unwrap().stats().hits > hits_before,
+        "warm feed read must hit the cache"
+    );
+}

@@ -159,6 +159,24 @@ pub const SIM_NODES: &str = "sim.nodes";
 /// Resident overlay + workload bytes per simulated node (gauge).
 pub const SIM_BYTES_PER_NODE: &str = "sim.bytes_per_node";
 
+// ---- feed & caching plane ----
+
+/// `read_feed` aggregation calls served by the engine (counter).
+pub const FEED_READS: &str = "feed.reads";
+/// Friends aggregated per `read_feed` call — the fan-in width (histogram).
+pub const FEED_FANIN: &str = "feed.fanin";
+/// Cache hits: materialized-timeline slices served with a matching chain
+/// head, plus hot sealed envelopes served from a storage-plane cache
+/// (counter).
+pub const CACHE_HITS: &str = "cache.hits";
+/// Cache misses: reads that fell through to a quorum read (counter).
+pub const CACHE_MISSES: &str = "cache.misses";
+/// Cache entries dropped because the author's chain head advanced or a
+/// cached envelope failed verification (counter).
+pub const CACHE_INVALIDATIONS: &str = "cache.invalidations";
+/// Cache entries evicted by capacity pressure (LRU victims) (counter).
+pub const CACHE_EVICTIONS: &str = "cache.evictions";
+
 // ---- aggregate overlay roll-ups ----
 
 /// Total overlay messages across a run (gauge/counter in reports).
@@ -223,6 +241,12 @@ pub const ALL: &[&str] = &[
     BIGINT_POW_MONTGOMERY,
     PLACEMENT_SOCIAL_HITS,
     PLACEMENT_FALLBACKS,
+    FEED_READS,
+    FEED_FANIN,
+    CACHE_HITS,
+    CACHE_MISSES,
+    CACHE_INVALIDATIONS,
+    CACHE_EVICTIONS,
     SIM_NODES,
     SIM_BYTES_PER_NODE,
     OVERLAY_MESSAGES,

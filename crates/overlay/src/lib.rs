@@ -50,6 +50,7 @@ pub mod churn;
 pub mod fault;
 pub mod federation;
 pub mod flood;
+pub mod hotcache;
 pub mod hybrid;
 pub mod id;
 pub mod kademlia;

@@ -159,6 +159,58 @@ impl<P: StoragePlane> ReplicatedStore<P> {
         &self.accounting
     }
 
+    /// Enables hot-post caching on the underlying plane with its native
+    /// admission policy (super-peers host everything, Chord/Kademlia use a
+    /// seeded gossip coin; see [`crate::hotcache::HotCache`]). Planes
+    /// without a cache ignore the call.
+    pub fn enable_hot_cache(&mut self, capacity: usize, seed: u64) {
+        self.plane.enable_hot_cache(capacity, seed);
+    }
+
+    /// Consults the plane's hot envelope cache for `key`. Returns the
+    /// cached sealed bytes on a hit (bumping `cache.hits`), `None` on a
+    /// miss (`cache.misses`) or when no cache is enabled (no counter —
+    /// an uncached store has no cache events). The caller must verify the
+    /// returned envelope exactly as it would a replica's copy: the cache
+    /// is an accelerator, never a trust root.
+    pub fn cached_fetch(&mut self, key: Key, metrics: &mut Metrics) -> Option<Vec<u8>> {
+        let cache = self.plane.hot_cache_mut()?;
+        match cache.lookup(key) {
+            Some(v) => {
+                metrics.bump(names::CACHE_HITS, 1);
+                Some(v)
+            }
+            None => {
+                metrics.bump(names::CACHE_MISSES, 1);
+                None
+            }
+        }
+    }
+
+    /// Offers a quorum-verified envelope for hot caching under the plane's
+    /// admission policy. Runs strictly *off* the read path — a miss still
+    /// performs the full quorum read first — so quorum semantics are
+    /// unchanged. Capacity victims bump `cache.evictions`.
+    pub fn admit_hot(&mut self, key: Key, value: &[u8], metrics: &mut Metrics) {
+        if let Some(cache) = self.plane.hot_cache_mut() {
+            let out = cache.admit(key, value);
+            if out.evicted > 0 {
+                metrics.bump(names::CACHE_EVICTIONS, out.evicted);
+            }
+        }
+    }
+
+    /// Drops a cached envelope — called when a cached copy fails
+    /// verification, so the poisoned entry cannot be served again (bumps
+    /// `cache.invalidations`).
+    pub fn invalidate_hot(&mut self, key: Key, metrics: &mut Metrics) {
+        if let Some(cache) = self.plane.hot_cache_mut() {
+            if cache.remove(key) {
+                metrics.bump(names::CACHE_INVALIDATIONS, 1);
+            }
+        }
+    }
+
     /// Writes `value` to the first R online candidates for `key`, returning
     /// the holders. Partial placement (fewer than R online nodes) succeeds
     /// with a shorter holder list; a node that refuses the write (raced

@@ -22,6 +22,7 @@
 
 use crate::chord::{ChordOverlay, DhtError};
 use crate::federation::FederatedNetwork;
+use crate::hotcache::HotCache;
 use crate::id::{Key, NodeId};
 use crate::kademlia::KademliaOverlay;
 use crate::metrics::Metrics;
@@ -180,6 +181,24 @@ pub trait StoragePlane: std::fmt::Debug {
         self.fetch_from(node, key, metrics)?
             .ok_or(StorageError::NotFound(key))
     }
+
+    /// The plane's hot envelope cache, if caching is enabled (see
+    /// [`HotCache`]). Planes without a caching story (federation pods
+    /// mirror everything already) keep the default `None`.
+    fn hot_cache(&self) -> Option<&HotCache> {
+        None
+    }
+
+    /// The plane's hot envelope cache, mutably.
+    fn hot_cache_mut(&mut self) -> Option<&mut HotCache> {
+        None
+    }
+
+    /// Enables hot-post caching with the plane's native admission policy:
+    /// super-peers host every verified envelope (Supernova-style),
+    /// Chord/Kademlia replicas admit by a seeded gossip coin
+    /// (Cachet-style), and planes without a cache ignore the call.
+    fn enable_hot_cache(&mut self, _capacity: usize, _seed: u64) {}
 }
 
 impl<T: StoragePlane + ?Sized> StoragePlane for Box<T> {
@@ -230,6 +249,18 @@ impl<T: StoragePlane + ?Sized> StoragePlane for Box<T> {
     ) -> Result<Option<Vec<u8>>, StorageError> {
         (**self).fetch_from(node, key, metrics)
     }
+
+    fn hot_cache(&self) -> Option<&HotCache> {
+        (**self).hot_cache()
+    }
+
+    fn hot_cache_mut(&mut self) -> Option<&mut HotCache> {
+        (**self).hot_cache_mut()
+    }
+
+    fn enable_hot_cache(&mut self, capacity: usize, seed: u64) {
+        (**self).enable_hot_cache(capacity, seed);
+    }
 }
 
 /// [`StoragePlane`] over a Chord ring: replicas at the key's successor
@@ -237,6 +268,7 @@ impl<T: StoragePlane + ?Sized> StoragePlane for Box<T> {
 #[derive(Debug)]
 pub struct ChordPlane {
     inner: ChordOverlay,
+    hot: Option<HotCache>,
 }
 
 impl ChordPlane {
@@ -246,12 +278,13 @@ impl ChordPlane {
     pub fn build(n: usize, seed: u64) -> Self {
         ChordPlane {
             inner: ChordOverlay::build(n, 1, seed),
+            hot: None,
         }
     }
 
     /// Wraps an existing ring.
     pub fn from_overlay(inner: ChordOverlay) -> Self {
-        ChordPlane { inner }
+        ChordPlane { inner, hot: None }
     }
 
     /// The wrapped ring.
@@ -333,6 +366,20 @@ impl StoragePlane for ChordPlane {
         metrics.record(names::CHORD_FETCH, 64, 30);
         Ok(got)
     }
+
+    fn hot_cache(&self) -> Option<&HotCache> {
+        self.hot.as_ref()
+    }
+
+    fn hot_cache_mut(&mut self) -> Option<&mut HotCache> {
+        self.hot.as_mut()
+    }
+
+    /// Cachet-style gossip admission: a ring replica caches roughly half
+    /// the verified envelopes it sees, decided by a seeded coin per key.
+    fn enable_hot_cache(&mut self, capacity: usize, seed: u64) {
+        self.hot = Some(HotCache::new(capacity).with_admission(seed, 128));
+    }
 }
 
 /// [`StoragePlane`] over Kademlia: replicas at the XOR-closest online
@@ -340,6 +387,7 @@ impl StoragePlane for ChordPlane {
 #[derive(Debug)]
 pub struct KademliaPlane {
     inner: KademliaOverlay,
+    hot: Option<HotCache>,
 }
 
 impl KademliaPlane {
@@ -347,12 +395,13 @@ impl KademliaPlane {
     pub fn build(n: usize, k: usize, seed: u64) -> Self {
         KademliaPlane {
             inner: KademliaOverlay::build(n, 1, k, seed),
+            hot: None,
         }
     }
 
     /// Wraps an existing overlay.
     pub fn from_overlay(inner: KademliaOverlay) -> Self {
-        KademliaPlane { inner }
+        KademliaPlane { inner, hot: None }
     }
 
     /// The wrapped overlay.
@@ -430,6 +479,20 @@ impl StoragePlane for KademliaPlane {
         metrics.record(names::KAD_FETCH, 64, 30);
         Ok(self.inner.fetch_direct(node, key))
     }
+
+    fn hot_cache(&self) -> Option<&HotCache> {
+        self.hot.as_ref()
+    }
+
+    fn hot_cache_mut(&mut self) -> Option<&mut HotCache> {
+        self.hot.as_mut()
+    }
+
+    /// Seeded gossip admission, as on the Chord plane: the XOR-closest
+    /// replicas cache a deterministic half of the verified envelopes.
+    fn enable_hot_cache(&mut self, capacity: usize, seed: u64) {
+        self.hot = Some(HotCache::new(capacity).with_admission(seed, 128));
+    }
 }
 
 /// [`StoragePlane`] over the super-peer overlay: blobs are hosted on a
@@ -438,6 +501,7 @@ impl StoragePlane for KademliaPlane {
 #[derive(Debug)]
 pub struct SuperPeerPlane {
     inner: SuperPeerOverlay,
+    hot: Option<HotCache>,
 }
 
 impl SuperPeerPlane {
@@ -446,12 +510,13 @@ impl SuperPeerPlane {
     pub fn build(n: usize, supers: usize, seed: u64) -> Self {
         SuperPeerPlane {
             inner: SuperPeerOverlay::build(n, supers, seed),
+            hot: None,
         }
     }
 
     /// Wraps an existing overlay.
     pub fn from_overlay(inner: SuperPeerOverlay) -> Self {
-        SuperPeerPlane { inner }
+        SuperPeerPlane { inner, hot: None }
     }
 
     /// The wrapped overlay.
@@ -529,6 +594,21 @@ impl StoragePlane for SuperPeerPlane {
         }
         metrics.record(names::SUPER_FETCH, 64, 30);
         Ok(self.inner.fetch_direct(node, key))
+    }
+
+    fn hot_cache(&self) -> Option<&HotCache> {
+        self.hot.as_ref()
+    }
+
+    fn hot_cache_mut(&mut self) -> Option<&mut HotCache> {
+        self.hot.as_mut()
+    }
+
+    /// Supernova-style hosting: the super-peer tier caches every verified
+    /// envelope it serves (no admission coin — super-peers are the
+    /// designated cache hosts).
+    fn enable_hot_cache(&mut self, capacity: usize, _seed: u64) {
+        self.hot = Some(HotCache::new(capacity));
     }
 }
 

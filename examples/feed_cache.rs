@@ -1,0 +1,74 @@
+//! The materialized feed & caching plane: `read_feed` aggregates friends'
+//! walls as one batch, and repeated reads are served from a reader-side
+//! cache whose entries stay valid only while each author's hash-chain
+//! head is unchanged — so a cache hit can never serve tampered or forked
+//! content, and a fresh post invalidates exactly that author's slice.
+//!
+//! Run with: `cargo run --example feed_cache`
+
+use dosn::core::network::DosnNetwork;
+
+const SEED: u64 = 2016;
+
+fn main() {
+    let mut net = DosnNetwork::new(64, SEED);
+    // Feed cache (decrypted timeline slices, chain-head validated) plus
+    // the hot envelope cache at the storage plane.
+    net.enable_feed_cache(1024);
+
+    for u in ["alice", "bob", "carol", "dave"] {
+        net.register(u).expect("register");
+    }
+    for friend in ["bob", "carol", "dave"] {
+        net.befriend("alice", friend, 0.9).expect("befriend");
+    }
+    for (author, bodies) in [
+        ("bob", vec!["hiking sunday?", "summit photos up"]),
+        ("carol", vec!["new paper out"]),
+        (
+            "dave",
+            vec!["moving next month", "boxes everywhere", "done!"],
+        ),
+    ] {
+        for body in bodies {
+            net.post(author, body).expect("post");
+        }
+    }
+
+    // Cold read: every item is a quorum fetch + verify + decrypt; each
+    // successful fill materializes that author's slice in the cache.
+    let feed = net.read_feed("alice", 2).expect("feed");
+    println!("alice's feed (latest 2 per friend), cold:");
+    for item in &feed {
+        println!("  {}[{}]: {}", item.author.0, item.seq, item.body);
+    }
+
+    // Warm read: identical items, served from the materialized slices.
+    let warm = net.read_feed("alice", 2).expect("feed");
+    assert_eq!(feed, warm, "cache must not change results");
+    let stats = net.feed_cache().expect("cache enabled").stats();
+    println!(
+        "warm re-read identical; cache: {} hits, {} misses, {} invalidations",
+        stats.hits, stats.misses, stats.invalidations
+    );
+    assert!(stats.hits > 0, "warm read should hit the cache");
+
+    // Bob posts again: his chain head advances, so only his cached slice
+    // is invalidated — the next feed read refetches bob and serves carol
+    // and dave from cache.
+    net.post("bob", "one more thing").expect("post");
+    let after = net.read_feed("alice", 2).expect("feed");
+    let bob_latest = after
+        .iter()
+        .filter(|i| i.author.0 == "bob")
+        .map(|i| i.seq)
+        .max()
+        .expect("bob in feed");
+    let stats = net.feed_cache().expect("cache enabled").stats();
+    println!(
+        "after bob's new post: feed shows bob[{}]; {} invalidations total",
+        bob_latest, stats.invalidations
+    );
+    assert_eq!(bob_latest, 2, "feed must surface the new post");
+    assert!(stats.invalidations > 0, "bob's slice must be invalidated");
+}
