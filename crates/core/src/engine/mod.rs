@@ -1302,6 +1302,12 @@ fn exec_staged<S: StoragePlane>(
         ctx.obs
             .histogram(names::NET_READ_POST_QUORUM)
             .record(out.micros);
+        if result.is_err() {
+            // Adversarial or unavailable replicas: the read refused to
+            // return unverified bytes. E17 gates on this staying the *only*
+            // failure mode under tampering (never a wrong plaintext).
+            ctx.obs.counter(names::ENGINE_READ_FAIL_CLOSED).add(1);
+        }
         results[out.op_idx] = Some(result);
     }
     finish_timer.observe();

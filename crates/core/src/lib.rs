@@ -35,6 +35,7 @@ pub mod identity;
 pub mod integrity;
 pub mod network;
 pub mod privacy;
+pub mod scenario;
 pub mod search;
 pub mod sybil;
 pub mod taxonomy;

@@ -48,8 +48,9 @@ pub(crate) mod user;
 pub use integrity_plane::IntegrityPlane;
 pub use privacy_plane::PrivacyPlane;
 
+pub use dosn_overlay::adversary::{reader_parity, AdversaryConfig, AdversaryMode, AdversaryPlane};
 pub use dosn_overlay::placement::{SocialPlacement, SocialPlane};
-pub use dosn_overlay::replication::{apply_crash_schedule, ReplicatedStore};
+pub use dosn_overlay::replication::{apply_crash_schedule, QuorumOutcome, ReplicatedStore};
 // The overlay's scale-free workload graph; aliased because `dosn-core` has
 // its own user-level `crate::graph::SocialGraph` for access control.
 pub use dosn_overlay::social::{SocialGraph as WorkloadGraph, SocialGraphConfig};

@@ -1,0 +1,205 @@
+//! Scenario 3 — **dishonest quorum**: a seeded adversary controls `f` of
+//! each key's R=3 replica holders and either serves forged bytes
+//! (colluding, so forgeries agree with each other) or claims the copy does
+//! not exist. The sweep walks `f` across the read quorum and classifies
+//! every verified read into exactly one of three buckets:
+//!
+//! * **correct** — the original plaintext came back;
+//! * **wrong** — tampered plaintext was *accepted* (the integrity failure
+//!   the system must never exhibit — gated at zero);
+//! * **failed** — the read returned an error instead of bytes. For
+//!   tampering with `f < R` this is the *fail-closed* defense working;
+//!   [`crate::network::QuorumOutcome::fail_closed`] separates it from
+//!   plain absence.
+//!
+//! Every value carries a self-authenticating tag, standing in for the
+//! Schnorr envelope the full engine uses: the verify closure recomputes it,
+//! so forged bytes can win a tally only by breaking the tag — which the
+//! XOR-tampering adversary cannot.
+
+use super::ScenarioConfig;
+use crate::network::{AdversaryConfig, AdversaryMode, AdversaryPlane, ChordPlane, ReplicatedStore};
+use dosn_obs::{names, Registry, RunReport, Value};
+use dosn_overlay::id::Key;
+use dosn_overlay::metrics::Metrics;
+use std::collections::BTreeMap;
+
+/// One `(f, mode)` cell of the sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct QuorumPoint {
+    /// Compromised holders per key.
+    pub f: usize,
+    /// The misbehavior swept at this point.
+    pub mode: AdversaryMode,
+    /// Reads attempted.
+    pub attempted: u64,
+    /// Reads that returned the original plaintext.
+    pub correct: u64,
+    /// Reads that returned **tampered** plaintext (must stay 0).
+    pub wrong: u64,
+    /// Reads that returned an error with tampered-but-present copies —
+    /// the fail-closed defense firing.
+    pub fail_closed: u64,
+    /// Reads that returned an error with nothing (or too little) present.
+    pub unavailable: u64,
+}
+
+/// The full sweep plus the gated aggregates.
+#[derive(Debug, Clone)]
+pub struct DishonestQuorumOutcome {
+    /// Replication factor (3) and read quorum (2) the sweep ran under.
+    pub replicas: usize,
+    /// Read quorum K.
+    pub read_quorum: usize,
+    /// Keys written per point.
+    pub keys: usize,
+    /// One point per `(f, mode)`.
+    pub points: Vec<QuorumPoint>,
+    /// `1 - wrong/attempted` over every tampering point — gated at 1.0
+    /// with zero tolerance: tampered bytes are never accepted.
+    pub fail_closed_rate: f64,
+    /// `correct/attempted` at `f = 1` under tampering — an honest majority
+    /// must keep every read available *and* correct.
+    pub availability_f1: f64,
+    /// Whether the shrunk workload ran.
+    pub fast: bool,
+}
+
+impl DishonestQuorumOutcome {
+    /// The deterministic report for this run.
+    pub fn report(&self) -> RunReport {
+        let mut run = RunReport::new("e17.dishonest_quorum", self.fast);
+        run.set_headline("quorum_fail_closed_rate", self.fail_closed_rate, true, 0.0);
+        run.set_headline("quorum_availability_f1", self.availability_f1, true, 0.0);
+        let reg = Registry::new();
+        reg.counter(names::SCENARIO_QUORUM_READS)
+            .add(self.points.iter().map(|p| p.attempted).sum());
+        reg.counter(names::ADVERSARY_TAMPERED).add(
+            self.points
+                .iter()
+                .filter(|p| matches!(p.mode, AdversaryMode::Tamper))
+                .map(|p| p.fail_closed)
+                .sum(),
+        );
+        run.record_registry(&reg);
+        for p in &self.points {
+            let mut row = BTreeMap::new();
+            row.insert("f".into(), Value::from(p.f));
+            row.insert("mode".into(), Value::from(p.mode.label()));
+            row.insert("attempted".into(), Value::from(p.attempted));
+            row.insert("correct".into(), Value::from(p.correct));
+            row.insert("wrong".into(), Value::from(p.wrong));
+            row.insert("fail_closed".into(), Value::from(p.fail_closed));
+            row.insert("unavailable".into(), Value::from(p.unavailable));
+            run.add_row(row);
+        }
+        run
+    }
+}
+
+/// An 8-byte self-authenticating tag over `(domain, key, body)` — FNV-1a,
+/// enough to make blind byte-flipping detectable, cheap enough for a sweep.
+fn tag(key: Key, body: &[u8]) -> [u8; 8] {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in b"e17.quorum"
+        .iter()
+        .chain(key.0.to_le_bytes().iter())
+        .chain(body.iter())
+    {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h.to_le_bytes()
+}
+
+fn seal(key: Key, body: &[u8]) -> Vec<u8> {
+    let mut value = body.to_vec();
+    value.extend_from_slice(&tag(key, body));
+    value
+}
+
+fn verify_sealed(key: Key, value: &[u8]) -> bool {
+    if value.len() < 8 {
+        return false;
+    }
+    let (body, t) = value.split_at(value.len() - 8);
+    tag(key, body) == t
+}
+
+/// Runs the sweep: fresh store per `(f, mode)` cell so holder selection and
+/// stats never bleed between points.
+pub fn run(cfg: &ScenarioConfig) -> DishonestQuorumOutcome {
+    let keys = if cfg.fast { 24 } else { 160 };
+    let replicas = 3;
+    let modes = [AdversaryMode::Tamper, AdversaryMode::Withhold];
+    let mut points = Vec::new();
+    for mode in modes {
+        for f in 0..=replicas {
+            let adv_cfg = AdversaryConfig::new(cfg.seed ^ 0xD15_0AE5, f)
+                .with_mode(mode)
+                .with_collusion(true);
+            let plane = AdversaryPlane::new(ChordPlane::build(48, cfg.seed), adv_cfg);
+            let mut store = ReplicatedStore::new(plane, replicas);
+            let mut metrics = Metrics::new();
+
+            // Honest writes first (the adversary observes but never forges
+            // a write), then arm the adversary and read everything back.
+            let mut written: Vec<(Key, Vec<u8>)> = Vec::with_capacity(keys);
+            for i in 0..keys {
+                let key = Key::hash(format!("quorum:{mode:?}:{f}:{i}").as_bytes());
+                let body = format!("record {i} under f={f} seed={:x}", cfg.seed).into_bytes();
+                let value = seal(key, &body);
+                store
+                    .put(key, value.clone(), &mut metrics)
+                    .expect("seed write");
+                written.push((key, value));
+            }
+            store.plane_mut().set_enabled(true);
+
+            let mut point = QuorumPoint {
+                f,
+                mode,
+                attempted: 0,
+                correct: 0,
+                wrong: 0,
+                fail_closed: 0,
+                unavailable: 0,
+            };
+            for (key, original) in &written {
+                point.attempted += 1;
+                let outcome = store
+                    .read_outcome(*key, &mut metrics, |v| verify_sealed(*key, v))
+                    .expect("fetch never errors on an online ring");
+                let fail_closed = outcome.fail_closed();
+                match outcome.into_result() {
+                    Ok(bytes) if &bytes == original => point.correct += 1,
+                    Ok(_) => point.wrong += 1,
+                    Err(_) if fail_closed => point.fail_closed += 1,
+                    Err(_) => point.unavailable += 1,
+                }
+            }
+            points.push(point);
+        }
+    }
+
+    let tamper: Vec<&QuorumPoint> = points
+        .iter()
+        .filter(|p| matches!(p.mode, AdversaryMode::Tamper))
+        .collect();
+    let attempted: u64 = tamper.iter().map(|p| p.attempted).sum();
+    let wrong: u64 = tamper.iter().map(|p| p.wrong).sum();
+    let f1 = tamper
+        .iter()
+        .find(|p| p.f == 1)
+        .map(|p| p.correct as f64 / p.attempted.max(1) as f64)
+        .unwrap_or(0.0);
+    DishonestQuorumOutcome {
+        replicas,
+        read_quorum: replicas / 2 + 1,
+        keys,
+        points,
+        fail_closed_rate: (attempted - wrong) as f64 / attempted.max(1) as f64,
+        availability_f1: f1,
+        fast: cfg.fast,
+    }
+}

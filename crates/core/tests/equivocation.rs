@@ -1,0 +1,217 @@
+//! Satellite proof for the equivocation defense (PR 10, ISSUE item 3):
+//! an adversary serving **different valid-looking bytes to different
+//! readers** must never produce two *successful* reads with different
+//! plaintexts. Two layers compose to enforce that, and this test
+//! exercises both:
+//!
+//! 1. **Quorum layer** — while honest holders dominate a reader's quorum
+//!    (f < read-quorum), equivocating holders are outvoted and every
+//!    reader converges on the same winner.
+//! 2. **Hash-chain layer** — past that point the forks are *individually*
+//!    valid (both correctly signed `Timeline` heads extending the same
+//!    prefix), so per-reader quorums genuinely diverge. What betrays the
+//!    attack is fork inconsistency: two heads at the same sequence with
+//!    different hashes. A read only counts as *successful* once it clears
+//!    that cross-reader check — the Frientegrity argument of the survey's
+//!    §IV-B — and on detection no fork is accepted.
+
+use dosn_core::identity::Identity;
+use dosn_core::integrity::Timeline;
+use dosn_core::network::{
+    reader_parity, AdversaryConfig, AdversaryMode, AdversaryPlane, ChordPlane, ReplicatedStore,
+};
+use dosn_crypto::chacha::SecureRng;
+use dosn_crypto::group::SchnorrGroup;
+use dosn_crypto::keys::KeyDirectory;
+use dosn_overlay::id::Key;
+use dosn_overlay::metrics::Metrics;
+
+/// A head record as a storage value: `sequence ‖ head-hash ‖ body`. Both
+/// forks of the test serialize to well-formed records — "valid-looking"
+/// bytes the quorum verifier alone cannot tell apart.
+fn head_record(t: &Timeline) -> Vec<u8> {
+    let head = t.entries().last().expect("non-empty timeline");
+    let mut rec = head.sequence.to_le_bytes().to_vec();
+    rec.extend_from_slice(&t.head_hash());
+    rec.extend_from_slice(&head.body);
+    rec
+}
+
+fn well_formed(rec: &[u8]) -> bool {
+    rec.len() >= 8 + 32
+}
+
+fn decode(rec: &[u8]) -> (u64, [u8; 32], Vec<u8>) {
+    (
+        u64::from_le_bytes(rec[..8].try_into().unwrap()),
+        rec[8..40].try_into().unwrap(),
+        rec[40..].to_vec(),
+    )
+}
+
+/// The chain-level fork-consistency gate: readers exchange the head
+/// records their quorums returned; if any two carry the same sequence with
+/// different head hashes, equivocation is proven (the records themselves
+/// are the evidence) and **no** view is accepted. Only reads surviving
+/// this gate count as successful.
+fn accept_views(quorum_reads: &[Vec<u8>]) -> Vec<Vec<u8>> {
+    let decoded: Vec<_> = quorum_reads.iter().map(|r| decode(r)).collect();
+    for (i, a) in decoded.iter().enumerate() {
+        for b in &decoded[i + 1..] {
+            if a.0 == b.0 && a.1 != b.1 {
+                return Vec::new(); // fork proven: accept neither world
+            }
+        }
+    }
+    quorum_reads.to_vec()
+}
+
+/// Builds the forked pair: a common signed 2-entry prefix, then two
+/// *separately signed, individually valid* third entries.
+fn forked_timelines() -> (Timeline, Timeline, KeyDirectory) {
+    let mut rng = SecureRng::seed_from_u64(0xE17);
+    let dir = KeyDirectory::new();
+    let owner = Identity::create("victim", SchnorrGroup::toy(), &dir, &mut rng);
+    let mut prefix = Timeline::new(owner.id().clone());
+    prefix.append(&owner, b"post 0", vec![], &mut rng);
+    prefix.append(&owner, b"post 1", vec![], &mut rng);
+
+    let mut fork_a = Timeline::from_entries(owner.id().clone(), prefix.entries().to_vec());
+    fork_a.append(&owner, b"party at my home on friday!", vec![], &mut rng);
+    let mut fork_b = Timeline::from_entries(owner.id().clone(), prefix.entries().to_vec());
+    fork_b.append(&owner, b"quiet weekend, nothing planned", vec![], &mut rng);
+    (fork_a, fork_b, dir)
+}
+
+/// Readers with opposite equivocation parity, so the adversary serves each
+/// a different fork.
+fn parity_pair() -> (String, String) {
+    let odd = (0..64)
+        .map(|i| format!("reader{i}"))
+        .find(|r| reader_parity(r))
+        .expect("an odd-parity reader in 64 names");
+    let even = (0..64)
+        .map(|i| format!("reader{i}"))
+        .find(|r| !reader_parity(r))
+        .expect("an even-parity reader in 64 names");
+    (odd, even)
+}
+
+fn store_with_equivocation(f: usize) -> ReplicatedStore<AdversaryPlane<ChordPlane>> {
+    let cfg = AdversaryConfig::new(0xF0_4C, f).with_mode(AdversaryMode::Equivocate);
+    ReplicatedStore::new(AdversaryPlane::new(ChordPlane::build(32, 7), cfg), 3)
+}
+
+#[test]
+fn both_forks_are_individually_valid() {
+    let (fork_a, fork_b, dir) = forked_timelines();
+    fork_a.verify(&dir).expect("fork A verifies");
+    fork_b.verify(&dir).expect("fork B verifies");
+    // Same sequence, different head hash: the fork signature.
+    assert_eq!(
+        fork_a.entries().last().unwrap().sequence,
+        fork_b.entries().last().unwrap().sequence
+    );
+    assert_ne!(fork_a.head_hash(), fork_b.head_hash());
+}
+
+#[test]
+fn equivocation_never_yields_two_different_successful_reads() {
+    let (fork_a, fork_b, _) = forked_timelines();
+    let key = Key::hash(b"wall-head:victim");
+    let (odd_reader, even_reader) = parity_pair();
+
+    let mut fork_ever_detected = false;
+    for f in 0..=3usize {
+        let mut store = store_with_equivocation(f);
+        let mut metrics = Metrics::new();
+        store
+            .put(key, head_record(&fork_a), &mut metrics)
+            .expect("seed write");
+        store.plane_mut().set_enabled(true);
+        store.plane_mut().equivocate_with(key, head_record(&fork_b));
+
+        let mut quorum_reads: Vec<Vec<u8>> = Vec::new();
+        for reader in [&odd_reader, &even_reader] {
+            store.plane_mut().begin_read(reader);
+            let outcome = store
+                .read_outcome(key, &mut metrics, well_formed)
+                .expect("online ring");
+            if let Ok(bytes) = outcome.into_result() {
+                quorum_reads.push(bytes);
+            }
+        }
+        let accepted = accept_views(&quorum_reads);
+        fork_ever_detected |= accepted.len() < quorum_reads.len();
+
+        // The contract under test: however many reads are ultimately
+        // accepted, they all carry the SAME plaintext. The adversary may
+        // deny service, never split the world.
+        for pair in accepted.windows(2) {
+            assert_eq!(
+                pair[0], pair[1],
+                "two successful reads returned different plaintexts at f={f}"
+            );
+        }
+        if f < store.read_quorum() {
+            // Honest majority: both readers are served, identically, and
+            // the gate has nothing to reject.
+            assert_eq!(
+                accepted.len(),
+                2,
+                "honest majority must serve both readers at f={f}"
+            );
+            assert_eq!(accepted[0], head_record(&fork_a));
+        }
+    }
+    // And the attack was real: at some f the raw quorum reads diverged
+    // and only the chain-level gate stopped them.
+    assert!(
+        fork_ever_detected,
+        "the adversary never managed to equivocate"
+    );
+}
+
+#[test]
+fn fork_evidence_is_two_signed_heads_at_the_same_sequence() {
+    let (fork_a, fork_b, _) = forked_timelines();
+    let key = Key::hash(b"wall-head:victim");
+    let (odd_reader, even_reader) = parity_pair();
+
+    // f = 3: every holder equivocates, so each reader's quorum happily
+    // agrees on that reader's fork — the quorum layer alone cannot save
+    // us, the chain comparison must.
+    let mut store = store_with_equivocation(3);
+    let mut metrics = Metrics::new();
+    store
+        .put(key, head_record(&fork_a), &mut metrics)
+        .expect("seed write");
+    store.plane_mut().set_enabled(true);
+    store.plane_mut().equivocate_with(key, head_record(&fork_b));
+
+    let mut quorum_reads: Vec<Vec<u8>> = Vec::new();
+    for reader in [&odd_reader, &even_reader] {
+        store.plane_mut().begin_read(reader);
+        let outcome = store
+            .read_outcome(key, &mut metrics, well_formed)
+            .expect("online ring");
+        quorum_reads.push(
+            outcome
+                .into_result()
+                .expect("colluding quorum serves the fork"),
+        );
+    }
+    // The raw reads DID diverge — each reader saw a validly-signed world…
+    assert_ne!(
+        quorum_reads[0], quorum_reads[1],
+        "adversary failed to equivocate"
+    );
+    let (seq_a, head_a, body_a) = decode(&quorum_reads[0]);
+    let (seq_b, head_b, body_b) = decode(&quorum_reads[1]);
+    assert_eq!(seq_a, seq_b, "same sequence claimed to both readers");
+    assert_ne!(head_a, head_b);
+    assert_ne!(body_a, body_b);
+    // …and exactly that pair of records is self-incriminating evidence:
+    // the gate accepts neither.
+    assert!(accept_views(&quorum_reads).is_empty());
+}

@@ -1,0 +1,64 @@
+//! E17 acceptance: every attack scenario is **deterministic** — the same
+//! seed must produce a byte-identical `RunReport` JSON. Wall-clock
+//! measurements (latency percentiles) live on the outcome structs only, so
+//! the reports can be compared as strings. A different seed must still
+//! produce a *valid* run (the invariant headlines hold regardless).
+
+use dosn_core::scenario::ScenarioConfig;
+use dosn_core::scenario::{dishonest_quorum, flash_crowd, pod_compromise, sybil_campaign};
+
+#[test]
+fn flash_crowd_reports_are_byte_identical_per_seed() {
+    let cfg = ScenarioConfig::new(0xE17).fast();
+    let a = flash_crowd::run(&cfg).report().to_json();
+    let b = flash_crowd::run(&cfg).report().to_json();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn sybil_campaign_reports_are_byte_identical_per_seed() {
+    let cfg = ScenarioConfig::new(0xE17).fast();
+    let a = sybil_campaign::run(&cfg).report().to_json();
+    let b = sybil_campaign::run(&cfg).report().to_json();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn dishonest_quorum_reports_are_byte_identical_per_seed() {
+    let cfg = ScenarioConfig::new(0xE17).fast();
+    let a = dishonest_quorum::run(&cfg).report().to_json();
+    let b = dishonest_quorum::run(&cfg).report().to_json();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn pod_compromise_reports_are_byte_identical_per_seed() {
+    let cfg = ScenarioConfig::new(0xE17).fast();
+    let a = pod_compromise::run(&cfg).report().to_json();
+    let b = pod_compromise::run(&cfg).report().to_json();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn invariants_hold_under_a_different_seed() {
+    let cfg = ScenarioConfig::new(0xFACE0FF).fast();
+    let quorum = dishonest_quorum::run(&cfg);
+    assert_eq!(
+        quorum.points.iter().map(|p| p.wrong).sum::<u64>(),
+        0,
+        "tampered bytes were accepted"
+    );
+    assert!((quorum.fail_closed_rate - 1.0).abs() < f64::EPSILON);
+    assert!((quorum.availability_f1 - 1.0).abs() < f64::EPSILON);
+
+    let pod = pod_compromise::run(&cfg);
+    assert_eq!(pod.tamper_wrong, 0);
+    assert!((pod.tamper_availability() - 1.0).abs() < f64::EPSILON);
+    assert!((pod.offline_availability() - 1.0).abs() < f64::EPSILON);
+
+    // And a different seed genuinely changes what a scenario observes
+    // (different graph → different celebrity, crowd, and cache traffic).
+    let flash = flash_crowd::run(&cfg);
+    let base = flash_crowd::run(&ScenarioConfig::new(0xE17).fast());
+    assert_ne!(base.report().to_json(), flash.report().to_json());
+}

@@ -177,6 +177,32 @@ pub const CACHE_INVALIDATIONS: &str = "cache.invalidations";
 /// Cache entries evicted by capacity pressure (LRU victims) (counter).
 pub const CACHE_EVICTIONS: &str = "cache.evictions";
 
+// ---- adversary plane & attack scenarios (E17) ----
+
+/// Reads served with seeded-corrupted bytes by compromised holders
+/// (counter, mirrored from `AdversaryStats`).
+pub const ADVERSARY_TAMPERED: &str = "adversary.tampered";
+/// Reads answered "not found" by compromised holders that do hold the copy
+/// (counter, mirrored from `AdversaryStats`).
+pub const ADVERSARY_WITHHELD: &str = "adversary.withheld";
+/// Reads served a forked alternate version by equivocating holders
+/// (counter, mirrored from `AdversaryStats`).
+pub const ADVERSARY_EQUIVOCATED: &str = "adversary.equivocated";
+/// Distinct keys observed (stored or fetched) by compromised nodes — the
+/// leakage surface of a compromised pod (gauge).
+pub const ADVERSARY_OBSERVED_KEYS: &str = "adversary.observed_keys";
+/// Quorum reads the engine answered with an error instead of unverified
+/// bytes — the fail-closed path under adversarial replicas (counter).
+pub const ENGINE_READ_FAIL_CLOSED: &str = "engine.read.fail_closed";
+/// Feed reads issued by the viral flash-crowd scenario (counter).
+pub const SCENARIO_FLASH_READS: &str = "scenario.flash.reads";
+/// Suspects swept by the Sybil campaign scenario (counter).
+pub const SCENARIO_SYBIL_SUSPECTS: &str = "scenario.sybil.suspects";
+/// Verified reads attempted by the dishonest-quorum sweep (counter).
+pub const SCENARIO_QUORUM_READS: &str = "scenario.quorum.reads";
+/// Keys written through the compromised-pod scenario (counter).
+pub const SCENARIO_POD_KEYS: &str = "scenario.pod.keys";
+
 // ---- aggregate overlay roll-ups ----
 
 /// Total overlay messages across a run (gauge/counter in reports).
@@ -249,6 +275,15 @@ pub const ALL: &[&str] = &[
     CACHE_EVICTIONS,
     SIM_NODES,
     SIM_BYTES_PER_NODE,
+    ADVERSARY_TAMPERED,
+    ADVERSARY_WITHHELD,
+    ADVERSARY_EQUIVOCATED,
+    ADVERSARY_OBSERVED_KEYS,
+    ENGINE_READ_FAIL_CLOSED,
+    SCENARIO_FLASH_READS,
+    SCENARIO_SYBIL_SUSPECTS,
+    SCENARIO_QUORUM_READS,
+    SCENARIO_POD_KEYS,
     OVERLAY_MESSAGES,
     OVERLAY_BYTES,
     OVERLAY_MSG_LATENCY,

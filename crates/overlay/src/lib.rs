@@ -44,6 +44,7 @@
 //! # }
 //! ```
 
+pub mod adversary;
 pub mod arena;
 pub mod chord;
 pub mod churn;

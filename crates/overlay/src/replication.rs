@@ -414,6 +414,33 @@ impl<P: StoragePlane> ReplicatedStore<P> {
         self.repair_copies(&fetched, &winner, metrics);
         Ok(winner)
     }
+
+    /// [`ReplicatedStore::get_verified`] with the vote's full anatomy
+    /// exposed: runs the same fetch → vote → (on success) repair pipeline
+    /// but returns the [`QuorumOutcome`] instead of collapsing it, so
+    /// callers — the adversarial scenarios, the leakage accountant — can
+    /// distinguish "failed closed on tamper" from "nothing was there".
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::NoNodes`] when every node is offline (the vote never
+    /// ran); vote-level failures are encoded in the returned outcome, not
+    /// as errors.
+    pub fn read_outcome(
+        &mut self,
+        key: Key,
+        metrics: &mut Metrics,
+        verify: impl Fn(&[u8]) -> bool,
+    ) -> Result<QuorumOutcome, StorageError> {
+        let quorum_timer = self.obs.timer(names::STORE_GET_QUORUM);
+        let fetched = self.fetch_copies(key, metrics)?;
+        let outcome = quorum_inspect(&fetched, self.read_quorum, verify);
+        quorum_timer.observe();
+        if let (true, Some(winner)) = (outcome.served(), outcome.winner.as_ref()) {
+            self.repair_copies(&fetched, winner, metrics);
+        }
+        Ok(outcome)
+    }
 }
 
 /// The raw per-candidate copies fetched for one key: the intermediate state
@@ -425,6 +452,73 @@ pub struct FetchedCopies {
     pub key: Key,
     /// `(candidate, copy-if-any)` in placement preference order.
     pub copies: Vec<(NodeId, Option<Vec<u8>>)>,
+}
+
+/// The typed anatomy of one quorum vote: how many copies were missing,
+/// failed verification, agreed with the winner, or disagreed with it —
+/// everything [`quorum_vote`] collapses into a `Result`. Adversarial
+/// scenarios need the distinction the `Result` erases: a read that **fails
+/// closed** on tampering ([`QuorumOutcome::fail_closed`] — verifying copies
+/// exist but the winner lacks agreement, or every copy is corrupt) is a
+/// defense working; a read that fails because nothing is there is plain
+/// unavailability.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuorumOutcome {
+    /// The key voted on.
+    pub key: Key,
+    /// Candidates asked (fetched copies, present or not).
+    pub candidates: usize,
+    /// Candidates holding no copy at all.
+    pub missing: usize,
+    /// Copies present but rejected by the verifier.
+    pub invalid: usize,
+    /// Verifying copies byte-identical to the winner.
+    pub agreeing: usize,
+    /// Verifying copies that disagree with the winner.
+    pub disagreeing: usize,
+    /// The read quorum K the vote was held under.
+    pub need: usize,
+    /// The tally leader among verifying copies (even when its agreement
+    /// count falls short of the quorum), `None` when nothing verified.
+    pub winner: Option<Vec<u8>>,
+}
+
+impl QuorumOutcome {
+    /// Applies the PR 7 agreement rule — **the winning value's agreement
+    /// count must reach the quorum** — turning the anatomy back into the
+    /// exact `Result` [`quorum_vote`] returns.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::NotFound`] when no copy verified;
+    /// [`StorageError::QuorumFailed`] when the winner's agreement count is
+    /// below `need`.
+    pub fn into_result(self) -> Result<Vec<u8>, StorageError> {
+        match self.winner {
+            None => Err(StorageError::NotFound(self.key)),
+            Some(_) if self.agreeing < self.need => Err(StorageError::QuorumFailed {
+                key: self.key,
+                have: self.agreeing,
+                need: self.need,
+            }),
+            Some(winner) => Ok(winner),
+        }
+    }
+
+    /// Whether the vote would serve a value (winner present with quorum
+    /// agreement).
+    pub fn served(&self) -> bool {
+        self.winner.is_some() && self.agreeing >= self.need
+    }
+
+    /// Whether the read failed **closed**: copies were physically present,
+    /// yet the vote refused to serve — corrupt or disagreeing replicas were
+    /// rejected rather than returned. `false` when the read served, and
+    /// also when nothing was there to serve (plain unavailability, not a
+    /// defense).
+    pub fn fail_closed(&self) -> bool {
+        !self.served() && self.candidates > self.missing
+    }
 }
 
 /// Majority vote among verifying copies: the pure (no storage access)
@@ -475,6 +569,34 @@ pub fn quorum_vote_batch(
     read_quorum: usize,
     verify_batch: impl FnOnce(&[&[u8]]) -> Vec<bool>,
 ) -> Result<Vec<u8>, StorageError> {
+    quorum_inspect_batch(fetched, read_quorum, verify_batch).into_result()
+}
+
+/// [`quorum_vote`] with the full anatomy exposed: runs the same tally and
+/// returns a [`QuorumOutcome`] instead of collapsing to a `Result`.
+/// [`QuorumOutcome::into_result`] recovers the exact [`quorum_vote`]
+/// verdict, so the two can never drift.
+pub fn quorum_inspect(
+    fetched: &FetchedCopies,
+    read_quorum: usize,
+    verify: impl Fn(&[u8]) -> bool,
+) -> QuorumOutcome {
+    quorum_inspect_batch(fetched, read_quorum, |copies| {
+        copies.iter().map(|c| verify(c)).collect()
+    })
+}
+
+/// [`quorum_inspect`] with the verifier invoked once over all copies (the
+/// batch-verification seam, as [`quorum_vote_batch`]).
+///
+/// # Panics
+///
+/// Panics if `verify_batch` returns a verdict vector of the wrong length.
+pub fn quorum_inspect_batch(
+    fetched: &FetchedCopies,
+    read_quorum: usize,
+    verify_batch: impl FnOnce(&[&[u8]]) -> Vec<bool>,
+) -> QuorumOutcome {
     let present: Vec<&[u8]> = fetched
         .copies
         .iter()
@@ -495,24 +617,27 @@ pub fn quorum_vote_batch(
             }
         }
     }
+    let verifying: usize = tally.iter().map(|(_, n)| n).sum();
     // `reduce` keeps the incumbent on ties, so the earliest-seen (most
     // preferred candidate's) value wins at equal counts.
-    let Some((winner, agreement)) =
-        tally
-            .iter()
-            .copied()
-            .reduce(|best, cand| if cand.1 > best.1 { cand } else { best })
-    else {
-        return Err(StorageError::NotFound(fetched.key));
+    let leader = tally
+        .iter()
+        .copied()
+        .reduce(|best, cand| if cand.1 > best.1 { cand } else { best });
+    let (winner, agreement) = match leader {
+        Some((bytes, n)) => (Some(bytes.to_vec()), n),
+        None => (None, 0),
     };
-    if agreement < read_quorum {
-        return Err(StorageError::QuorumFailed {
-            key: fetched.key,
-            have: agreement,
-            need: read_quorum,
-        });
+    QuorumOutcome {
+        key: fetched.key,
+        candidates: fetched.copies.len(),
+        missing: fetched.copies.len() - present.len(),
+        invalid: present.len() - verifying,
+        agreeing: agreement,
+        disagreeing: verifying - agreement,
+        need: read_quorum,
+        winner,
     }
-    Ok(winner.to_vec())
 }
 
 #[cfg(test)]
@@ -997,5 +1122,112 @@ mod tests {
         store.put(key, b"v".to_vec(), &mut m).unwrap();
         store.get(key, &mut m).unwrap();
         assert_eq!(m.count("get.quorum_size"), 3);
+    }
+
+    fn copies(entries: &[Option<&[u8]>]) -> FetchedCopies {
+        FetchedCopies {
+            key: Key::hash(b"anatomy"),
+            copies: entries
+                .iter()
+                .enumerate()
+                .map(|(i, c)| (NodeId(i as u64), c.map(<[u8]>::to_vec)))
+                .collect(),
+        }
+    }
+
+    /// PR 7 regression, reasserted against the typed outcome: the quorum
+    /// applies to the **winner's** agreement count, and
+    /// `QuorumOutcome::into_result` reproduces `quorum_vote` bit-for-bit
+    /// on every anatomy the vote can encounter.
+    #[test]
+    fn quorum_inspect_counts_and_matches_vote() {
+        let cases: Vec<Vec<Option<&[u8]>>> = vec![
+            vec![Some(b"good"), Some(b"good"), Some(b"good")],
+            vec![Some(b"good"), Some(b"good"), Some(b"BAD!")],
+            vec![Some(b"good"), Some(b"BAD!"), None],
+            // PR 7's bug shape: three disagreeing-but-verifying copies must
+            // not sum toward the quorum.
+            vec![Some(b"one"), Some(b"two"), Some(b"three")],
+            vec![None, None, None],
+            vec![Some(b"BAD!"), Some(b"BAD!"), Some(b"BAD!")],
+            vec![Some(b"good"), None, None],
+        ];
+        let verify = |c: &[u8]| c != b"BAD!";
+        for case in cases {
+            let fetched = copies(&case);
+            for k in 1..=3 {
+                let outcome = quorum_inspect(&fetched, k, verify);
+                assert_eq!(
+                    outcome.clone().into_result(),
+                    quorum_vote(&fetched, k, verify),
+                    "outcome and vote diverged on {case:?} at K={k}"
+                );
+                assert_eq!(outcome.candidates, case.len());
+                assert_eq!(outcome.missing, case.iter().filter(|c| c.is_none()).count());
+                assert_eq!(
+                    outcome.invalid,
+                    case.iter()
+                        .filter(|c| c.is_some_and(|b| !verify(b)))
+                        .count()
+                );
+                assert_eq!(
+                    outcome.missing + outcome.invalid + outcome.agreeing + outcome.disagreeing,
+                    outcome.candidates,
+                    "anatomy must partition the candidates"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fail_closed_distinguishes_tamper_from_absence() {
+        let verify = |c: &[u8]| c != b"BAD!";
+        // All copies corrupt: present but refused — fail closed.
+        let tampered = quorum_inspect(
+            &copies(&[Some(b"BAD!"), Some(b"BAD!"), Some(b"BAD!")]),
+            2,
+            verify,
+        );
+        assert!(tampered.fail_closed());
+        assert!(!tampered.served());
+        // Nothing stored anywhere: plain unavailability, not a defense.
+        let absent = quorum_inspect(&copies(&[None, None, None]), 2, verify);
+        assert!(!absent.fail_closed());
+        assert!(!absent.served());
+        // Healthy majority: served, neither failure kind.
+        let healthy = quorum_inspect(
+            &copies(&[Some(b"good"), Some(b"good"), Some(b"BAD!")]),
+            2,
+            verify,
+        );
+        assert!(healthy.served());
+        assert!(!healthy.fail_closed());
+        assert_eq!(healthy.winner.as_deref(), Some(b"good".as_slice()));
+    }
+
+    #[test]
+    fn read_outcome_reports_and_repairs_like_get_verified() {
+        let mut store = ReplicatedStore::new(ChordPlane::build(32, 3), 3);
+        let mut m = Metrics::new();
+        let key = Key::hash(b"outcome");
+        let holders = store.put(key, b"good".to_vec(), &mut m).unwrap();
+        store
+            .plane_mut()
+            .store_at(holders[2], key, b"BAD!", &mut m)
+            .unwrap();
+        let outcome = store.read_outcome(key, &mut m, |c| c != b"BAD!").unwrap();
+        assert!(outcome.served());
+        assert_eq!(outcome.agreeing, 2);
+        assert_eq!(outcome.invalid, 1);
+        assert_eq!(outcome.winner.as_deref(), Some(b"good".as_slice()));
+        // Served outcomes repair, exactly as get_verified does.
+        assert!(m.count("get.repairs") >= 1);
+        assert_eq!(
+            store
+                .plane_mut()
+                .fetch_from(holders[2], key, &mut m)
+                .unwrap(),
+            Some(b"good".to_vec())
+        );
     }
 }

@@ -313,6 +313,77 @@ impl SocialGraph {
         visited == n
     }
 
+    /// A new graph with `extra` vertices appended as one additional
+    /// community block (`nodes()..nodes()+extra`) and `edges` grafted on —
+    /// the adversary hook for planting a Sybil region onto a generated
+    /// graph without regenerating it. Edge endpoints may reference both old
+    /// and new vertices; duplicates and self-loops are dropped; the CSR
+    /// invariants (sorted neighbor lists, symmetry) are rebuilt.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an edge endpoint is out of range.
+    pub fn with_appended(&self, extra: usize, edges: &[(u32, u32)]) -> SocialGraph {
+        let n = self.nodes();
+        let n2 = n + extra;
+        let mut all: Vec<(u32, u32)> = Vec::with_capacity(self.adj.len() / 2 + edges.len());
+        for v in 0..n as u32 {
+            for &f in self.friends(v) {
+                if f > v {
+                    all.push((v, f));
+                }
+            }
+        }
+        for &(a, b) in edges {
+            assert!(
+                (a as usize) < n2 && (b as usize) < n2,
+                "edge ({a}, {b}) outside the appended graph of {n2} vertices"
+            );
+            if a != b {
+                all.push((a.min(b), a.max(b)));
+            }
+        }
+        all.sort_unstable();
+        all.dedup();
+
+        let mut counts = vec![0u64; n2];
+        for &(a, b) in &all {
+            counts[a as usize] += 1;
+            counts[b as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n2 + 1);
+        offsets.push(0u64);
+        for &c in &counts {
+            offsets.push(offsets.last().unwrap() + c);
+        }
+        let mut adj = vec![0u32; *offsets.last().unwrap() as usize];
+        let mut fill = offsets.clone();
+        for &(a, b) in &all {
+            adj[fill[a as usize] as usize] = b;
+            fill[a as usize] += 1;
+            adj[fill[b as usize] as usize] = a;
+            fill[b as usize] += 1;
+        }
+        for v in 0..n2 {
+            adj[offsets[v] as usize..offsets[v + 1] as usize].sort_unstable();
+        }
+
+        let mut comm_start = self.comm_start.clone();
+        if extra > 0 {
+            comm_start.push(n2 as u32);
+        }
+        SocialGraph {
+            offsets,
+            adj,
+            comm_start,
+            config: SocialGraphConfig {
+                nodes: n2,
+                communities: self.communities() + usize::from(extra > 0),
+                ..self.config.clone()
+            },
+        }
+    }
+
     /// Resident bytes of the CSR arrays — the E15 memory accounting.
     pub fn memory_bytes(&self) -> usize {
         self.offsets.capacity() * 8
@@ -433,6 +504,40 @@ mod tests {
             assert_eq!(g.degree(v), 0);
         }
         assert!(!g.is_connected());
+    }
+
+    #[test]
+    fn appended_region_keeps_csr_invariants() {
+        let g = SocialGraph::generate(&SocialGraphConfig::new(500, 21));
+        let n = g.nodes() as u32;
+        // A 10-vertex appended ring plus two attack edges into the base.
+        let mut edges: Vec<(u32, u32)> = (0..10).map(|i| (n + i, n + (i + 1) % 10)).collect();
+        edges.push((3, n));
+        edges.push((7, n + 5));
+        let g2 = g.with_appended(10, &edges);
+        assert_eq!(g2.nodes(), 510);
+        assert_eq!(g2.communities(), g.communities() + 1);
+        assert_eq!(g2.community_of(n), g2.communities() - 1);
+        // Old adjacency preserved, new edges present and symmetric.
+        for v in 0..n {
+            let mut old: Vec<u32> = g.friends(v).to_vec();
+            if v == 3 {
+                old.push(n);
+                old.sort_unstable();
+            }
+            if v == 7 {
+                old.push(n + 5);
+                old.sort_unstable();
+            }
+            assert_eq!(g2.friends(v), old.as_slice(), "vertex {v}");
+        }
+        for v in 0..g2.nodes() as u32 {
+            for &f in g2.friends(v) {
+                assert!(g2.are_friends(f, v));
+                assert_ne!(f, v);
+            }
+        }
+        assert!(g2.are_friends(3, n) && g2.are_friends(n, n + 1));
     }
 
     #[test]

@@ -1,0 +1,79 @@
+//! The four E17 attack scenarios, small enough to watch (survey §III–§VI
+//! threats, end to end). Each run composes the same pieces the full bench
+//! uses — an `AdversaryPlane` under a `ReplicatedStore` (and, for the
+//! flash crowd, the full engine with its cache hierarchy) — and prints the
+//! instrument tables from its deterministic `RunReport`.
+//!
+//! Run with: `cargo run --release --example adversary_scenarios`
+
+use dosn::core::scenario::ScenarioConfig;
+use dosn::core::scenario::{dishonest_quorum, flash_crowd, pod_compromise, sybil_campaign};
+use dosn::obs::RunReport;
+
+const SEED: u64 = 0xE17;
+
+fn show(title: &str, run: &RunReport) {
+    println!("== {title} ==");
+    print!("{}", run.to_json());
+    println!();
+}
+
+fn main() {
+    let cfg = ScenarioConfig::new(SEED).fast();
+
+    // 1. Viral flash crowd: one author, a stampede of followers.
+    let flash = flash_crowd::run(&cfg);
+    show("viral flash crowd", &flash.report());
+    println!(
+        "   measured (excluded from report): warm read_feed p50 {} us, p95 {} us\n",
+        flash.warm_p50_us, flash.warm_p95_us
+    );
+
+    // 2. Sybil campaign: detection vs the attack-edge budget.
+    let sybil = sybil_campaign::run(&cfg);
+    show("sybil campaign", &sybil.report());
+    for p in &sybil.points {
+        println!(
+            "   budget {:>3} edges: recall {:.3}, precision {:.3}, honest accepted {}/{}",
+            p.attack_edges,
+            p.recall,
+            p.precision,
+            p.honest_accepted,
+            p.honest_accepted + p.honest_rejected
+        );
+    }
+    println!();
+
+    // 3. Dishonest quorum: f of R=3 holders forge or withhold.
+    let quorum = dishonest_quorum::run(&cfg);
+    show("dishonest quorum", &quorum.report());
+    for p in &quorum.points {
+        println!(
+            "   f={} {:<9} correct {:>3}  wrong {:>2}  fail-closed {:>3}  unavailable {:>3}",
+            p.f,
+            p.mode.label(),
+            p.correct,
+            p.wrong,
+            p.fail_closed,
+            p.unavailable
+        );
+    }
+    println!();
+
+    // 4. Pod compromise: a federation server goes rogue, then dark.
+    let pod = pod_compromise::run(&cfg);
+    show("pod compromise", &pod.report());
+    println!(
+        "   pod {} observed {}/{} keys ({} owners exposed); tamper availability {:.3}; offline availability {:.3}",
+        pod.compromised_pod,
+        pod.keys_observed,
+        pod.keys_total,
+        pod.owners_exposed,
+        pod.tamper_availability(),
+        pod.offline_availability()
+    );
+
+    // The zero-tolerance invariants the bench gates, asserted here too.
+    assert_eq!(quorum.points.iter().map(|p| p.wrong).sum::<u64>(), 0);
+    assert_eq!(pod.tamper_wrong, 0);
+}
